@@ -1,0 +1,38 @@
+//! Criterion benches: link-budget evaluation and the design explorer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosaic::budget::BudgetEngine;
+use mosaic::config::MosaicConfig;
+use mosaic_units::{BitRate, Length};
+
+fn bench_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("budget");
+    g.sample_size(20);
+    let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    g.bench_function("engine_build_428ch", |b| b.iter(|| BudgetEngine::new(&cfg)));
+    let engine = BudgetEngine::new(&cfg);
+    g.bench_function("all_channels_428", |b| b.iter(|| engine.all_channels(&cfg.led)));
+    g.bench_function("full_evaluate_800g", |b| b.iter(|| cfg.evaluate()));
+    g.finish();
+}
+
+fn bench_devices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("devices");
+    let led = mosaic_phy::microled::MicroLed::default();
+    let i = led.current_for_density(3000.0);
+    g.bench_function("microled_operating_point", |b| {
+        b.iter(|| (led.optical_power(i), led.modulation_bandwidth(i)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these are smoke/regression benches, not a tuning lab.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_budget, bench_devices
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches: the Monte-Carlo substrate (error injection and the
+//! Gaussian receiver).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mosaic_sim::inject::BitErrorInjector;
+use mosaic_sim::rng::DetRng;
+
+fn bench_injection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inject");
+    let words = vec![0u64; 16384];
+    g.throughput(Throughput::Bytes(words.len() as u64 * 8));
+    for &ber in &[1e-3, 1e-6, 1e-9] {
+        g.bench_function(format!("corrupt_128kB_ber_{ber:.0e}"), |b| {
+            b.iter_with_setup(
+                || (BitErrorInjector::new(ber, DetRng::new(1)), words.clone()),
+                |(mut inj, mut ws)| {
+                    for w in ws.iter_mut() {
+                        inj.corrupt_word(w);
+                    }
+                    ws
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these are smoke/regression benches, not a tuning lab.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_injection
+}
+criterion_main!(benches);

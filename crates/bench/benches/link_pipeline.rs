@@ -1,0 +1,72 @@
+//! Criterion benches: the gearbox transmit/receive pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mosaic_link::gearbox::Gearbox;
+use mosaic_link::scrambler::Scrambler;
+use mosaic_link::striping::{Deskewer, Distributor, StripeConfig};
+
+fn bench_gearbox(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gearbox");
+    g.sample_size(20);
+    let payloads: Vec<Vec<u8>> = (0..16).map(|i| vec![i as u8; 1024]).collect();
+    let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+    let bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("transmit_100ch_16k", |b| {
+        b.iter_with_setup(
+            || Gearbox::new(100, 108, 32),
+            |mut tx| tx.transmit(&refs),
+        )
+    });
+    g.bench_function("roundtrip_100ch_16k", |b| {
+        b.iter_with_setup(
+            || (Gearbox::new(100, 108, 32), Gearbox::new(100, 108, 32)),
+            |(mut tx, mut rx)| {
+                let ch = tx.transmit(&refs);
+                rx.receive(&ch)
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_striping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striping");
+    let cfg = StripeConfig::new(64, 16);
+    let payload: Vec<u64> = (0..64 * 16 * 8).collect();
+    g.throughput(Throughput::Bytes(payload.len() as u64 * 8));
+    g.bench_function("stripe_64lanes", |b| {
+        b.iter_with_setup(
+            || Distributor::new(cfg),
+            |mut d| d.stripe(&payload, 0),
+        )
+    });
+    let streams = Distributor::new(cfg).stripe(&payload, 0);
+    g.bench_function("deskew_64lanes", |b| {
+        b.iter(|| Deskewer::new(cfg).reassemble(&streams).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_scrambler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scrambler");
+    let words: Vec<u64> = (0..4096).map(|i| i * 0x9E37_79B9_7F4A_7C15).collect();
+    g.throughput(Throughput::Bytes(words.len() as u64 * 8));
+    g.bench_function("scramble_32kB", |b| {
+        b.iter_with_setup(Scrambler::new, |mut s| {
+            words.iter().map(|&w| s.scramble_word(w)).collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these are smoke/regression benches, not a tuning lab.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_gearbox, bench_striping, bench_scrambler
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig10_fec_study`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig10_fec_study::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig11_gearbox_resilience`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig11_gearbox_resilience::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig12_sparing_ablation`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig12_sparing_ablation::run());
+}

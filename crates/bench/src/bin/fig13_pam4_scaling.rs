@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig13_pam4_scaling`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig13_pam4_scaling::run());
+}

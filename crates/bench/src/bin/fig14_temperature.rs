@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig14_temperature`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig14_temperature::run());
+}

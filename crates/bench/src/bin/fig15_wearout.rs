@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig15_wearout`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig15_wearout::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig16_color_mux`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig16_color_mux::run());
+}

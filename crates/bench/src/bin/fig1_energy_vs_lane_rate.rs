@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig1_energy_vs_lane_rate`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig1_energy_vs_lane_rate::run());
+}

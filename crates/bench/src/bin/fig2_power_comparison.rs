@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig2_power_comparison`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig2_power_comparison::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig3_reach_vs_rate`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig3_reach_vs_rate::run());
+}

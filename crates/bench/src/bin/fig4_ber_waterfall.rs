@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig4_ber_waterfall`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig4_ber_waterfall::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig5_prototype_100ch`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig5_prototype_100ch::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig6_reliability`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig6_reliability::run());
+}

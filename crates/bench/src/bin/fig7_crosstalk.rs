@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig7_crosstalk`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig7_crosstalk::run());
+}

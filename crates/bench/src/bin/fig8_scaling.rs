@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig8_scaling`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig8_scaling::run());
+}

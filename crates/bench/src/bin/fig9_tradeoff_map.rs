@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig9_tradeoff_map`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig9_tradeoff_map::run());
+}

@@ -1,0 +1,15 @@
+//! Regenerates every figure and table into `results/` and prints a summary.
+use std::fs;
+use std::time::Instant;
+
+fn main() {
+    fs::create_dir_all("results").expect("create results/");
+    for (id, title, runner) in mosaic_bench::all_experiments() {
+        let start = Instant::now();
+        let output = runner();
+        let path = format!("results/{}.txt", id.to_lowercase());
+        fs::write(&path, &output).expect("write result");
+        println!("[{id}] {title} -> {path} ({:.1}s)", start.elapsed().as_secs_f64());
+    }
+    println!("\nall experiments regenerated; see EXPERIMENTS.md for the paper-vs-measured index");
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `tab1_power_breakdown`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::tab1_power_breakdown::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `tab2_datacenter`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::tab2_datacenter::run());
+}

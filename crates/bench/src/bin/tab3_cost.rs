@@ -1,0 +1,4 @@
+//! Regenerates experiment `tab3_cost`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::tab3_cost::run());
+}

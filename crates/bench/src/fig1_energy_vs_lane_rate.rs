@@ -1,0 +1,65 @@
+//! F1 — Energy per bit versus per-lane rate: why wide-and-slow wins.
+//!
+//! Left half of the figure: the electrical cost of a *narrow-and-fast*
+//! lane (long-reach SerDes + module DSP) grows superlinearly with lane
+//! rate. Right half: a full Mosaic link's energy/bit across per-channel
+//! rates, showing the sweet spot where channel fixed costs and the LED
+//! bandwidth wall balance.
+
+use crate::table::Table;
+use crate::cells;
+use mosaic::design::{best_design, default_rate_grid, sweep_channel_rate};
+use mosaic_phy::params::dsp;
+use mosaic_phy::serdes::{lane_energy, SerdesReach};
+use mosaic_units::{BitRate, Length};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let mut out = String::from("F1a: narrow-and-fast electrical lane energy (pJ/bit)\n");
+    let mut t = Table::new(&["lane Gb/s", "LR SerDes", "+module DSP", "lane power (W)"]);
+    for &g in &[10.0, 25.0, 50.0, 106.25, 212.5] {
+        let rate = BitRate::from_gbps(g);
+        let serdes = lane_energy(rate, SerdesReach::LongReach);
+        // PAM4 module DSP only applies to PAM4-era lane rates.
+        let dsp_pj = if g >= 50.0 { dsp::PAM4_DSP_PJ_PER_BIT } else { 0.0 };
+        let with_dsp = serdes.as_pj_per_bit() + dsp_pj;
+        t.row(cells![
+            format!("{g:.2}"),
+            format!("{:.2}", serdes.as_pj_per_bit()),
+            if dsp_pj > 0.0 { format!("{with_dsp:.2}") } else { "n/a (NRZ)".into() },
+            format!("{:.2}", serdes.power_at(rate).as_watts() + dsp_pj * 1e-12 * rate.as_bps())
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nF1b: Mosaic 800G link energy vs per-channel rate (10 m span)\n");
+    let points = sweep_channel_rate(
+        BitRate::from_gbps(800.0),
+        Length::from_m(10.0),
+        &default_rate_grid(),
+    );
+    let mut t = Table::new(&[
+        "ch Gb/s", "channels", "feasible", "margin dB", "link W", "pJ/bit", "array radius",
+    ]);
+    for p in &points {
+        t.row(cells![
+            format!("{:.2}", p.channel_rate.as_gbps()),
+            p.channels,
+            p.feasible,
+            if p.feasible { format!("{:.1}", p.worst_margin_db) } else { "-".into() },
+            format!("{:.2}", p.link_power.as_watts()),
+            format!("{:.2}", p.energy_per_bit.as_pj_per_bit()),
+            format!("{}", p.array_radius)
+        ]);
+    }
+    out.push_str(&t.render());
+    if let Some(best) = best_design(&points) {
+        out.push_str(&format!(
+            "\nsweet spot: {:.1} Gb/s per channel ({} channels, {:.2} pJ/bit)\n",
+            best.channel_rate.as_gbps(),
+            best.channels,
+            best.energy_per_bit.as_pj_per_bit()
+        ));
+    }
+    out
+}

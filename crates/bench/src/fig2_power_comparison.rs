@@ -1,0 +1,39 @@
+//! F2 — Link power at 800G across technologies (claim C2: up to 69 %
+//! lower than laser optics).
+
+use crate::cells;
+use crate::table::Table;
+use mosaic::compare::{candidates, TechnologyKind};
+use mosaic_units::BitRate;
+
+/// Run the experiment.
+pub fn run() -> String {
+    let cands = candidates(BitRate::from_gbps(800.0));
+    let mosaic = cands
+        .iter()
+        .find(|c| c.kind == TechnologyKind::Mosaic)
+        .expect("mosaic candidate");
+    let mut t = Table::new(&[
+        "technology", "reach", "link power", "pJ/bit", "mosaic saving", "link FIT",
+    ]);
+    for c in &cands {
+        let saving = if c.kind == TechnologyKind::Mosaic {
+            "-".to_string()
+        } else if c.link_power.is_zero() {
+            "n/a (passive)".to_string()
+        } else {
+            format!("{:.0} %", (1.0 - mosaic.link_power / c.link_power) * 100.0)
+        };
+        t.row(cells![
+            c.name,
+            format!("{}", c.reach),
+            format!("{}", c.link_power),
+            format!("{:.2}", c.energy_per_bit.as_pj_per_bit()),
+            saving,
+            format!("{:.0}", c.link_fit.as_fit())
+        ]);
+    }
+    let mut out = String::from("F2: 800G link power by technology (both ends; host SerDes excluded as common)\n");
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,42 @@
+//! F3 — Reach versus per-lane rate: the copper wall and the Mosaic
+//! envelope (claims C1 and C5).
+
+use crate::cells;
+use crate::table::Table;
+use mosaic::budget::max_reach as mosaic_reach;
+use mosaic::config::MosaicConfig;
+use mosaic_copper::channel::TwinaxChannel;
+use mosaic_copper::reach::{max_reach as copper_reach, EqualizationBudget};
+use mosaic_units::{BitRate, Length};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let mut out = String::from("F3a: copper (passive DAC) reach vs electrical lane rate\n");
+    let mut t = Table::new(&["lane Gb/s", "30 AWG reach", "26 AWG reach"]);
+    for &g in &[25.0, 50.0, 106.25, 212.5, 425.0] {
+        let rate = BitRate::from_gbps(g);
+        let budget = EqualizationBudget::host_lr();
+        let thin = copper_reach(&TwinaxChannel::awg30(), rate, budget, 6.0);
+        let thick = copper_reach(&TwinaxChannel::awg26(), rate, budget, 6.0);
+        t.row(cells![
+            format!("{g:.1}"),
+            format!("{thin}"),
+            format!("{thick}")
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nF3b: Mosaic reach vs per-channel rate (800G aggregate)\n");
+    let mut t = Table::new(&["ch Gb/s", "channels", "reach limit"]);
+    for &g in &[0.5, 1.0, 2.0, 3.0, 4.0] {
+        let mut cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(5.0));
+        cfg.channel_rate = BitRate::from_gbps(g);
+        let reach = mosaic_reach(&cfg)
+            .map(|r| format!("{r}"))
+            .unwrap_or_else(|| "infeasible".into());
+        t.row(cells![format!("{g:.1}"), cfg.active_channels(), reach]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nreference: SR8 optics 50 m (OM4), DR8 optics 500 m (SMF)\n");
+    out
+}

@@ -1,0 +1,58 @@
+//! F6 — Reliability (claim C3): link FIT/AFR by technology, survival over
+//! the service life versus spare count, and a Markov vs Monte-Carlo
+//! cross-check.
+
+use crate::cells;
+use crate::table::Table;
+use mosaic::compare::candidates;
+use mosaic::reliability_model::channel_fit;
+use mosaic_reliability::markov::SparedPool;
+use mosaic_reliability::montecarlo::simulate_pool_no_repair;
+use mosaic_reliability::system::KofN;
+use mosaic_units::{BitRate, Duration};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let mut out = String::from("F6a: link failure rates by technology (800G)\n");
+    let mut t = Table::new(&["technology", "link FIT", "AFR %/yr", "7-yr survival"]);
+    for c in candidates(BitRate::from_gbps(800.0)) {
+        let seven = Duration::from_years(7.0);
+        t.row(cells![
+            c.name,
+            format!("{:.0}", c.link_fit.as_fit()),
+            format!("{:.3}", c.link_fit.afr() * 100.0),
+            format!("{:.5}", c.link_fit.survival_prob(seven))
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nF6b: Mosaic channel-pool survival over 7 years vs spares (428 active channels)\n");
+    let horizon = Duration::from_years(7.0);
+    let mut t = Table::new(&["spares", "closed form", "Markov", "Monte-Carlo (100k)", "effective FIT"]);
+    for spares in [0usize, 2, 4, 8, 16] {
+        let pool = KofN::new(428, 428 + spares, channel_fit());
+        let closed = pool.survival(horizon);
+        let markov = SparedPool::new(428, 428 + spares, channel_fit(), 0.0).survival(horizon);
+        let mc = simulate_pool_no_repair(428, 428 + spares, channel_fit(), horizon, 100_000, 6);
+        t.row(cells![
+            spares,
+            format!("{closed:.6}"),
+            format!("{markov:.6}"),
+            format!("{:.6}", mc.survival()),
+            format!("{:.2}", pool.effective_fit(horizon).as_fit())
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nF6c: with monthly repair (µ = 1/720 h)\n");
+    let mut t = Table::new(&["spares", "7-yr survival", "steady-state availability"]);
+    for spares in [2usize, 4, 8] {
+        let pool = SparedPool::new(428, 428 + spares, channel_fit(), 1.0 / 720.0);
+        t.row(cells![
+            spares,
+            format!("{:.9}", pool.survival(horizon)),
+            format!("{:.12}", pool.availability())
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

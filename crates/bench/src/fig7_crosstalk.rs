@@ -1,0 +1,71 @@
+//! F7 — Inter-core crosstalk versus pitch, and the misalignment tolerance
+//! window (feasibility substrate for C4/C5).
+
+use crate::cells;
+use crate::table::Table;
+use mosaic::budget::BudgetEngine;
+use mosaic::config::MosaicConfig;
+use mosaic_fiber::crosstalk::{CoreCoupling, CrosstalkModel, Misalignment};
+use mosaic_fiber::geometry::CoreLattice;
+use mosaic_units::{BitRate, Length};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let mut out = String::from("F7a: nearest-neighbor crosstalk vs core pitch (10 m span, center channel)\n");
+    let coupling = CoreCoupling::imaging_default();
+    let mut t = Table::new(&["pitch µm", "XT per neighbor dB/10m", "total XT (6 nbrs)", "penalty dB"]);
+    for &pitch_um in &[12.0, 16.0, 20.0, 24.0, 30.0, 40.0] {
+        let pitch = Length::from_um(pitch_um);
+        let model = CrosstalkModel { coupling: coupling.clone(), ..CrosstalkModel::default_aligned() };
+        let lat = CoreLattice::spiral(127, pitch);
+        let xt = model.total_crosstalk(&lat, 0, Length::from_m(10.0));
+        let per = coupling.xt_total(pitch, Length::from_m(10.0));
+        let pen = mosaic_fiber::crosstalk::crosstalk_penalty(xt)
+            .map(|d| format!("{:.2}", d.as_db()))
+            .unwrap_or_else(|| "eye closed".into());
+        t.row(cells![
+            format!("{pitch_um:.0}"),
+            format!("{:.1}", 10.0 * per.log10()),
+            format!("{xt:.2e}"),
+            pen
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nF7b: misalignment tolerance of the 800G link at 10 m (20 µm pitch)\n");
+    let mut t = Table::new(&["lateral µm", "rotation mrad", "worst margin dB", "feasible"]);
+    for &(lat_um, rot_mrad) in &[
+        (0.0, 0.0),
+        (2.0, 0.0),
+        (4.0, 0.0),
+        (6.0, 0.0),
+        (8.0, 0.0),
+        (0.0, 10.0),
+        (0.0, 20.0),
+        (0.0, 40.0),
+        (3.0, 10.0),
+    ] {
+        let mut cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+        cfg.misalignment = Misalignment {
+            lateral: Length::from_um(lat_um),
+            rotation_rad: rot_mrad / 1000.0,
+        };
+        let engine = BudgetEngine::new(&cfg);
+        match engine.worst_margin(&cfg.led) {
+            Some(m) => t.row(cells![
+                format!("{lat_um:.0}"),
+                format!("{rot_mrad:.0}"),
+                format!("{:.2}", m.as_db()),
+                m.as_db() >= 0.0
+            ]),
+            None => t.row(cells![
+                format!("{lat_um:.0}"),
+                format!("{rot_mrad:.0}"),
+                "eye closed",
+                false
+            ]),
+        }
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,42 @@
+//! F8 — Scaling table (claim C5): Mosaic configurations from 200G to 1.6T
+//! against the narrow-and-fast equivalents.
+
+use crate::cells;
+use crate::table::Table;
+use mosaic::config::MosaicConfig;
+use mosaic_optics::variants::{dr8, dr8_1600};
+use mosaic_units::{BitRate, Length};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let mut out = String::from("F8: Mosaic scaling (10 m span, 2 Gb/s channels)\n");
+    let mut t = Table::new(&[
+        "aggregate", "channels(+spares)", "array radius", "module W", "link pJ/bit", "reach", "7yr survival",
+    ]);
+    for &g in &[200.0, 400.0, 800.0, 1600.0] {
+        let cfg = MosaicConfig::new(BitRate::from_gbps(g), Length::from_m(10.0));
+        let r = cfg.evaluate();
+        t.row(cells![
+            format!("{g:.0}G"),
+            format!("{}(+{})", cfg.active_channels(), cfg.spares),
+            format!("{}", r.array_radius),
+            format!("{:.2}", r.module_power.total().as_watts()),
+            format!("{:.2}", r.energy_per_bit.as_pj_per_bit()),
+            r.reach_limit.map(|x| format!("{x}")).unwrap_or_else(|| "-".into()),
+            format!("{:.4}", r.reliability.link_survival)
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nnarrow-and-fast reference modules:\n");
+    for m in [dr8(BitRate::from_gbps(800.0)), dr8_1600(BitRate::from_gbps(1600.0))] {
+        out.push_str(&format!(
+            "  {:<16} {} lanes  {:.1} W/module  {:.2} pJ/bit (link)\n",
+            m.name,
+            m.lanes,
+            m.power().as_watts(),
+            (m.power() * 2.0).per_bit(m.aggregate).as_pj_per_bit()
+        ));
+    }
+    out
+}

@@ -1,0 +1,40 @@
+//! T1 — Per-component module power breakdowns (where the watts live).
+
+use mosaic::config::MosaicConfig;
+use mosaic::power_model;
+use mosaic_optics::variants::{dr8, lpo_dr8, sr8};
+use mosaic_units::{BitRate, Length};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let rate = BitRate::from_gbps(800.0);
+    let mut out = String::from("T1: module power breakdowns at 800G (one end)\n\n");
+
+    for m in [sr8(rate), dr8(rate), lpo_dr8(rate)] {
+        let b = m.power_breakdown();
+        out.push_str(&format!("{} ({} lanes):\n", m.name, m.lanes));
+        out.push_str(&format!(
+            "  laser  {:>9}   driver {:>9}   tia {:>9}   dsp {:>9}   misc {:>9}   TOTAL {}\n\n",
+            format!("{}", b.laser),
+            format!("{}", b.driver),
+            format!("{}", b.tia),
+            format!("{}", b.dsp),
+            format!("{}", b.overhead),
+            b.total()
+        ));
+    }
+
+    let cfg = MosaicConfig::new(rate, Length::from_m(10.0));
+    let b = power_model::module_breakdown(&cfg);
+    out.push_str(&format!(
+        "800G-Mosaic ({} ch × {} + {} spares):\n{}",
+        cfg.active_channels(),
+        cfg.channel_rate,
+        cfg.spares,
+        b
+    ));
+    out.push_str(&format!(
+        "\nkey shape: DSP ≈ half of a laser module; Mosaic has no DSP-class line item\n"
+    ));
+    out
+}

@@ -1,0 +1,72 @@
+//! T2 — Datacenter fleet study: power and repair tickets under three
+//! deployment policies, for small and large Clos fabrics.
+
+use crate::cells;
+use crate::table::Table;
+use mosaic::compare::candidates;
+use mosaic_netsim::assignment::{assign, Policy};
+use mosaic_netsim::failure_sim::simulate_fleet;
+use mosaic_netsim::fleet::rollup;
+use mosaic_netsim::topology::{ClosTopology, RailTopology};
+use mosaic_units::{BitRate, Duration};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let cands = candidates(BitRate::from_gbps(800.0));
+    let mut out = String::from("T2: fleet interconnect study (800G links everywhere)\n");
+    let fabrics: Vec<(&str, String, Vec<mosaic_netsim::topology::LinkClass>)> = vec![
+        (
+            "1k-server cluster",
+            format!("{} servers", ClosTopology::small().servers()),
+            ClosTopology::small().link_classes(),
+        ),
+        (
+            "64k-server cluster",
+            format!("{} servers", ClosTopology::large().servers()),
+            ClosTopology::large().link_classes(),
+        ),
+        (
+            "16k-GPU rail fabric",
+            format!("{} GPUs", RailTopology::gpu_16k().gpus()),
+            RailTopology::gpu_16k().link_classes(),
+        ),
+    ];
+    for (label, size, classes) in fabrics {
+        let total_links: usize = classes.iter().map(|c| c.count).sum();
+        out.push_str(&format!("\n{label}: {size}, {total_links} links\n"));
+        let mut t = Table::new(&[
+            "policy", "fleet kW", "W/link", "tickets/yr (exp)", "tickets/10yr (sim)", "availability",
+        ]);
+        for (name, policy) in [
+            ("all-optics", Policy::AllOptics),
+            ("copper+optics", Policy::CopperPlusOptics),
+            ("with Mosaic", Policy::WithMosaic),
+        ] {
+            let a = assign(&classes, &cands, policy);
+            let fleet = rollup(&a);
+            let sim = simulate_fleet(&a, 10.0, Duration::from_hours(24.0), 77);
+            t.row(cells![
+                name,
+                format!("{:.1}", fleet.total_power.as_watts() / 1000.0),
+                format!("{:.2}", fleet.total_power.as_watts() / total_links as f64),
+                format!("{:.1}", fleet.failures_per_year),
+                sim.tickets,
+                format!("{:.6}", sim.availability)
+            ]);
+        }
+        out.push_str(&t.render());
+
+        // Technology mix under the Mosaic policy.
+        let a = assign(&classes, &cands, Policy::WithMosaic);
+        let fleet = rollup(&a);
+        out.push_str("  Mosaic-policy technology mix: ");
+        let mix: Vec<String> = fleet
+            .links_by_tech
+            .iter()
+            .map(|(k, v)| format!("{k}×{v}"))
+            .collect();
+        out.push_str(&mix.join(", "));
+        out.push('\n');
+    }
+    out
+}

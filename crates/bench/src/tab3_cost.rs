@@ -1,0 +1,60 @@
+//! T3 — Total cost of ownership per link and per fleet.
+
+use crate::cells;
+use crate::table::Table;
+use mosaic::compare::candidates;
+use mosaic::cost::{link_tco, USD_PER_REPAIR, USD_PER_WATT_YEAR};
+use mosaic_netsim::assignment::{assign, Policy};
+use mosaic_netsim::topology::ClosTopology;
+use mosaic_units::{BitRate, Duration};
+
+/// Run the experiment.
+pub fn run() -> String {
+    let horizon = Duration::from_years(5.0);
+    let cands = candidates(BitRate::from_gbps(800.0));
+    let mut out = format!(
+        "T3: 5-year link TCO (energy @ ${USD_PER_WATT_YEAR}/W-yr, repairs @ ${USD_PER_REPAIR}/ticket)\n"
+    );
+    let mut t = Table::new(&["technology", "capex $", "energy $", "repairs $", "TCO $"]);
+    for c in &cands {
+        let tco = link_tco(c, horizon);
+        t.row(cells![
+            c.name,
+            format!("{:.0}", tco.capex),
+            format!("{:.0}", tco.energy),
+            format!("{:.0}", tco.repairs),
+            format!("{:.0}", tco.total())
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nfleet TCO, 64k-server Clos, 5 years:\n");
+    let topo = ClosTopology::large();
+    let mut t = Table::new(&["policy", "capex $M", "energy $M", "repairs $M", "total $M"]);
+    for (name, policy) in [
+        ("all-optics", Policy::AllOptics),
+        ("copper+optics", Policy::CopperPlusOptics),
+        ("with Mosaic", Policy::WithMosaic),
+    ] {
+        let assigns = assign(&topo.link_classes(), &cands, policy);
+        let mut capex = 0.0;
+        let mut energy = 0.0;
+        let mut repairs = 0.0;
+        for a in &assigns {
+            let tco = link_tco(&a.choice, horizon);
+            let n = a.class.count as f64;
+            capex += tco.capex * n;
+            energy += tco.energy * n;
+            repairs += tco.repairs * n;
+        }
+        t.row(cells![
+            name,
+            format!("{:.1}", capex / 1e6),
+            format!("{:.1}", energy / 1e6),
+            format!("{:.1}", repairs / 1e6),
+            format!("{:.1}", (capex + energy + repairs) / 1e6)
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

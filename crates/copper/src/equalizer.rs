@@ -1,0 +1,43 @@
+//! Equalization and retimer power models for copper links.
+//!
+//! A *passive* DAC spends no power in the cable — all the work happens in
+//! the host SerDes (covered by `mosaic_phy::serdes`). An *active electrical
+//! cable* (AEC) splices a retimer DSP into each end to roughly double the
+//! reach; that retimer is a real PAM4 DSP and bills accordingly.
+
+use mosaic_phy::params::dsp;
+use mosaic_units::{BitRate, EnergyPerBit, Power};
+
+/// Energy per bit of an AEC retimer DSP (per end). Retimers are lighter
+/// than full optical-module DSPs (no optical front-end, shorter reach
+/// target): ~60 % of the module-DSP figure.
+pub fn retimer_energy() -> EnergyPerBit {
+    EnergyPerBit::from_pj_per_bit(dsp::PAM4_DSP_PJ_PER_BIT * 0.6)
+}
+
+/// Total retimer power for an AEC carrying `aggregate` (two ends).
+pub fn aec_retimer_power(aggregate: BitRate) -> Power {
+    retimer_energy().power_at(aggregate) * 2.0
+}
+
+/// Reach multiplier an AEC retimer buys over the passive budget: the
+/// channel is broken into two independently equalized halves.
+pub const AEC_REACH_MULTIPLIER: f64 = 2.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aec_800g_power_is_several_watts() {
+        // Commercial 800G AECs are quoted at 9–13 W; our two-end retimer
+        // model should land in that band.
+        let p = aec_retimer_power(BitRate::from_gbps(800.0));
+        assert!(p.as_watts() > 6.0 && p.as_watts() < 14.0, "got {p}");
+    }
+
+    #[test]
+    fn retimer_cheaper_than_module_dsp() {
+        assert!(retimer_energy().as_pj_per_bit() < dsp::PAM4_DSP_PJ_PER_BIT);
+    }
+}

@@ -1,0 +1,24 @@
+//! Copper-cable baselines for the Mosaic reproduction.
+//!
+//! Copper is one pole of the trade-off the paper breaks: near-zero medium
+//! power and excellent reliability, but a reach that collapses as lane
+//! rates climb, because twinax insertion loss grows with √f (skin effect)
+//! and f (dielectric loss) while the equalizable budget of a SerDes is
+//! roughly fixed. At 100–200 G/lane the passive-copper wall sits under 2 m
+//! — the abstract's "<2 m".
+//!
+//! * [`channel`] — frequency-dependent insertion-loss model for twinax;
+//! * [`reach`] — loss-budget reach solver;
+//! * [`equalizer`] — equalization/retimer power models;
+//! * [`links`] — assembled DAC (passive) and AEC (retimed) cable models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod equalizer;
+pub mod links;
+pub mod reach;
+
+pub use channel::TwinaxChannel;
+pub use links::{AecLink, DacLink};

@@ -1,0 +1,138 @@
+//! Loss-budget reach solver for copper channels.
+//!
+//! A passive copper link works when the end-to-end insertion loss at the
+//! lane's Nyquist frequency stays within what the two host SerDes can
+//! equalize. That budget is roughly fixed per SerDes generation (IEEE
+//! 802.3ck budgets a ~28 dB channel for 100G-per-lane "C2C/C2M + cable");
+//! reach therefore *shrinks* as lane rate grows — the copper wall.
+
+use crate::channel::TwinaxChannel;
+use mosaic_units::{BitRate, Frequency, Length};
+
+/// Equalizable channel budget of a host SerDes pair, dB (positive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EqualizationBudget {
+    /// Maximum insertion loss at Nyquist the TX FFE + RX CTLE/DFE pair can
+    /// recover, dB.
+    pub max_loss_db: f64,
+}
+
+impl EqualizationBudget {
+    /// A long-reach (LR) 802.3ck-class host SerDes: ~28 dB at Nyquist.
+    pub fn host_lr() -> Self {
+        EqualizationBudget { max_loss_db: 28.0 }
+    }
+
+    /// Budget available to the cable alone after reserving `host_db` for
+    /// host PCB traces and packages.
+    pub fn cable_budget(&self, host_db: f64) -> f64 {
+        (self.max_loss_db - host_db).max(0.0)
+    }
+}
+
+/// Maximum passive-cable length for a PAM4 lane at `lane_rate` through
+/// `cable`, leaving `host_reserve_db` of the budget for host traces.
+/// Returns `Length::ZERO` when even a zero-length cable (connectors only)
+/// blows the budget.
+pub fn max_reach(
+    cable: &TwinaxChannel,
+    lane_rate: BitRate,
+    budget: EqualizationBudget,
+    host_reserve_db: f64,
+) -> Length {
+    let nyquist = TwinaxChannel::pam4_nyquist(lane_rate.as_gbps());
+    max_reach_at(cable, nyquist, budget, host_reserve_db)
+}
+
+/// Reach solver at an explicit Nyquist frequency.
+pub fn max_reach_at(
+    cable: &TwinaxChannel,
+    nyquist: Frequency,
+    budget: EqualizationBudget,
+    host_reserve_db: f64,
+) -> Length {
+    let avail = budget.cable_budget(host_reserve_db);
+    let conn = 2.0 * cable.connector_db * (nyquist.as_ghz() / cable.connector_ref_ghz).sqrt();
+    let for_cable = avail - conn;
+    if for_cable <= 0.0 {
+        return Length::ZERO;
+    }
+    Length::from_m(for_cable / cable.db_per_m(nyquist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn copper_wall_at_100g_per_lane() {
+        // C1 anchor: 106.25 G PAM4 lanes over 30 AWG reach ~2 m.
+        let r = max_reach(
+            &TwinaxChannel::awg30(),
+            BitRate::from_gbps(106.25),
+            EqualizationBudget::host_lr(),
+            6.0,
+        );
+        assert!(r.as_m() > 1.2 && r.as_m() < 2.5, "got {r}");
+    }
+
+    #[test]
+    fn copper_wall_tightens_at_200g() {
+        let r100 = max_reach(
+            &TwinaxChannel::awg30(),
+            BitRate::from_gbps(106.25),
+            EqualizationBudget::host_lr(),
+            6.0,
+        );
+        let r200 = max_reach(
+            &TwinaxChannel::awg30(),
+            BitRate::from_gbps(212.5),
+            EqualizationBudget::host_lr(),
+            6.0,
+        );
+        assert!(r200.as_m() < 0.7 * r100.as_m(), "r100={r100} r200={r200}");
+        assert!(r200.as_m() < 1.5);
+    }
+
+    #[test]
+    fn thicker_cable_buys_reach() {
+        let budget = EqualizationBudget::host_lr();
+        let thin = max_reach(&TwinaxChannel::awg30(), BitRate::from_gbps(106.25), budget, 6.0);
+        let thick = max_reach(&TwinaxChannel::awg26(), BitRate::from_gbps(106.25), budget, 6.0);
+        assert!(thick.as_m() > thin.as_m());
+    }
+
+    #[test]
+    fn zero_reach_when_connectors_exhaust_budget() {
+        let r = max_reach(
+            &TwinaxChannel::awg30(),
+            BitRate::from_gbps(106.25),
+            EqualizationBudget { max_loss_db: 7.0 },
+            6.0,
+        );
+        assert_eq!(r.as_m(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn reach_monotone_decreasing_in_rate(g1 in 20f64..250.0, g2 in 20f64..250.0) {
+            let (lo, hi) = if g1 < g2 { (g1, g2) } else { (g2, g1) };
+            let budget = EqualizationBudget::host_lr();
+            let cable = TwinaxChannel::awg30();
+            let r_lo = max_reach(&cable, BitRate::from_gbps(lo), budget, 6.0);
+            let r_hi = max_reach(&cable, BitRate::from_gbps(hi), budget, 6.0);
+            prop_assert!(r_lo.as_m() >= r_hi.as_m() - 1e-12);
+        }
+
+        #[test]
+        fn reach_monotone_in_budget(b1 in 10f64..40.0, b2 in 10f64..40.0) {
+            let (lo, hi) = if b1 < b2 { (b1, b2) } else { (b2, b1) };
+            let cable = TwinaxChannel::awg30();
+            let rate = BitRate::from_gbps(106.25);
+            let r_lo = max_reach(&cable, rate, EqualizationBudget { max_loss_db: lo }, 6.0);
+            let r_hi = max_reach(&cable, rate, EqualizationBudget { max_loss_db: hi }, 6.0);
+            prop_assert!(r_hi.as_m() >= r_lo.as_m() - 1e-12);
+        }
+    }
+}

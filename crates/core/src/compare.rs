@@ -1,0 +1,234 @@
+//! Cross-technology comparison: the API behind F2, F9 and T1.
+//!
+//! Every technology is reduced to one [`LinkCandidate`] under the shared
+//! accounting convention (module/cable power per link; host SerDes
+//! excluded as common). "Who wins where" is then a query: cheapest
+//! feasible candidate at a required reach.
+
+use crate::config::MosaicConfig;
+use crate::power_model;
+use crate::reliability_model;
+use mosaic_copper::{AecLink, DacLink};
+use mosaic_optics::variants as optics;
+use mosaic_reliability::fitdb;
+use mosaic_units::{BitRate, Duration, EnergyPerBit, Fit, Length, Power};
+
+/// The technology family of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechnologyKind {
+    /// Passive direct-attach copper.
+    Dac,
+    /// Retimed active electrical cable.
+    Aec,
+    /// VCSEL multimode optics.
+    Sr,
+    /// Silicon-photonics single-mode optics.
+    Dr,
+    /// Linear-drive optics.
+    Lpo,
+    /// Wide-and-slow microLED (this paper).
+    Mosaic,
+}
+
+/// One comparable link option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkCandidate {
+    /// Display name.
+    pub name: String,
+    /// Family.
+    pub kind: TechnologyKind,
+    /// Aggregate payload rate.
+    pub aggregate: BitRate,
+    /// Maximum supported reach.
+    pub reach: Length,
+    /// Module/cable power for the whole link (both ends).
+    pub link_power: Power,
+    /// Link energy per payload bit.
+    pub energy_per_bit: EnergyPerBit,
+    /// Whole-link failure rate (effective, 7-year horizon for spared
+    /// systems).
+    pub link_fit: Fit,
+}
+
+impl LinkCandidate {
+    /// True if this candidate can serve a span of `reach`.
+    pub fn serves(&self, reach: Length) -> bool {
+        self.reach.as_m() >= reach.as_m()
+    }
+}
+
+/// Build the standard candidate set at an aggregate rate (100G-lane
+/// copper/optics baselines plus Mosaic at its reach limit).
+pub fn candidates(aggregate: BitRate) -> Vec<LinkCandidate> {
+    let mut out = Vec::new();
+
+    // Passive DAC.
+    let dac = DacLink::dac_800g();
+    let dac = DacLink { aggregate, ..dac };
+    out.push(LinkCandidate {
+        name: format!("{}G-DAC", aggregate.as_gbps().round()),
+        kind: TechnologyKind::Dac,
+        aggregate,
+        reach: dac.max_reach(),
+        link_power: dac.module_power(),
+        energy_per_bit: dac.module_power().per_bit(aggregate),
+        link_fit: fitdb::PASSIVE_CABLE + fitdb::CONNECTOR * 2.0,
+    });
+
+    // AEC.
+    let aec = AecLink { dac: DacLink { aggregate, ..DacLink::dac_800g() } };
+    out.push(LinkCandidate {
+        name: format!("{}G-AEC", aggregate.as_gbps().round()),
+        kind: TechnologyKind::Aec,
+        aggregate,
+        reach: aec.max_reach(),
+        link_power: aec.module_power(),
+        energy_per_bit: aec.module_power().per_bit(aggregate),
+        link_fit: fitdb::PASSIVE_CABLE
+            + fitdb::CONNECTOR * 2.0
+            + fitdb::AEC_RETIMER * 2.0
+            + fitdb::MODULE_MISC * 2.0,
+    });
+
+    // SR (VCSEL multimode).
+    let sr = optics::sr8(aggregate);
+    out.push(LinkCandidate {
+        name: sr.name.clone(),
+        kind: TechnologyKind::Sr,
+        aggregate,
+        reach: sr.reach,
+        link_power: sr.power() * 2.0,
+        energy_per_bit: (sr.power() * 2.0).per_bit(aggregate),
+        link_fit: reliability_model::laser_link_fit(sr.lanes, fitdb::VCSEL),
+    });
+
+    // DR (SiPh single-mode).
+    let dr = optics::dr8(aggregate);
+    out.push(LinkCandidate {
+        name: dr.name.clone(),
+        kind: TechnologyKind::Dr,
+        aggregate,
+        reach: dr.reach,
+        link_power: dr.power() * 2.0,
+        energy_per_bit: (dr.power() * 2.0).per_bit(aggregate),
+        link_fit: reliability_model::laser_link_fit(dr.lanes, fitdb::DFB_LASER),
+    });
+
+    // LPO.
+    let lpo = optics::lpo_dr8(aggregate);
+    out.push(LinkCandidate {
+        name: lpo.name.clone(),
+        kind: TechnologyKind::Lpo,
+        aggregate,
+        reach: lpo.reach,
+        link_power: lpo.power() * 2.0,
+        energy_per_bit: (lpo.power() * 2.0).per_bit(aggregate),
+        link_fit: reliability_model::laser_link_fit(lpo.lanes, fitdb::DFB_LASER),
+    });
+
+    // Mosaic, evaluated at its own reach limit.
+    let cfg = MosaicConfig::new(aggregate, Length::from_m(10.0));
+    let reach = crate::budget::max_reach(&cfg).unwrap_or(Length::ZERO);
+    let power = power_model::link_power(&cfg);
+    let rel = reliability_model::evaluate(&cfg, Duration::from_years(7.0));
+    out.push(LinkCandidate {
+        name: format!("{}G-Mosaic", aggregate.as_gbps().round()),
+        kind: TechnologyKind::Mosaic,
+        aggregate,
+        reach,
+        link_power: power,
+        energy_per_bit: power.per_bit(aggregate),
+        link_fit: rel.effective_fit,
+    });
+
+    out
+}
+
+/// The lowest-power candidate that can serve `reach`.
+pub fn winner_at(candidates: &[LinkCandidate], reach: Length) -> Option<&LinkCandidate> {
+    candidates
+        .iter()
+        .filter(|c| c.serves(reach))
+        .min_by(|a, b| a.link_power.as_watts().total_cmp(&b.link_power.as_watts()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> Vec<LinkCandidate> {
+        candidates(BitRate::from_gbps(800.0))
+    }
+
+    #[test]
+    fn copper_wins_inside_two_metres() {
+        let c = set();
+        let w = winner_at(&c, Length::from_m(1.5)).unwrap();
+        assert_eq!(w.kind, TechnologyKind::Dac, "winner {}", w.name);
+    }
+
+    #[test]
+    fn mosaic_wins_in_the_middle_band() {
+        // C1+C2: the paper's claim is exactly this band: beyond copper,
+        // cheaper than lasers.
+        let c = set();
+        for m in [5.0, 10.0, 30.0, 50.0] {
+            let w = winner_at(&c, Length::from_m(m)).unwrap();
+            assert_eq!(w.kind, TechnologyKind::Mosaic, "at {m} m: {}", w.name);
+        }
+    }
+
+    #[test]
+    fn lasers_win_beyond_mosaic_reach() {
+        let c = set();
+        let w = winner_at(&c, Length::from_m(300.0)).unwrap();
+        assert!(
+            matches!(w.kind, TechnologyKind::Dr),
+            "at 300 m: {}",
+            w.name
+        );
+    }
+
+    #[test]
+    fn mosaic_power_saving_vs_dr8_matches_claim_shape() {
+        // C2: "up to 69 %" — our models must show a large double-digit
+        // saving against DR8 at equal rate.
+        let c = set();
+        let dr = c.iter().find(|x| x.kind == TechnologyKind::Dr).unwrap();
+        let mosaic = c.iter().find(|x| x.kind == TechnologyKind::Mosaic).unwrap();
+        let saving = 1.0 - mosaic.link_power / dr.link_power;
+        assert!(
+            saving > 0.5 && saving < 0.8,
+            "saving {saving:.2} (mosaic {} vs dr {})",
+            mosaic.link_power,
+            dr.link_power
+        );
+    }
+
+    #[test]
+    fn mosaic_more_reliable_than_all_laser_optics() {
+        // C3.
+        let c = set();
+        let mosaic = c.iter().find(|x| x.kind == TechnologyKind::Mosaic).unwrap();
+        for kind in [TechnologyKind::Sr, TechnologyKind::Dr, TechnologyKind::Lpo] {
+            let other = c.iter().find(|x| x.kind == kind).unwrap();
+            assert!(
+                mosaic.link_fit.as_fit() < other.link_fit.as_fit() / 2.0,
+                "{}: {} vs mosaic {}",
+                other.name,
+                other.link_fit,
+                mosaic.link_fit
+            );
+        }
+    }
+
+    #[test]
+    fn mosaic_reach_at_least_25x_copper() {
+        // C1: ">25× the reach of copper".
+        let c = set();
+        let dac = c.iter().find(|x| x.kind == TechnologyKind::Dac).unwrap();
+        let mosaic = c.iter().find(|x| x.kind == TechnologyKind::Mosaic).unwrap();
+        let ratio = mosaic.reach / dac.reach;
+        assert!(ratio > 25.0, "reach ratio {ratio:.1}");
+    }
+}

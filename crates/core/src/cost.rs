@@ -1,0 +1,116 @@
+//! Link cost model: capex plus powered-on energy cost.
+//!
+//! The fleet argument needs dollars, not just watts. Capex figures are
+//! street-price ballparks for 800G-class parts (2024–25 era); the Mosaic
+//! figure assumes LED arrays and imaging fiber price like the commodity
+//! visible-light parts they are, with the gearbox ASIC as the main cost.
+//! Energy is charged at a total datacenter burden rate (electricity × PUE
+//! plus amortized cooling/power provisioning).
+
+use crate::compare::{LinkCandidate, TechnologyKind};
+use mosaic_units::Duration;
+
+/// Capex for one complete link (both ends + medium), USD.
+pub fn link_capex_usd(kind: TechnologyKind) -> f64 {
+    match kind {
+        // A passive 800G DAC assembly.
+        TechnologyKind::Dac => 250.0,
+        // Retimed cable: two retimer dies and more qualification.
+        TechnologyKind::Aec => 900.0,
+        // Two SR8 modules + MMF jumper.
+        TechnologyKind::Sr => 2.0 * 900.0 + 60.0,
+        // Two DR8 modules + SMF jumper.
+        TechnologyKind::Dr => 2.0 * 1700.0 + 40.0,
+        // Two LPO modules (cheaper: no DSP die) + SMF.
+        TechnologyKind::Lpo => 2.0 * 1100.0 + 40.0,
+        // Two gearbox modules (LED/PD arrays are cents; the ASIC and
+        // assembly dominate) + imaging-fiber jumper.
+        TechnologyKind::Mosaic => 2.0 * 500.0 + 120.0,
+    }
+}
+
+/// Fully burdened energy price, USD per watt-year (≈ $0.09/kWh × PUE 1.3
+/// ≈ $1.0/W·yr, plus ~$1/W·yr amortized provisioning).
+pub const USD_PER_WATT_YEAR: f64 = 2.0;
+
+/// Expected repair cost per ticket (truck roll + spare), USD.
+pub const USD_PER_REPAIR: f64 = 500.0;
+
+/// Total cost of ownership of one candidate over a horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkTco {
+    /// Purchase cost, USD.
+    pub capex: f64,
+    /// Energy over the horizon, USD.
+    pub energy: f64,
+    /// Expected repair spend over the horizon, USD.
+    pub repairs: f64,
+}
+
+impl LinkTco {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.capex + self.energy + self.repairs
+    }
+}
+
+/// Evaluate TCO of a candidate over `horizon`.
+pub fn link_tco(candidate: &LinkCandidate, horizon: Duration) -> LinkTco {
+    let years = horizon.as_years();
+    LinkTco {
+        capex: link_capex_usd(candidate.kind),
+        energy: candidate.link_power.as_watts() * USD_PER_WATT_YEAR * years,
+        repairs: candidate.link_fit.afr() * years * USD_PER_REPAIR,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::candidates;
+    use mosaic_units::BitRate;
+
+    fn tco_of(kind: TechnologyKind) -> LinkTco {
+        let c = candidates(BitRate::from_gbps(800.0));
+        let cand = c.iter().find(|x| x.kind == kind).unwrap();
+        link_tco(cand, Duration::from_years(5.0))
+    }
+
+    #[test]
+    fn dac_is_cheapest_where_it_reaches() {
+        let dac = tco_of(TechnologyKind::Dac);
+        let mosaic = tco_of(TechnologyKind::Mosaic);
+        assert!(dac.total() < mosaic.total());
+    }
+
+    #[test]
+    fn mosaic_tco_beats_all_optics() {
+        let mosaic = tco_of(TechnologyKind::Mosaic);
+        for kind in [TechnologyKind::Sr, TechnologyKind::Dr, TechnologyKind::Lpo] {
+            let other = tco_of(kind);
+            assert!(
+                mosaic.total() < other.total(),
+                "{kind:?}: {} vs mosaic {}",
+                other.total(),
+                mosaic.total()
+            );
+        }
+    }
+
+    #[test]
+    fn optics_tco_shape() {
+        // Capex dominates a transceiver's 5-year TCO, but energy is a
+        // visible single-digit-percent line item and repairs are real.
+        let dr = tco_of(TechnologyKind::Dr);
+        assert!(dr.capex > dr.energy && dr.capex > dr.repairs);
+        assert!(dr.energy > 0.04 * dr.total(), "energy {} of {}", dr.energy, dr.total());
+        assert!(dr.repairs > 0.0);
+    }
+
+    #[test]
+    fn repairs_scale_with_fit() {
+        let dr = tco_of(TechnologyKind::Dr);
+        let mosaic = tco_of(TechnologyKind::Mosaic);
+        assert!(dr.repairs > 3.0 * mosaic.repairs);
+    }
+}

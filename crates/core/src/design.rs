@@ -1,0 +1,143 @@
+//! Design-space exploration: picking the wide-and-slow operating point.
+//!
+//! F1's question made executable: for a target aggregate rate and reach,
+//! sweep the per-channel rate and report power, channel count and
+//! feasibility of each point; pick the feasible minimum-power design.
+//! The sweep shows the two walls that create the wide-and-slow sweet spot:
+//! too fast and the LED cannot keep up (infeasible / ISI explodes); too
+//! slow and the per-channel fixed costs (TIA floor, CDR) plus sheer
+//! channel count dominate.
+
+use crate::config::MosaicConfig;
+use mosaic_units::{BitRate, EnergyPerBit, Length, Power};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Per-channel rate of this point.
+    pub channel_rate: BitRate,
+    /// Active channels needed.
+    pub channels: usize,
+    /// Whether every channel's budget closes at the target length.
+    pub feasible: bool,
+    /// Worst-channel margin in dB (negative or NaN when infeasible).
+    pub worst_margin_db: f64,
+    /// Link power (both ends).
+    pub link_power: Power,
+    /// Link energy per payload bit.
+    pub energy_per_bit: EnergyPerBit,
+    /// Imaged array radius (aperture cost of going wide).
+    pub array_radius: Length,
+}
+
+/// Sweep per-channel rates for a target (aggregate, length).
+pub fn sweep_channel_rate(
+    aggregate: BitRate,
+    length: Length,
+    rates_gbps: &[f64],
+) -> Vec<DesignPoint> {
+    rates_gbps
+        .iter()
+        .map(|&r| {
+            let mut cfg = MosaicConfig::new(aggregate, length);
+            cfg.set_channel_rate(BitRate::from_gbps(r));
+            let report = cfg.evaluate();
+            DesignPoint {
+                channel_rate: cfg.channel_rate,
+                channels: cfg.active_channels(),
+                feasible: report.is_feasible(),
+                worst_margin_db: report
+                    .worst_margin
+                    .map(|m| m.as_db())
+                    .unwrap_or(f64::NEG_INFINITY),
+                link_power: report.link_power,
+                energy_per_bit: report.energy_per_bit,
+                array_radius: report.array_radius,
+            }
+        })
+        .collect()
+}
+
+/// The default sweep grid (Gb/s per channel).
+pub fn default_rate_grid() -> Vec<f64> {
+    vec![0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0]
+}
+
+/// Pick the feasible minimum-power design from a sweep.
+pub fn best_design(points: &[DesignPoint]) -> Option<&DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.feasible)
+        .min_by(|a, b| a.link_power.as_watts().total_cmp(&b.link_power.as_watts()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_800g_10m() -> Vec<DesignPoint> {
+        sweep_channel_rate(
+            BitRate::from_gbps(800.0),
+            Length::from_m(10.0),
+            &default_rate_grid(),
+        )
+    }
+
+    #[test]
+    fn sweet_spot_is_low_gigabit() {
+        // The optimum must land in the 1–4 Gb/s band — the paper's choice
+        // of 2 Gb/s channels is the shape under test.
+        let points = sweep_800g_10m();
+        let best = best_design(&points).expect("some rate must be feasible");
+        let g = best.channel_rate.as_gbps();
+        assert!((1.0..=4.0).contains(&g), "optimum at {g} Gb/s");
+    }
+
+    #[test]
+    fn too_fast_becomes_infeasible() {
+        // At 8 Gb/s per channel the LED bandwidth wall closes the eye.
+        let points = sweep_800g_10m();
+        let fast = points.iter().find(|p| p.channel_rate.as_gbps() == 8.0).unwrap();
+        assert!(!fast.feasible, "8 G/channel should not close at 10 m");
+    }
+
+    #[test]
+    fn very_slow_pays_channel_count_tax() {
+        let points = sweep_800g_10m();
+        let best = best_design(&points).unwrap();
+        let slow = points.iter().find(|p| p.channel_rate.as_gbps() == 0.25).unwrap();
+        assert!(slow.feasible);
+        assert!(
+            slow.link_power.as_watts() > best.link_power.as_watts(),
+            "0.25 G: {} vs best {}",
+            slow.link_power,
+            best.link_power
+        );
+        assert!(slow.channels > 3200);
+    }
+
+    #[test]
+    fn longer_reach_pushes_optimum_slower() {
+        let near = sweep_channel_rate(
+            BitRate::from_gbps(800.0),
+            Length::from_m(5.0),
+            &default_rate_grid(),
+        );
+        let far = sweep_channel_rate(
+            BitRate::from_gbps(800.0),
+            Length::from_m(50.0),
+            &default_rate_grid(),
+        );
+        let best_near = best_design(&near).unwrap().channel_rate.as_gbps();
+        let best_far = best_design(&far).unwrap().channel_rate.as_gbps();
+        assert!(best_far <= best_near, "far {best_far} vs near {best_near}");
+    }
+
+    #[test]
+    fn array_radius_grows_with_width() {
+        let points = sweep_800g_10m();
+        let slow = points.iter().find(|p| p.channel_rate.as_gbps() == 0.5).unwrap();
+        let fast = points.iter().find(|p| p.channel_rate.as_gbps() == 4.0).unwrap();
+        assert!(slow.array_radius.as_m() > fast.array_radius.as_m());
+    }
+}

@@ -1,0 +1,58 @@
+//! # Mosaic: wide-and-slow microLED optical links
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! link technology that replaces a few power-hungry high-speed channels
+//! with hundreds of cheap, slow, directly-modulated microLED channels over
+//! a multicore imaging fiber — breaking the reach/power/reliability
+//! trade-off between copper and laser optics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mosaic::{MosaicConfig, LinkReport};
+//! use mosaic_units::{BitRate, Length};
+//!
+//! // An 800G Mosaic link over 10 m of imaging fiber.
+//! let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+//! let report: LinkReport = cfg.evaluate();
+//! assert!(report.is_feasible(), "healthy margin at 10 m");
+//! assert!(report.module_power.total().as_watts() < 8.0);
+//! println!("{report}");
+//! ```
+//!
+//! ## Structure
+//!
+//! * [`config`] — the link configuration (channels × rate, fiber, drive,
+//!   FEC, sparing) with sensible prototype/production presets;
+//! * [`budget`] — the per-channel optical budget engine: launch power,
+//!   path loss, receiver sensitivity, ISI and crosstalk penalties, margin
+//!   against the FEC threshold;
+//! * [`power_model`] — the module power breakdown (gearbox, drivers,
+//!   receivers) under the workspace-wide accounting convention;
+//! * [`reliability_model`] — link FIT budget combining a spared channel
+//!   pool with the common electronics;
+//! * [`design`] — the design-space explorer ("which lane rate minimizes
+//!   energy per bit?") behind F1/F8;
+//! * [`compare`] — the cross-technology comparison API (DAC, AEC, SR8,
+//!   DR8, LPO, Mosaic) behind F2/F9/T1;
+//! * [`cost`] — capex/energy/repair total-cost-of-ownership model (T3);
+//! * [`report`] — the all-in-one [`LinkReport`];
+//! * [`prototype`] — the paper's 100-channel × 2 Gb/s end-to-end prototype
+//!   configuration (F5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod compare;
+pub mod config;
+pub mod cost;
+pub mod design;
+pub mod power_model;
+pub mod prototype;
+pub mod reliability_model;
+pub mod report;
+
+pub use compare::{LinkCandidate, TechnologyKind};
+pub use config::MosaicConfig;
+pub use report::LinkReport;

@@ -1,0 +1,133 @@
+//! The all-in-one link report.
+
+use crate::budget::{max_reach, BudgetEngine, ChannelBudget};
+use crate::config::MosaicConfig;
+use crate::power_model;
+use crate::reliability_model::{self, LinkReliability};
+use mosaic_power::PowerBreakdown;
+use mosaic_units::{Db, Duration, EnergyPerBit, Length, Power};
+use std::fmt;
+
+/// Everything a link designer asks of one configuration.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    /// The evaluated configuration.
+    pub config: MosaicConfig,
+    /// Per-channel budgets (spiral order).
+    pub channels: Vec<ChannelBudget>,
+    /// Worst-channel margin (`None` = at least one unusable channel).
+    pub worst_margin: Option<Db>,
+    /// Worst-channel expected pre-FEC BER.
+    pub worst_ber: f64,
+    /// One duplex module's power breakdown.
+    pub module_power: PowerBreakdown,
+    /// Both ends.
+    pub link_power: Power,
+    /// Link energy per payload bit (both ends).
+    pub energy_per_bit: EnergyPerBit,
+    /// Maximum feasible span for this configuration.
+    pub reach_limit: Option<Length>,
+    /// Reliability over the 7-year service horizon.
+    pub reliability: LinkReliability,
+    /// Radius of the imaged core array (optics aperture requirement).
+    pub array_radius: Length,
+}
+
+/// Service horizon used for headline reliability numbers.
+pub const SERVICE_YEARS: f64 = 7.0;
+
+impl LinkReport {
+    /// Evaluate a configuration.
+    pub fn evaluate(cfg: &MosaicConfig) -> LinkReport {
+        let engine = BudgetEngine::new(cfg);
+        let channels = engine.all_channels(&cfg.led);
+        let worst_margin = channels
+            .iter()
+            .map(|b| b.margin)
+            .try_fold(Db::new(f64::INFINITY), |acc, m| m.map(|m| acc.min(m)));
+        let worst_ber = channels.iter().map(|b| b.expected_ber).fold(0.0, f64::max);
+        let module_power = power_model::module_breakdown(cfg);
+        let link_power = power_model::link_power(cfg);
+        LinkReport {
+            channels,
+            worst_margin,
+            worst_ber,
+            link_power,
+            energy_per_bit: link_power.per_bit(cfg.aggregate),
+            module_power,
+            reach_limit: max_reach(cfg),
+            reliability: reliability_model::evaluate(cfg, Duration::from_years(SERVICE_YEARS)),
+            array_radius: engine.fiber().lattice.image_radius(),
+            config: cfg.clone(),
+        }
+    }
+
+    /// True if every channel closes with non-negative margin.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self.worst_margin, Some(m) if m.as_db() >= 0.0)
+    }
+}
+
+impl fmt::Display for LinkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cfg = &self.config;
+        writeln!(
+            f,
+            "Mosaic link: {} over {} ({} ch × {} + {} spares, pitch {})",
+            cfg.aggregate,
+            cfg.length,
+            cfg.active_channels(),
+            cfg.channel_rate,
+            cfg.spares,
+            cfg.core_pitch,
+        )?;
+        match self.worst_margin {
+            Some(m) => writeln!(f, "  worst-channel margin : {m} (pre-FEC BER ≤ {:.2e})", self.worst_ber)?,
+            None => writeln!(f, "  INFEASIBLE: at least one channel cannot close")?,
+        }
+        if let Some(r) = self.reach_limit {
+            writeln!(f, "  reach limit          : {r}")?;
+        }
+        writeln!(f, "  array radius         : {}", self.array_radius)?;
+        writeln!(
+            f,
+            "  link power           : {} ({} per bit)",
+            self.link_power, self.energy_per_bit
+        )?;
+        writeln!(
+            f,
+            "  {SERVICE_YEARS:.0}-year survival    : {:.5} (effective {})",
+            self.reliability.link_survival, self.reliability.effective_fit
+        )?;
+        write!(f, "module breakdown (one end):\n{}", self.module_power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_units::BitRate;
+
+    #[test]
+    fn report_is_consistent() {
+        let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+        let r = cfg.evaluate();
+        assert!(r.is_feasible());
+        assert_eq!(r.channels.len(), cfg.total_channels());
+        assert!((r.link_power.as_watts() - r.module_power.total().as_watts() * 2.0).abs() < 1e-9);
+        assert!(r.reach_limit.unwrap().as_m() >= 10.0);
+        assert!(r.array_radius.as_um() > 100.0);
+        let text = format!("{r}");
+        assert!(text.contains("worst-channel margin"));
+        assert!(text.contains("led + driver"));
+    }
+
+    #[test]
+    fn infeasible_configuration_reports_cleanly() {
+        let mut cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(500.0));
+        cfg.channel_rate = BitRate::from_gbps(8.0); // hopeless at 500 m
+        let r = cfg.evaluate();
+        assert!(!r.is_feasible());
+        assert!(format!("{r}").contains("INFEASIBLE"));
+    }
+}

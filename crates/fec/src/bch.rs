@@ -1,0 +1,360 @@
+//! Binary BCH codes.
+//!
+//! The middle point of the FEC trade study: stronger than Hamming, lighter
+//! than Reed-Solomon, and the natural choice for protecting individual
+//! low-rate channels (bit-oriented errors, no symbol structure). We build
+//! BCH(n, k, t) over GF(2^m) with n = 2^m − 1 (optionally shortened),
+//! generator = lcm of the minimal polynomials of α¹..α^{2t}, and decode via
+//! syndromes + Berlekamp-Massey + Chien search (binary: flipping located
+//! bits, no magnitudes needed).
+
+use crate::gf::GaloisField;
+
+/// Outcome of a BCH decode attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BchOutcome {
+    /// Word was already a codeword.
+    Clean,
+    /// Errors corrected (bit count).
+    Corrected(usize),
+    /// Uncorrectable pattern detected; word unmodified.
+    Failure,
+}
+
+/// A binary BCH code. Bits are stored one per `u8` (0/1) highest-degree
+/// first, mirroring the RS layout; this favors clarity over packing (the
+/// simulator's hot loops operate on whole codewords, not bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bch {
+    field: GaloisField,
+    n: usize,
+    k: usize,
+    t: usize,
+    /// Generator polynomial over GF(2), lowest-degree first (0/1 coeffs).
+    generator: Vec<u8>,
+}
+
+impl Bch {
+    /// Construct a BCH code over GF(2^m) with designed correction `t`,
+    /// shortened to length `n` (n ≤ 2^m − 1). `k` follows from the
+    /// generator degree.
+    ///
+    /// # Panics
+    /// Panics if the generator leaves no room for data at length `n`.
+    pub fn new(m: u32, n: usize, t: usize) -> Self {
+        let field = GaloisField::new(m);
+        assert!(n <= field.order(), "n={n} exceeds 2^m−1={}", field.order());
+        assert!(t >= 1, "t must be at least 1");
+
+        // Generator = lcm of minimal polynomials of α^1 .. α^{2t}.
+        // Collect cyclotomic cosets of the exponents and multiply the
+        // corresponding minimal polynomials together.
+        let order = field.order();
+        let mut covered = vec![false; order];
+        let mut generator: Vec<u8> = vec![1];
+        for e in 1..=(2 * t) {
+            let e = e % order;
+            if covered[e] {
+                continue;
+            }
+            // Cyclotomic coset of e: {e, 2e, 4e, ...} mod (2^m − 1).
+            let mut coset = vec![];
+            let mut cur = e;
+            loop {
+                covered[cur] = true;
+                coset.push(cur);
+                cur = (cur * 2) % order;
+                if cur == e {
+                    break;
+                }
+            }
+            // Minimal polynomial = Π_{j in coset} (x − α^j), computed in
+            // GF(2^m); its coefficients land in GF(2).
+            let mut min_poly: Vec<u16> = vec![1];
+            for &j in &coset {
+                min_poly = field.poly_mul(&min_poly, &[field.alpha_pow(j), 1]);
+            }
+            debug_assert!(
+                min_poly.iter().all(|&c| c <= 1),
+                "minimal polynomial must have binary coefficients"
+            );
+            // Multiply generator (GF(2)) by min_poly.
+            let mut next = vec![0u8; generator.len() + min_poly.len() - 1];
+            for (i, &gi) in generator.iter().enumerate() {
+                if gi == 0 {
+                    continue;
+                }
+                for (j, &mj) in min_poly.iter().enumerate() {
+                    next[i + j] ^= mj as u8;
+                }
+            }
+            generator = next;
+        }
+        let parity = generator.len() - 1;
+        assert!(n > parity, "length {n} cannot fit {parity} parity bits");
+        let k = n - parity;
+        Bch { field, n, k, t, generator }
+    }
+
+    /// The common BCH(1023, ·, t) family over GF(2¹⁰), full length.
+    pub fn bch_1023(t: usize) -> Self {
+        Bch::new(10, 1023, t)
+    }
+
+    /// Block length in bits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data length in bits.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Designed error-correcting capability in bits.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Overhead ratio n/k.
+    pub fn overhead(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+
+    /// Systematic encode: `data` (k bits as 0/1 bytes) → n-bit codeword,
+    /// data first, parity appended.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "expected {} data bits", self.k);
+        let parity_len = self.n - self.k;
+        let mut word = Vec::with_capacity(self.n);
+        word.extend_from_slice(data);
+        word.resize(self.n, 0);
+        // Polynomial long division over GF(2).
+        let mut rem = vec![0u8; parity_len];
+        for &d in data {
+            debug_assert!(d <= 1, "bits must be 0/1");
+            let feedback = d ^ rem[0];
+            rem.rotate_left(1);
+            rem[parity_len - 1] = 0;
+            if feedback == 1 {
+                for j in 0..parity_len {
+                    rem[j] ^= self.generator[parity_len - 1 - j];
+                }
+            }
+        }
+        word[self.k..].copy_from_slice(&rem);
+        word
+    }
+
+    /// Syndromes S_1..S_{2t} in GF(2^m).
+    fn syndromes(&self, word: &[u8]) -> Vec<u16> {
+        (1..=(2 * self.t))
+            .map(|i| {
+                let x = self.field.alpha_pow(i);
+                let mut acc = 0u16;
+                for &c in word {
+                    acc = self.field.add(self.field.mul(acc, x), c as u16);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Decode in place: locate and flip up to t bit errors.
+    pub fn decode(&self, word: &mut [u8]) -> BchOutcome {
+        assert_eq!(word.len(), self.n, "expected {}-bit word", self.n);
+        let synd = self.syndromes(word);
+        if synd.iter().all(|&s| s == 0) {
+            return BchOutcome::Clean;
+        }
+        let two_t = 2 * self.t;
+
+        // Berlekamp-Massey (same structure as the RS decoder).
+        let mut lambda = vec![0u16; two_t + 1];
+        let mut prev = vec![0u16; two_t + 1];
+        lambda[0] = 1;
+        prev[0] = 1;
+        let mut l = 0usize;
+        let mut shift = 1usize;
+        let mut b = 1u16;
+        for r in 0..two_t {
+            let mut delta = 0u16;
+            for i in 0..=l.min(r) {
+                delta = self.field.add(delta, self.field.mul(lambda[i], synd[r - i]));
+            }
+            if delta == 0 {
+                shift += 1;
+                continue;
+            }
+            let coeff = self.field.div(delta, b);
+            let mut cand = lambda.clone();
+            for i in shift..=two_t {
+                if prev[i - shift] != 0 {
+                    cand[i] = self.field.add(cand[i], self.field.mul(coeff, prev[i - shift]));
+                }
+            }
+            if 2 * l <= r {
+                prev = lambda;
+                b = delta;
+                l = r + 1 - l;
+                shift = 1;
+            } else {
+                shift += 1;
+            }
+            lambda = cand;
+        }
+        let deg = lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
+        if deg == 0 || deg > self.t {
+            return BchOutcome::Failure;
+        }
+
+        // Chien search restricted to the transmitted length.
+        let order = self.field.order();
+        let mut flips = Vec::with_capacity(deg);
+        for p in 0..self.n {
+            let x_inv = self.field.alpha_pow((order - p % order) % order);
+            if self.field.poly_eval(&lambda, x_inv) == 0 {
+                flips.push(self.n - 1 - p);
+            }
+        }
+        if flips.len() != deg {
+            return BchOutcome::Failure;
+        }
+        for &idx in &flips {
+            word[idx] ^= 1;
+        }
+        if self.syndromes(word).iter().any(|&s| s != 0) {
+            // Undo and report failure rather than hand back garbage.
+            for &idx in &flips {
+                word[idx] ^= 1;
+            }
+            return BchOutcome::Failure;
+        }
+        BchOutcome::Corrected(flips.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bch_15_7_2_parameters() {
+        // The textbook BCH(15,7) corrects 2 errors; generator degree 8.
+        let code = Bch::new(4, 15, 2);
+        assert_eq!((code.n(), code.k(), code.t()), (15, 7, 2));
+    }
+
+    #[test]
+    fn bch_255_t5() {
+        // BCH over GF(2^8) with t=5: k = 255 − 40 = 215.
+        let code = Bch::new(8, 255, 5);
+        assert_eq!(code.k(), 215);
+    }
+
+    #[test]
+    fn encode_is_codeword() {
+        let code = Bch::new(4, 15, 2);
+        let data = [1u8, 0, 1, 1, 0, 0, 1];
+        let word = code.encode(&data);
+        assert_eq!(&word[..7], &data);
+        assert!(code.syndromes(&word).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn corrects_up_to_t_bits() {
+        let code = Bch::new(8, 255, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..2u8)).collect();
+        let clean = code.encode(&data);
+        for nerr in 1..=5 {
+            let mut word = clean.clone();
+            let mut pos: Vec<usize> = (0..code.n()).collect();
+            for i in 0..nerr {
+                let j = rng.gen_range(i..pos.len());
+                pos.swap(i, j);
+                word[pos[i]] ^= 1;
+            }
+            assert_eq!(code.decode(&mut word), BchOutcome::Corrected(nerr), "nerr={nerr}");
+            assert_eq!(word, clean);
+        }
+    }
+
+    #[test]
+    fn shortened_bch_roundtrip() {
+        let code = Bch::new(8, 120, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..2u8)).collect();
+        let clean = code.encode(&data);
+        let mut word = clean.clone();
+        word[3] ^= 1;
+        word[77] ^= 1;
+        word[119] ^= 1;
+        assert_eq!(code.decode(&mut word), BchOutcome::Corrected(3));
+        assert_eq!(word, clean);
+    }
+
+    #[test]
+    fn overload_detected_and_word_untouched() {
+        let code = Bch::new(4, 15, 2);
+        let data = [1u8, 1, 0, 1, 0, 1, 0];
+        let clean = code.encode(&data);
+        let mut detected = 0;
+        let mut tried = 0;
+        // Try many 4-error patterns (t=2): failures must leave the word
+        // unmodified; miscorrections must still be codewords.
+        for a in 0..6 {
+            for b in 6..10 {
+                for c in 10..13 {
+                    for d in 13..15 {
+                        let mut word = clean.clone();
+                        for idx in [a, b, c, d] {
+                            word[idx] ^= 1;
+                        }
+                        let snapshot = word.clone();
+                        tried += 1;
+                        match code.decode(&mut word) {
+                            BchOutcome::Failure => {
+                                detected += 1;
+                                assert_eq!(word, snapshot);
+                            }
+                            BchOutcome::Corrected(_) => {
+                                assert!(code.syndromes(&word).iter().all(|&s| s == 0));
+                            }
+                            BchOutcome::Clean => panic!("4 errors reported clean"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(detected > 0, "no failures detected in {tried} patterns");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn random_roundtrip(seed in 0u64..500, nerr in 0usize..=3) {
+            let code = Bch::new(8, 63, 3);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..2u8)).collect();
+            let clean = code.encode(&data);
+            let mut word = clean.clone();
+            let mut pos: Vec<usize> = (0..code.n()).collect();
+            for i in 0..nerr {
+                let j = rng.gen_range(i..pos.len());
+                pos.swap(i, j);
+                word[pos[i]] ^= 1;
+            }
+            let out = code.decode(&mut word);
+            prop_assert_eq!(word, clean);
+            if nerr == 0 {
+                prop_assert_eq!(out, BchOutcome::Clean);
+            } else {
+                prop_assert_eq!(out, BchOutcome::Corrected(nerr));
+            }
+        }
+    }
+}

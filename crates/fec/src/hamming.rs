@@ -1,0 +1,193 @@
+//! Extended Hamming(72,64) SEC-DED.
+//!
+//! The lightest FEC option in the trade study (F10): corrects one bit and
+//! detects two per 72-bit word, at 12.5 % overhead and near-zero decoder
+//! energy. Useful as the "almost no FEC" point against KR4/KP4.
+
+/// Outcome of a Hamming decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HammingOutcome {
+    /// No error detected.
+    Clean,
+    /// One bit corrected (position within the 72-bit word).
+    Corrected(u32),
+    /// A double-bit error was detected (uncorrectable).
+    DoubleError,
+}
+
+/// Extended Hamming code: 64 data bits + 7 Hamming parity bits + 1 overall
+/// parity bit, laid out as `data:u64` plus `check:u8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hamming7264;
+
+impl Hamming7264 {
+    /// Number of data bits per word.
+    pub const DATA_BITS: u32 = 64;
+    /// Number of check bits per word.
+    pub const CHECK_BITS: u32 = 8;
+
+    /// Map data-bit index (0..64) to its position in the (1-based)
+    /// Hamming layout, skipping power-of-two positions.
+    fn hamming_position(data_bit: u32) -> u32 {
+        // Positions 1..=71; powers of two hold parity.
+        let mut pos: u32 = 1;
+        let mut seen = 0;
+        loop {
+            if !pos.is_power_of_two() {
+                if seen == data_bit {
+                    return pos;
+                }
+                seen += 1;
+            }
+            pos += 1;
+        }
+    }
+
+    /// Compute the 7 Hamming parity bits + overall parity for `data`.
+    pub fn encode(&self, data: u64) -> u8 {
+        let mut syndrome_acc: u32 = 0;
+        let mut ones = 0u32;
+        for bit in 0..64 {
+            if (data >> bit) & 1 == 1 {
+                syndrome_acc ^= Self::hamming_position(bit);
+                ones += 1;
+            }
+        }
+        // 7 parity bits are the syndrome accumulator; overall parity covers
+        // data + the 7 parity bits (even parity).
+        let parity7 = (syndrome_acc & 0x7F) as u8;
+        let overall = ((ones + parity7.count_ones()) & 1) as u8;
+        parity7 | (overall << 7)
+    }
+
+    /// Decode a received `(data, check)` pair in place.
+    pub fn decode(&self, data: &mut u64, check: &mut u8) -> HammingOutcome {
+        let expect = self.encode(*data);
+        let parity_diff = (expect ^ *check) & 0x7F;
+        let overall_received = (*check >> 7) & 1;
+        let overall_expected = (expect >> 7) & 1;
+        // Recompute overall parity across the *received* word: data bits +
+        // received parity7 bits.
+        let received_ones =
+            data.count_ones() + ((*check & 0x7F) as u32).count_ones() + overall_received as u32;
+        let overall_ok = received_ones % 2 == 0;
+
+        if parity_diff == 0 {
+            if overall_ok {
+                return HammingOutcome::Clean;
+            }
+            // Overall parity bit itself flipped.
+            *check ^= 0x80;
+            return HammingOutcome::Corrected(71);
+        }
+        if overall_ok {
+            // Syndrome non-zero but overall parity consistent: two errors.
+            let _ = overall_expected;
+            return HammingOutcome::DoubleError;
+        }
+        // Single error at Hamming position `parity_diff`.
+        let pos = parity_diff as u32;
+        if pos.is_power_of_two() {
+            // A parity bit flipped; fix it in `check`.
+            let parity_index = pos.trailing_zeros();
+            *check ^= 1 << parity_index;
+            return HammingOutcome::Corrected(64 + parity_index);
+        }
+        // A data bit flipped: find which data index maps to this position.
+        for bit in 0..64 {
+            if Self::hamming_position(bit) == pos {
+                *data ^= 1u64 << bit;
+                return HammingOutcome::Corrected(bit);
+            }
+        }
+        // Syndrome points past the word (corrupted beyond recognition).
+        HammingOutcome::DoubleError
+    }
+
+    /// Code overhead ratio (transmitted bits per payload bit).
+    pub fn overhead(&self) -> f64 {
+        72.0 / 64.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        let h = Hamming7264;
+        let data = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut d = data;
+        let mut c = h.encode(data);
+        assert_eq!(h.decode(&mut d, &mut c), HammingOutcome::Clean);
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn corrects_any_single_data_bit() {
+        let h = Hamming7264;
+        let data = 0x0123_4567_89AB_CDEFu64;
+        for bit in 0..64 {
+            let mut d = data ^ (1u64 << bit);
+            let mut c = h.encode(data);
+            let out = h.decode(&mut d, &mut c);
+            assert_eq!(out, HammingOutcome::Corrected(bit), "bit {bit}");
+            assert_eq!(d, data, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn corrects_parity_bit_flips() {
+        let h = Hamming7264;
+        let data = 0xFFFF_0000_FFFF_0000u64;
+        for pbit in 0..8 {
+            let mut d = data;
+            let mut c = h.encode(data) ^ (1 << pbit);
+            let out = h.decode(&mut d, &mut c);
+            assert!(matches!(out, HammingOutcome::Corrected(_)), "pbit {pbit}");
+            assert_eq!(d, data);
+            assert_eq!(c, h.encode(data));
+        }
+    }
+
+    #[test]
+    fn detects_double_errors() {
+        let h = Hamming7264;
+        let data = 0x5555_AAAA_5555_AAAAu64;
+        let mut detected = 0;
+        let mut total = 0;
+        for b1 in (0..64).step_by(7) {
+            for b2 in (b1 + 1..64).step_by(11) {
+                let mut d = data ^ (1u64 << b1) ^ (1u64 << b2);
+                let mut c = h.encode(data);
+                total += 1;
+                if h.decode(&mut d, &mut c) == HammingOutcome::DoubleError {
+                    detected += 1;
+                }
+            }
+        }
+        assert_eq!(detected, total, "SEC-DED must flag every double error");
+    }
+
+    proptest! {
+        #[test]
+        fn random_single_flip_roundtrip(data: u64, bit in 0u32..64) {
+            let h = Hamming7264;
+            let mut d = data ^ (1u64 << bit);
+            let mut c = h.encode(data);
+            prop_assert_eq!(h.decode(&mut d, &mut c), HammingOutcome::Corrected(bit));
+            prop_assert_eq!(d, data);
+        }
+
+        #[test]
+        fn random_double_flip_detected(data: u64, b1 in 0u32..64, b2 in 0u32..64) {
+            prop_assume!(b1 != b2);
+            let h = Hamming7264;
+            let mut d = data ^ (1u64 << b1) ^ (1u64 << b2);
+            let mut c = h.encode(data);
+            prop_assert_eq!(h.decode(&mut d, &mut c), HammingOutcome::DoubleError);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Wavelength (color) multiplexing over the imaging fiber.
+//!
+//! MicroLED arrays exist in blue, green and red; stacking one emitter of
+//! each color per core — with a matching dichroic/filter mosaic on the PD
+//! array — multiplies the per-core capacity without touching the fiber.
+//! The price: the "green gap" (green InGaN is markedly less efficient),
+//! redder silicon responsivity (actually a *gain*), higher imaging-glass
+//! attenuation in the blue, and finite filter rejection leaking each
+//! color into its neighbors. This module carries the color-specific
+//! constants; the core crate's budget engine handles each color as a
+//! wavelength-shifted LED.
+
+use mosaic_units::Db;
+
+/// One emitter color.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Color {
+    /// Display name.
+    pub name: &'static str,
+    /// Center wavelength, m.
+    pub wavelength_m: f64,
+    /// Wall-plug efficiency multiplier relative to blue InGaN at the same
+    /// drive (the "green gap": green ~0.55×; AlInGaP red ~0.8× at micro
+    /// scale).
+    pub efficiency_vs_blue: f64,
+}
+
+/// Blue InGaN (the paper's baseline).
+pub const BLUE: Color = Color { name: "blue", wavelength_m: 450e-9, efficiency_vs_blue: 1.0 };
+
+/// Green InGaN (the green gap).
+pub const GREEN: Color = Color { name: "green", wavelength_m: 520e-9, efficiency_vs_blue: 0.55 };
+
+/// Red AlInGaP (harder at micro scale: surface recombination).
+pub const RED: Color = Color { name: "red", wavelength_m: 630e-9, efficiency_vs_blue: 0.8 };
+
+/// A color-multiplexing plan for one core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorPlan {
+    /// The colors stacked per core.
+    pub colors: Vec<Color>,
+    /// Dichroic/filter rejection of each *adjacent* color band, dB
+    /// (positive; 20–25 dB is routine for absorptive filter mosaics).
+    pub filter_rejection_db: f64,
+}
+
+impl ColorPlan {
+    /// Single-color (the paper's design point).
+    pub fn single() -> Self {
+        ColorPlan { colors: vec![BLUE], filter_rejection_db: 25.0 }
+    }
+
+    /// Full RGB: ×3 capacity per core.
+    pub fn rgb() -> Self {
+        ColorPlan { colors: vec![BLUE, GREEN, RED], filter_rejection_db: 25.0 }
+    }
+
+    /// Capacity multiplier per core.
+    pub fn channels_per_core(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Total color-leak ratio a victim color sees from the others
+    /// (incoherent, power-additive — same math as spatial crosstalk).
+    pub fn color_crosstalk_ratio(&self) -> f64 {
+        let leak = 10f64.powf(-self.filter_rejection_db / 10.0);
+        leak * (self.colors.len().saturating_sub(1)) as f64
+    }
+
+    /// The eye penalty from color leakage, `None` if it closes the eye.
+    pub fn color_crosstalk_penalty(&self) -> Option<Db> {
+        crate::crosstalk::crosstalk_penalty(self.color_crosstalk_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_triples_capacity() {
+        assert_eq!(ColorPlan::rgb().channels_per_core(), 3);
+        assert_eq!(ColorPlan::single().channels_per_core(), 1);
+    }
+
+    #[test]
+    fn single_color_has_no_color_crosstalk() {
+        let p = ColorPlan::single();
+        assert_eq!(p.color_crosstalk_ratio(), 0.0);
+        assert_eq!(p.color_crosstalk_penalty().unwrap().as_db(), 0.0);
+    }
+
+    #[test]
+    fn rgb_penalty_is_small_with_good_filters() {
+        let p = ColorPlan::rgb();
+        let pen = p.color_crosstalk_penalty().unwrap();
+        assert!(pen.as_db() > 0.0 && pen.as_db() < 0.1, "got {pen}");
+    }
+
+    #[test]
+    fn bad_filters_close_the_eye() {
+        let p = ColorPlan { colors: vec![BLUE, GREEN, RED], filter_rejection_db: 5.0 };
+        // 2 × 10^-0.5 ≈ 0.63 > 0.5: unusable.
+        assert!(p.color_crosstalk_penalty().is_none());
+    }
+
+    #[test]
+    fn green_gap_ordering() {
+        assert!(GREEN.efficiency_vs_blue < RED.efficiency_vs_blue);
+        assert!(RED.efficiency_vs_blue < BLUE.efficiency_vs_blue);
+    }
+}

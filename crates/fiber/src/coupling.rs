@@ -1,0 +1,89 @@
+//! Lens/facet coupling efficiencies and connector losses.
+//!
+//! Mosaic's optics are deliberately simple: one molded lens pair images the
+//! LED array onto the fiber facet, another images the far facet onto the PD
+//! array. The budget entries are geometric capture (an LED is a Lambertian
+//! emitter — a lens of finite NA captures only part of it), facet fill
+//! factor (light landing between cores is lost), Fresnel/coating losses,
+//! and an optional expanded-beam connector per mated pair.
+
+use mosaic_units::Db;
+
+/// Coupling budget of one end-to-end optical path (TX optics + fiber entry
+/// + fiber exit + RX optics), excluding propagation loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingBudget {
+    /// Fraction of Lambertian LED emission captured by the TX lens (set by
+    /// lens NA²; 0.35 is a realistic molded-optics value).
+    pub tx_capture: f64,
+    /// Fraction of imaged light entering guided core modes (facet fill
+    /// factor × NA match).
+    pub facet_fill: f64,
+    /// Transmission of each lens group (Fresnel + absorption), applied
+    /// twice (TX and RX).
+    pub lens_transmission: f64,
+    /// Fraction of exit light collected onto the PD pixel.
+    pub rx_capture: f64,
+    /// Loss per mated expanded-beam connector, dB (positive).
+    pub connector_db: f64,
+    /// Number of mated connector pairs in the path.
+    pub connectors: usize,
+}
+
+impl CouplingBudget {
+    /// Default Mosaic coupling stack: ≈7.6 dB total with no connectors.
+    pub fn mosaic_default() -> Self {
+        CouplingBudget {
+            tx_capture: 0.35,
+            facet_fill: 0.70,
+            lens_transmission: 0.92,
+            rx_capture: 0.85,
+            connector_db: 1.0,
+            connectors: 0,
+        }
+    }
+
+    /// Total coupling efficiency as a linear ratio (0..1).
+    pub fn efficiency(&self) -> f64 {
+        let optics = self.tx_capture
+            * self.facet_fill
+            * self.lens_transmission
+            * self.lens_transmission
+            * self.rx_capture;
+        let connectors = 10f64.powf(-(self.connector_db * self.connectors as f64) / 10.0);
+        optics * connectors
+    }
+
+    /// Total coupling loss as a negative-dB gain.
+    pub fn loss(&self) -> Db {
+        Db::from_linear(self.efficiency())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_about_eight_db() {
+        let loss = CouplingBudget::mosaic_default().loss();
+        assert!(
+            loss.as_db() < -6.0 && loss.as_db() > -10.0,
+            "got {loss}"
+        );
+    }
+
+    #[test]
+    fn connectors_add_a_db_each() {
+        let mut b = CouplingBudget::mosaic_default();
+        let base = b.loss().as_db();
+        b.connectors = 2;
+        assert!((b.loss().as_db() - (base - 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_in_unit_interval() {
+        let b = CouplingBudget::mosaic_default();
+        assert!(b.efficiency() > 0.0 && b.efficiency() < 1.0);
+    }
+}

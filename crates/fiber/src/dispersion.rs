@@ -1,0 +1,91 @@
+//! Modal dispersion of the small multimode cores.
+//!
+//! Each imaging-fiber core is a few µm of step-index multimode guide. Its
+//! temporal response is characterized — as for all multimode fiber — by a
+//! modal bandwidth×length product: the usable channel bandwidth falls as
+//! `1/L`. Together with attenuation this sets Mosaic's reach ceiling: at
+//! 2 Gb/s per channel the dispersion wall sits near 50–100 m, which is why
+//! the paper quotes "up to 50 m".
+
+use mosaic_units::{BitRate, Frequency, Length};
+
+/// Modal-dispersion model for one core family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModalDispersion {
+    /// Bandwidth×length product, Hz·m (e.g. 100 MHz·km = 1e11 Hz·m).
+    pub bandwidth_length_hz_m: f64,
+}
+
+impl ModalDispersion {
+    /// Default imaging-fiber core: small (≈3 µm) cores guide few modes and
+    /// couple strongly, giving an effective ~100 MHz·km — far better than
+    /// large-core step-index POF, far worse than laser-optimized OM4.
+    pub fn imaging_core() -> Self {
+        ModalDispersion { bandwidth_length_hz_m: 100e6 * 1000.0 }
+    }
+
+    /// OM4 multimode at 850 nm: 4700 MHz·km effective modal bandwidth.
+    pub fn om4() -> Self {
+        ModalDispersion { bandwidth_length_hz_m: 4700e6 * 1000.0 }
+    }
+
+    /// −3 dB modal bandwidth of a span of `length`.
+    pub fn bandwidth_at(&self, length: Length) -> Frequency {
+        assert!(length.as_m() > 0.0, "span length must be positive");
+        Frequency::from_hz(self.bandwidth_length_hz_m / length.as_m())
+    }
+
+    /// Longest span whose modal bandwidth still reaches `needed`.
+    pub fn max_length(&self, needed: Frequency) -> Length {
+        assert!(needed.as_hz() > 0.0, "required bandwidth must be positive");
+        Length::from_m(self.bandwidth_length_hz_m / needed.as_hz())
+    }
+
+    /// Longest span supporting NRZ at `rate` with the conventional 0.7×
+    /// bandwidth-to-bitrate requirement.
+    pub fn max_length_for_rate(&self, rate: BitRate) -> Length {
+        self.max_length(Frequency::from_hz(0.7 * rate.as_bps()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_gbps_reaches_tens_of_metres() {
+        // C5 anchor: the dispersion wall for a 2 Gb/s channel sits around
+        // 50–100 m for the default imaging core.
+        let d = ModalDispersion::imaging_core();
+        let l = d.max_length_for_rate(BitRate::from_gbps(2.0));
+        assert!(l.as_m() > 50.0 && l.as_m() < 120.0, "got {l}");
+    }
+
+    #[test]
+    fn faster_channels_reach_less() {
+        let d = ModalDispersion::imaging_core();
+        let l2 = d.max_length_for_rate(BitRate::from_gbps(2.0));
+        let l10 = d.max_length_for_rate(BitRate::from_gbps(10.0));
+        assert!((l2.as_m() / l10.as_m() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_halves_when_length_doubles() {
+        let d = ModalDispersion::imaging_core();
+        let b1 = d.bandwidth_at(Length::from_m(10.0));
+        let b2 = d.bandwidth_at(Length::from_m(20.0));
+        assert!((b1.as_hz() / b2.as_hz() - 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn max_length_inverts_bandwidth(ghz in 0.1f64..10.0) {
+            let d = ModalDispersion::imaging_core();
+            let f = Frequency::from_ghz(ghz);
+            let l = d.max_length(f);
+            let back = d.bandwidth_at(l);
+            prop_assert!((back.as_hz() / f.as_hz() - 1.0).abs() < 1e-9);
+        }
+    }
+}

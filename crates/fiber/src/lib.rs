@@ -1,0 +1,38 @@
+//! Massively multicore *imaging fiber* models for the Mosaic reproduction.
+//!
+//! Mosaic's optical medium is not a telecom fiber but an imaging fiber —
+//! thousands of small step-index cores on a hexagonal lattice, drawn as one
+//! strand, normally used for endoscopy. A lens images the 2-D microLED
+//! array onto the fiber facet and a second lens images the far facet onto a
+//! photodiode array, so each LED "pixel" rides its own core (or small group
+//! of cores).
+//!
+//! The physical effects that bound the architecture, each with its own
+//! module:
+//!
+//! * [`geometry`] — the hexagonal core lattice, channel→core assignment and
+//!   neighbor relations (crosstalk is a nearest-neighbor affair);
+//! * [`attenuation`] — visible-band loss per metre (imaging glass is far
+//!   lossier than telecom silica; this is one of the two reach limits);
+//! * [`dispersion`] — modal bandwidth×length products of the small
+//!   multimode cores (the other reach limit);
+//! * [`crosstalk`] — inter-core coupling vs. pitch and length, plus the
+//!   lateral/rotational misalignment spill between imaged pixels;
+//! * [`color`] — wavelength (RGB) multiplexing plans: ×3 capacity per
+//!   core against the green gap and filter leakage;
+//! * [`coupling`] — lens/facet coupling efficiencies and connector losses;
+//! * [`path`] — everything combined into a per-channel optical path budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attenuation;
+pub mod color;
+pub mod coupling;
+pub mod crosstalk;
+pub mod dispersion;
+pub mod geometry;
+pub mod path;
+
+pub use geometry::{CoreLattice, HexCoord};
+pub use path::{ChannelPath, ImagingFiber};

@@ -1,0 +1,154 @@
+//! End-to-end optical path assembly: one [`ImagingFiber`] plus coupling
+//! optics yields a per-channel [`ChannelPath`] budget that the link-level
+//! code consumes.
+
+use crate::attenuation::Attenuation;
+use crate::coupling::CouplingBudget;
+use crate::crosstalk::CrosstalkModel;
+use crate::dispersion::ModalDispersion;
+use crate::geometry::CoreLattice;
+use mosaic_units::{Db, Frequency, Length};
+
+/// A massively multicore imaging fiber with its coupling optics — the
+/// Mosaic medium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImagingFiber {
+    /// The core lattice carrying the channels.
+    pub lattice: CoreLattice,
+    /// Span length.
+    pub length: Length,
+    /// Glass attenuation model.
+    pub attenuation: Attenuation,
+    /// Modal dispersion model.
+    pub dispersion: ModalDispersion,
+    /// Crosstalk and misalignment model.
+    pub crosstalk: CrosstalkModel,
+    /// Coupling budget for every channel.
+    pub coupling: CouplingBudget,
+}
+
+impl ImagingFiber {
+    /// A Mosaic-default fiber with `channels` assigned cores at 20 µm pitch
+    /// over `length`.
+    pub fn mosaic_default(channels: usize, length: Length) -> Self {
+        ImagingFiber {
+            lattice: CoreLattice::spiral(channels, Length::from_um(20.0)),
+            length,
+            attenuation: Attenuation::imaging_glass(),
+            dispersion: ModalDispersion::imaging_core(),
+            crosstalk: CrosstalkModel::default_aligned(),
+            coupling: CouplingBudget::mosaic_default(),
+        }
+    }
+
+    /// Number of assigned channels.
+    pub fn channels(&self) -> usize {
+        self.lattice.len()
+    }
+
+    /// Per-channel path budget at emission wavelength `wavelength_m`.
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn channel_path(&self, channel: usize, wavelength_m: f64) -> ChannelPath {
+        assert!(channel < self.channels(), "channel {channel} out of range");
+        let propagation = self.attenuation.loss(self.length, wavelength_m);
+        let coupling = self.coupling.loss();
+        let self_coupling = Db::from_linear(
+            self.crosstalk
+                .self_coupling(&self.lattice, channel)
+                .max(1e-12),
+        );
+        let xt = self
+            .crosstalk
+            .total_crosstalk(&self.lattice, channel, self.length);
+        ChannelPath {
+            channel,
+            loss: propagation + coupling + self_coupling,
+            modal_bandwidth: self.dispersion.bandwidth_at(self.length),
+            crosstalk_ratio: xt,
+            crosstalk_penalty: crate::crosstalk::crosstalk_penalty(xt),
+        }
+    }
+
+    /// Budgets for every channel.
+    pub fn all_paths(&self, wavelength_m: f64) -> Vec<ChannelPath> {
+        (0..self.channels())
+            .map(|c| self.channel_path(c, wavelength_m))
+            .collect()
+    }
+}
+
+/// The optical budget of one channel through the fiber assembly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelPath {
+    /// Channel index (spiral order from the lattice center).
+    pub channel: usize,
+    /// Total path loss (propagation + coupling + misalignment), ≤ 0 dB.
+    pub loss: Db,
+    /// Modal bandwidth available over this span.
+    pub modal_bandwidth: Frequency,
+    /// Total incoherent crosstalk ratio from neighbors.
+    pub crosstalk_ratio: f64,
+    /// Worst-case crosstalk eye penalty (positive dB), `None` if closed.
+    pub crosstalk_penalty: Option<Db>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crosstalk::Misalignment;
+
+    const BLUE: f64 = 450e-9;
+
+    #[test]
+    fn prototype_budget_is_plausible() {
+        // 100 channels, 10 m: loss should be coupling (~8 dB) plus ~0.8 dB
+        // of glass — well under 15 dB, leaving margin for an LED launch.
+        let f = ImagingFiber::mosaic_default(100, Length::from_m(10.0));
+        let p = f.channel_path(0, BLUE);
+        assert!(p.loss.as_db() < -7.0 && p.loss.as_db() > -15.0, "{}", p.loss);
+        assert!(p.crosstalk_penalty.is_some());
+        assert!(p.modal_bandwidth.as_ghz() > 5.0);
+    }
+
+    #[test]
+    fn fifty_metres_still_usable_at_2g() {
+        let f = ImagingFiber::mosaic_default(400, Length::from_m(50.0));
+        let p = f.channel_path(0, BLUE);
+        // ~4 dB glass + ~8 dB coupling; modal bandwidth ≈ 2 GHz.
+        assert!(p.loss.as_db() > -16.0, "{}", p.loss);
+        assert!(p.modal_bandwidth.as_ghz() > 1.4, "{}", p.modal_bandwidth);
+    }
+
+    #[test]
+    fn loss_grows_with_length() {
+        let short = ImagingFiber::mosaic_default(100, Length::from_m(5.0));
+        let long = ImagingFiber::mosaic_default(100, Length::from_m(50.0));
+        assert!(
+            long.channel_path(0, BLUE).loss.as_db() < short.channel_path(0, BLUE).loss.as_db()
+        );
+    }
+
+    #[test]
+    fn misaligned_outer_channels_pay_more() {
+        let mut f = ImagingFiber::mosaic_default(127, Length::from_m(10.0));
+        f.crosstalk.misalignment = Misalignment {
+            lateral: Length::from_um(3.0),
+            rotation_rad: 0.03,
+        };
+        let center = f.channel_path(0, BLUE);
+        let outer = f.channel_path(126, BLUE);
+        assert!(outer.loss.as_db() < center.loss.as_db());
+    }
+
+    #[test]
+    fn all_paths_covers_every_channel() {
+        let f = ImagingFiber::mosaic_default(61, Length::from_m(10.0));
+        let paths = f.all_paths(BLUE);
+        assert_eq!(paths.len(), 61);
+        for (i, p) in paths.iter().enumerate() {
+            assert_eq!(p.channel, i);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The assembled gearbox: frames in, hundreds of lane streams out — and
+//! back. This is the executable model of Mosaic's FPGA prototype logic.
+//!
+//! Transmit path: frames → self-delimiting byte stream (CRC-32 framing) →
+//! 64-bit words → scrambler → round-robin striping with alignment markers
+//! over the *active* physical channels (per [`LaneMap`]). Spare channels
+//! idle. Receive path: select assigned channels, deskew on markers,
+//! descramble, scan the byte stream for valid frames. Any corruption that
+//! survives the optical layer's FEC surfaces here as a CRC-failed frame,
+//! never as silently wrong data.
+//!
+//! Failure handling: when the caller retires a channel (its BER monitor
+//! tripped, or it went dark) the map swaps in a spare; the next `transmit`
+//! epoch uses the new assignment. In-flight data on the dead channel is
+//! lost and shows up as dropped frames — exactly the behaviour the F11
+//! resilience experiment measures.
+
+use crate::framing::{Frame, FrameError};
+use crate::lanes::{FailureKind, LaneMap, NoSpares};
+use crate::scrambler::Scrambler;
+use crate::striping::{Deskewer, Distributor, LaneWord, StripeConfig};
+
+/// Idle word transmitted on spare/unassigned channels.
+const IDLE_WORD: u64 = 0x1E1E_1E1E_1E1E_1E1E;
+
+/// A full-duplex-capable gearbox endpoint (use one per direction).
+#[derive(Debug, Clone)]
+pub struct Gearbox {
+    cfg: StripeConfig,
+    map: LaneMap,
+    physical: usize,
+    dist: Distributor,
+    tx_scrambler: Scrambler,
+    rx_scrambler: Scrambler,
+    next_tx_seq: u32,
+}
+
+/// What came out of a receive epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxReport {
+    /// Frames recovered intact (CRC-verified), in arrival order.
+    pub frames: Vec<Frame>,
+    /// Byte positions that failed CRC or framing — corruption *detected*.
+    pub corrupt_frames: usize,
+    /// Total payload bytes delivered.
+    pub payload_bytes: usize,
+    /// True if deskew failed entirely this epoch (e.g. a channel died
+    /// mid-epoch); the epoch's data is lost.
+    pub deskew_failed: bool,
+}
+
+impl Gearbox {
+    /// Build a gearbox striping over `logical` lanes drawn from
+    /// `physical` channels (surplus = spares), with alignment markers
+    /// every `am_period` words per lane.
+    pub fn new(logical: usize, physical: usize, am_period: usize) -> Self {
+        let cfg = StripeConfig::new(logical, am_period);
+        Gearbox {
+            cfg,
+            map: LaneMap::new(logical, physical),
+            physical,
+            dist: Distributor::new(cfg),
+            tx_scrambler: Scrambler::new(),
+            rx_scrambler: Scrambler::new(),
+            next_tx_seq: 0,
+        }
+    }
+
+    /// The lane map (assignments, spares, retirements).
+    pub fn lane_map(&self) -> &LaneMap {
+        &self.map
+    }
+
+    /// Number of physical channels (active + spare + retired).
+    pub fn physical_channels(&self) -> usize {
+        self.physical
+    }
+
+    /// Retire a physical channel and swap in a spare.
+    pub fn fail_channel(&mut self, physical: usize, kind: FailureKind) -> Result<Option<usize>, NoSpares> {
+        self.map.fail_channel(physical, kind)
+    }
+
+    /// Frame and transmit `payloads` (one frame each). Returns one word
+    /// stream per *physical* channel: assigned channels carry stripes,
+    /// spares carry idles, retired channels carry nothing.
+    pub fn transmit(&mut self, payloads: &[&[u8]]) -> Vec<Vec<LaneWord>> {
+        // Frames → byte stream.
+        let mut bytes = Vec::new();
+        for p in payloads {
+            let f = Frame { seq: self.next_tx_seq, payload: p.to_vec() };
+            self.next_tx_seq = self.next_tx_seq.wrapping_add(1);
+            bytes.extend_from_slice(&f.to_bytes());
+        }
+        // Bytes → words (zero-padded tail).
+        let mut words = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(w));
+        }
+        // Pad to a whole marker block *before* scrambling, so the TX and
+        // RX scrambler states advance by exactly the same word count.
+        let block = self.cfg.block_payload();
+        while words.len() % block != 0 || words.is_empty() {
+            words.push(0);
+        }
+        // Scramble.
+        let scrambled: Vec<u64> =
+            words.iter().map(|&w| self.tx_scrambler.scramble_word(w)).collect();
+        // Stripe over logical lanes.
+        let logical_streams = self.dist.stripe(&scrambled, 0);
+        // Map to physical channels.
+        let stream_len = logical_streams[0].len();
+        let mut channels = vec![Vec::new(); self.physical];
+        for (logical, stream) in logical_streams.into_iter().enumerate() {
+            channels[self.map.physical_for(logical)] = stream;
+        }
+        // Spares idle at the same epoch length so the medium stays lit.
+        for (ch, stream) in channels.iter_mut().enumerate() {
+            let retired = self.map.retired().iter().any(|&(p, _)| p == ch);
+            if stream.is_empty() && !retired {
+                *stream = vec![LaneWord::Data(IDLE_WORD); stream_len];
+            }
+        }
+        channels
+    }
+
+    /// Receive one epoch of physical channel streams.
+    pub fn receive(&mut self, channels: &[Vec<LaneWord>]) -> RxReport {
+        assert_eq!(channels.len(), self.physical, "expected {} channel streams", self.physical);
+        // Gather the assigned channels in logical order.
+        let lanes: Vec<Vec<LaneWord>> = (0..self.cfg.lanes)
+            .map(|l| channels[self.map.physical_for(l)].clone())
+            .collect();
+        let words = match Deskewer::new(self.cfg).reassemble(&lanes) {
+            Ok(w) => w,
+            Err(_) => {
+                return RxReport {
+                    frames: vec![],
+                    corrupt_frames: 0,
+                    payload_bytes: 0,
+                    deskew_failed: true,
+                }
+            }
+        };
+        // Descramble and flatten to bytes.
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&self.rx_scrambler.descramble_word(w).to_le_bytes());
+        }
+        let (frames, corrupt) = scan_frames(&bytes);
+        let payload_bytes = frames.iter().map(|f| f.payload.len()).sum();
+        RxReport { frames, corrupt_frames: corrupt, payload_bytes, deskew_failed: false }
+    }
+}
+
+/// Scan a byte stream for valid frames, resynchronizing on the magic after
+/// any corruption. Returns intact frames and the count of detected-corrupt
+/// frame candidates.
+pub fn scan_frames(bytes: &[u8]) -> (Vec<Frame>, usize) {
+    let mut frames = Vec::new();
+    let mut corrupt = 0usize;
+    let magic = crate::framing::FRAME_MAGIC.to_le_bytes();
+    let mut pos = 0usize;
+    while pos + Frame::OVERHEAD <= bytes.len() {
+        if bytes[pos] != magic[0] || bytes[pos + 1] != magic[1] {
+            pos += 1;
+            continue;
+        }
+        let len = u32::from_le_bytes([
+            bytes[pos + 6],
+            bytes[pos + 7],
+            bytes[pos + 8],
+            bytes[pos + 9],
+        ]) as usize;
+        let total = Frame::OVERHEAD + len;
+        if len > bytes.len() || pos + total > bytes.len() {
+            // Length field implausible — corrupted header or tail padding.
+            corrupt += 1;
+            pos += 2;
+            continue;
+        }
+        match Frame::from_bytes(&bytes[pos..pos + total]) {
+            Ok(f) => {
+                frames.push(f);
+                pos += total;
+            }
+            Err(FrameError::BadCrc) => {
+                corrupt += 1;
+                pos += 2; // skip the magic, rescan inside
+            }
+            Err(_) => {
+                pos += 2;
+            }
+        }
+    }
+    (frames, corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize, size: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..size).map(|j| ((i * 31 + j * 7) & 0xFF) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn clean_link_delivers_everything() {
+        let mut tx = Gearbox::new(8, 10, 16);
+        let mut rx = Gearbox::new(8, 10, 16);
+        let data = payloads(20, 200);
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let channels = tx.transmit(&refs);
+        let report = rx.receive(&channels);
+        assert!(!report.deskew_failed);
+        assert_eq!(report.frames.len(), 20);
+        assert_eq!(report.corrupt_frames, 0);
+        for (i, f) in report.frames.iter().enumerate() {
+            assert_eq!(f.seq, i as u32);
+            assert_eq!(f.payload, data[i]);
+        }
+    }
+
+    #[test]
+    fn skewed_channels_still_deliver() {
+        let mut tx = Gearbox::new(4, 4, 8);
+        let mut rx = Gearbox::new(4, 4, 8);
+        let data = payloads(5, 100);
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let channels = tx.transmit(&refs);
+        let skewed: Vec<Vec<LaneWord>> = channels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| crate::striping::apply_skew(s, i * 5, 0xBAD))
+            .collect();
+        let report = rx.receive(&skewed);
+        assert_eq!(report.frames.len(), 5);
+    }
+
+    #[test]
+    fn corrupted_word_loses_only_affected_frames() {
+        let mut tx = Gearbox::new(4, 4, 8);
+        let mut rx = Gearbox::new(4, 4, 8);
+        let data = payloads(30, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let mut channels = tx.transmit(&refs);
+        // Corrupt a handful of data words on channel 2.
+        let mut hits = 0;
+        for w in channels[2].iter_mut() {
+            if let LaneWord::Data(d) = w {
+                *d ^= 0x8000_0000;
+                hits += 1;
+                if hits == 3 {
+                    break;
+                }
+            }
+        }
+        let report = rx.receive(&channels);
+        assert!(!report.deskew_failed);
+        assert!(report.frames.len() >= 24, "lost too many: {}", report.frames.len());
+        assert!(report.frames.len() < 30);
+        assert!(report.corrupt_frames > 0);
+        // Delivered frames are bit-exact.
+        for f in &report.frames {
+            assert_eq!(f.payload, data[f.seq as usize]);
+        }
+    }
+
+    #[test]
+    fn failover_to_spare_restores_service() {
+        let mut tx = Gearbox::new(4, 6, 8);
+        let mut rx = Gearbox::new(4, 6, 8);
+        let data = payloads(10, 80);
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+
+        // Epoch 1: clean.
+        let r1 = rx.receive(&tx.transmit(&refs));
+        assert_eq!(r1.frames.len(), 10);
+
+        // Channel 1 dies; both ends remap (control plane coordination).
+        assert_eq!(tx.fail_channel(1, FailureKind::Dead).unwrap(), Some(1));
+        assert_eq!(rx.fail_channel(1, FailureKind::Dead).unwrap(), Some(1));
+
+        // Epoch 2: full service on the spare.
+        let r2 = rx.receive(&tx.transmit(&refs));
+        assert_eq!(r2.frames.len(), 10);
+        assert_eq!(tx.lane_map().spares_left(), 1);
+    }
+
+    #[test]
+    fn dead_channel_without_remap_fails_deskew() {
+        let mut tx = Gearbox::new(4, 4, 8);
+        let mut rx = Gearbox::new(4, 4, 8);
+        let data = payloads(5, 50);
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let mut channels = tx.transmit(&refs);
+        // Channel 3 goes dark mid-epoch: its stream is junk.
+        channels[3] = vec![LaneWord::Data(0); channels[3].len()];
+        let report = rx.receive(&channels);
+        assert!(report.deskew_failed);
+        assert!(report.frames.is_empty());
+    }
+
+    #[test]
+    fn scan_resynchronizes_after_garbage() {
+        let f1 = Frame { seq: 1, payload: vec![1; 20] };
+        let f2 = Frame { seq: 2, payload: vec![2; 20] };
+        let mut bytes = vec![0x5Au8; 7]; // leading garbage
+        bytes.extend(f1.to_bytes());
+        bytes.extend(vec![0xFF; 13]); // mid-stream garbage
+        bytes.extend(f2.to_bytes());
+        let (frames, _) = scan_frames(&bytes);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].seq, 1);
+        assert_eq!(frames[1].seq, 2);
+    }
+}

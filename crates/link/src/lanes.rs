@@ -1,0 +1,254 @@
+//! Per-lane health monitoring and spare-channel mapping.
+//!
+//! Mosaic's reliability story (claim C3) rests on cheap redundancy: a few
+//! spare microLED/core/PD channels replace any failed channel, invisible
+//! above the gearbox. [`LaneHealth`] estimates each channel's live BER from
+//! a sliding window of error counts (fed by PRBS monitoring or FEC
+//! corrected-symbol counters); [`LaneMap`] maintains the logical-lane →
+//! physical-channel assignment and swaps in spares when a channel degrades.
+
+/// Sliding-window BER monitor for one physical channel.
+#[derive(Debug, Clone)]
+pub struct LaneHealth {
+    window_bits: u64,
+    /// (bits, errors) per completed window, newest last; bounded length.
+    history: Vec<(u64, u64)>,
+    cur_bits: u64,
+    cur_errors: u64,
+    max_windows: usize,
+}
+
+impl LaneHealth {
+    /// Monitor with a given window size in bits, keeping `max_windows`
+    /// completed windows of history.
+    pub fn new(window_bits: u64, max_windows: usize) -> Self {
+        assert!(window_bits > 0 && max_windows > 0);
+        LaneHealth { window_bits, history: vec![], cur_bits: 0, cur_errors: 0, max_windows }
+    }
+
+    /// Record `bits` observed with `errors` mismatches.
+    pub fn record(&mut self, bits: u64, errors: u64) {
+        assert!(errors <= bits, "cannot have more errors than bits");
+        self.cur_bits += bits;
+        self.cur_errors += errors;
+        while self.cur_bits >= self.window_bits {
+            // Close a window (approximately: carry the remainder forward).
+            let carry_bits = self.cur_bits - self.window_bits;
+            let carry_errors =
+                ((self.cur_errors as f64) * (carry_bits as f64 / self.cur_bits as f64)) as u64;
+            self.history.push((self.window_bits, self.cur_errors - carry_errors));
+            if self.history.len() > self.max_windows {
+                self.history.remove(0);
+            }
+            self.cur_bits = carry_bits;
+            self.cur_errors = carry_errors;
+        }
+    }
+
+    /// BER estimate over the retained history (plus the open window),
+    /// or `None` before any data.
+    pub fn ber(&self) -> Option<f64> {
+        let bits: u64 = self.history.iter().map(|&(b, _)| b).sum::<u64>() + self.cur_bits;
+        if bits == 0 {
+            return None;
+        }
+        let errors: u64 = self.history.iter().map(|&(_, e)| e).sum::<u64>() + self.cur_errors;
+        Some(errors as f64 / bits as f64)
+    }
+
+    /// True once the measured BER exceeds `threshold` with at least one
+    /// full window of evidence.
+    pub fn degraded(&self, threshold: f64) -> bool {
+        if self.history.is_empty() {
+            return false;
+        }
+        matches!(self.ber(), Some(ber) if ber > threshold)
+    }
+}
+
+/// Why a physical channel was taken out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// BER monitor crossed the degrade threshold.
+    Degraded,
+    /// Hard failure (no light / no lock).
+    Dead,
+}
+
+/// Logical-lane to physical-channel assignment with hot spares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneMap {
+    /// `assignment[logical] = physical channel index`.
+    assignment: Vec<usize>,
+    /// Unused healthy channels available as spares.
+    spares: Vec<usize>,
+    /// Channels removed from service, with the reason.
+    retired: Vec<(usize, FailureKind)>,
+}
+
+impl LaneMap {
+    /// Create a map with `logical` active lanes drawn from `physical`
+    /// channels; the surplus becomes the spare pool.
+    ///
+    /// # Panics
+    /// Panics if there are fewer physical channels than logical lanes.
+    pub fn new(logical: usize, physical: usize) -> Self {
+        assert!(physical >= logical, "need at least {logical} channels, have {physical}");
+        LaneMap {
+            assignment: (0..logical).collect(),
+            spares: (logical..physical).collect(),
+            retired: vec![],
+        }
+    }
+
+    /// Number of logical lanes.
+    pub fn logical_lanes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Physical channel currently carrying `logical`.
+    pub fn physical_for(&self, logical: usize) -> usize {
+        self.assignment[logical]
+    }
+
+    /// The current assignment slice.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Remaining spare channels.
+    pub fn spares_left(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Channels retired so far.
+    pub fn retired(&self) -> &[(usize, FailureKind)] {
+        &self.retired
+    }
+
+    /// Report a physical-channel failure. If the channel is active, a
+    /// spare is swapped in; returns the logical lane that was remapped.
+    /// Returns `Err(NoSpares)` if the channel was active but no spare
+    /// remains — the link must degrade (fewer lanes) or go down.
+    pub fn fail_channel(
+        &mut self,
+        physical: usize,
+        kind: FailureKind,
+    ) -> Result<Option<usize>, NoSpares> {
+        if let Some(pos) = self.spares.iter().position(|&s| s == physical) {
+            // A spare died in the pool: just drop it.
+            self.spares.remove(pos);
+            self.retired.push((physical, kind));
+            return Ok(None);
+        }
+        let Some(logical) = self.assignment.iter().position(|&p| p == physical) else {
+            // Already retired; nothing to do.
+            return Ok(None);
+        };
+        let Some(replacement) = self.spares.pop() else {
+            return Err(NoSpares { logical });
+        };
+        self.assignment[logical] = replacement;
+        self.retired.push((physical, kind));
+        Ok(Some(logical))
+    }
+}
+
+/// No spare channel remains for a required remap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoSpares {
+    /// The logical lane left without a physical channel.
+    pub logical: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn health_tracks_ber() {
+        let mut h = LaneHealth::new(1000, 4);
+        h.record(10_000, 10);
+        let ber = h.ber().unwrap();
+        assert!((ber - 1e-3).abs() < 1e-4, "got {ber}");
+    }
+
+    #[test]
+    fn degraded_requires_full_window() {
+        let mut h = LaneHealth::new(10_000, 4);
+        h.record(100, 50); // terrible, but not yet a full window
+        assert!(!h.degraded(1e-3));
+        h.record(20_000, 10_000);
+        assert!(h.degraded(1e-3));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = LaneHealth::new(100, 3);
+        for _ in 0..50 {
+            h.record(100, 1);
+        }
+        assert!(h.history.len() <= 3);
+    }
+
+    #[test]
+    fn spare_swap_on_failure() {
+        let mut map = LaneMap::new(4, 6); // spares: {4, 5}
+        assert_eq!(map.spares_left(), 2);
+        let remapped = map.fail_channel(1, FailureKind::Dead).unwrap();
+        assert_eq!(remapped, Some(1));
+        assert_ne!(map.physical_for(1), 1);
+        assert_eq!(map.spares_left(), 1);
+    }
+
+    #[test]
+    fn spare_pool_failure_consumes_spare_quietly() {
+        let mut map = LaneMap::new(4, 6);
+        assert_eq!(map.fail_channel(5, FailureKind::Degraded).unwrap(), None);
+        assert_eq!(map.spares_left(), 1);
+        assert_eq!(map.logical_lanes(), 4);
+    }
+
+    #[test]
+    fn exhausted_spares_is_an_error() {
+        let mut map = LaneMap::new(2, 3); // one spare: channel 2
+        assert_eq!(map.fail_channel(0, FailureKind::Dead).unwrap(), Some(0));
+        assert_eq!(map.fail_channel(1, FailureKind::Dead), Err(NoSpares { logical: 1 }));
+    }
+
+    #[test]
+    fn double_failure_of_same_channel_is_idempotent() {
+        let mut map = LaneMap::new(2, 4);
+        map.fail_channel(0, FailureKind::Dead).unwrap();
+        assert_eq!(map.fail_channel(0, FailureKind::Dead).unwrap(), None);
+        assert_eq!(map.retired().len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn assignment_always_unique_and_live(
+            logical in 1usize..16,
+            extra in 0usize..8,
+            kills in proptest::collection::vec(0usize..24, 0..12),
+        ) {
+            let physical = logical + extra;
+            let mut map = LaneMap::new(logical, physical);
+            for k in kills {
+                if k < physical {
+                    let _ = map.fail_channel(k, FailureKind::Dead);
+                }
+            }
+            // Invariants: no duplicate physical channels; no assigned
+            // channel is retired.
+            let mut a = map.assignment().to_vec();
+            a.sort_unstable();
+            let before = a.len();
+            a.dedup();
+            prop_assert_eq!(a.len(), before, "duplicate physical assignment");
+            for &(dead, _) in map.retired() {
+                prop_assert!(!map.assignment().contains(&dead));
+            }
+        }
+    }
+}

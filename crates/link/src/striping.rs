@@ -1,0 +1,318 @@
+//! Word striping across lanes and alignment-marker deskew.
+//!
+//! The distributor sends payload word `j` to lane `j mod L` — plain
+//! round-robin — and every `am_period` words per lane it inserts an
+//! alignment marker (same sequence number on every lane simultaneously).
+//! The receiver sees each lane with an unknown delay (skew): it finds the
+//! markers, lines up equal sequence numbers, and reads the words back in
+//! round-robin order. Marker sequence numbers also expose lost or
+//! duplicated lane content as a hard error instead of silent reordering.
+//!
+//! The marker is modeled as an out-of-band word variant ([`LaneWord`]);
+//! hardware would carry it as a 66b control block. The logic — which is
+//! what we reproduce — is identical.
+
+/// Striping parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeConfig {
+    /// Number of active lanes.
+    pub lanes: usize,
+    /// Payload words per lane between alignment markers.
+    pub am_period: usize,
+}
+
+impl StripeConfig {
+    /// Construct; both fields must be non-zero.
+    pub fn new(lanes: usize, am_period: usize) -> Self {
+        assert!(lanes > 0, "need at least one lane");
+        assert!(am_period > 0, "marker period must be non-zero");
+        StripeConfig { lanes, am_period }
+    }
+
+    /// Payload words consumed per marker block across all lanes.
+    pub fn block_payload(&self) -> usize {
+        self.lanes * self.am_period
+    }
+}
+
+/// One word on one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneWord {
+    /// Alignment marker with a block sequence number.
+    Marker(u32),
+    /// A payload word.
+    Data(u64),
+}
+
+/// The transmit-side striper.
+#[derive(Debug, Clone)]
+pub struct Distributor {
+    cfg: StripeConfig,
+    next_seq: u32,
+}
+
+impl Distributor {
+    /// New distributor for `cfg`, markers starting at sequence 0.
+    pub fn new(cfg: StripeConfig) -> Self {
+        Distributor { cfg, next_seq: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> StripeConfig {
+        self.cfg
+    }
+
+    /// Stripe `payload` across the lanes, padding the final block with
+    /// `pad` words if needed. Returns one word stream per lane. Each call
+    /// begins with an alignment marker on every lane and continues the
+    /// sequence numbering from previous calls.
+    pub fn stripe(&mut self, payload: &[u64], pad: u64) -> Vec<Vec<LaneWord>> {
+        let block = self.cfg.block_payload();
+        let blocks = payload.len().div_ceil(block).max(1);
+        let mut lanes = vec![Vec::with_capacity(blocks * (self.cfg.am_period + 1)); self.cfg.lanes];
+        let mut idx = 0usize;
+        for _ in 0..blocks {
+            for lane in lanes.iter_mut() {
+                lane.push(LaneWord::Marker(self.next_seq));
+            }
+            self.next_seq = self.next_seq.wrapping_add(1);
+            for _ in 0..block {
+                let w = payload.get(idx).copied().unwrap_or(pad);
+                lanes[idx % self.cfg.lanes].push(LaneWord::Data(w));
+                idx += 1;
+            }
+        }
+        lanes
+    }
+}
+
+/// Deskew/reassembly errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeskewError {
+    /// A lane stream contained no alignment marker at all.
+    NoMarker {
+        /// Index of the offending lane.
+        lane: usize,
+    },
+    /// No common marker sequence number could be found across all lanes
+    /// (skew exceeds the buffered streams).
+    NoCommonMarker,
+    /// A marker appeared where data was expected or vice versa.
+    Misaligned {
+        /// Index of the offending lane.
+        lane: usize,
+    },
+    /// Wrong number of lane streams supplied.
+    LaneCount,
+}
+
+/// The receive-side deskewer.
+#[derive(Debug, Clone)]
+pub struct Deskewer {
+    cfg: StripeConfig,
+}
+
+impl Deskewer {
+    /// New deskewer for `cfg`.
+    pub fn new(cfg: StripeConfig) -> Self {
+        Deskewer { cfg }
+    }
+
+    /// Reassemble the payload stream from per-lane word streams with
+    /// arbitrary leading skew. Returns the payload words of every block
+    /// that is complete on all lanes.
+    pub fn reassemble(&self, lanes: &[Vec<LaneWord>]) -> Result<Vec<u64>, DeskewError> {
+        if lanes.len() != self.cfg.lanes {
+            return Err(DeskewError::LaneCount);
+        }
+        // Find the first marker on each lane.
+        let mut first_seq = Vec::with_capacity(lanes.len());
+        let mut pos = Vec::with_capacity(lanes.len());
+        for (i, lane) in lanes.iter().enumerate() {
+            let p = lane
+                .iter()
+                .position(|w| matches!(w, LaneWord::Marker(_)))
+                .ok_or(DeskewError::NoMarker { lane: i })?;
+            let LaneWord::Marker(seq) = lane[p] else { unreachable!() };
+            first_seq.push(seq);
+            pos.push(p);
+        }
+        // Align every lane to the largest first-marker sequence number.
+        let target = *first_seq.iter().max().unwrap();
+        for (i, lane) in lanes.iter().enumerate() {
+            while {
+                let LaneWord::Marker(seq) = lane[pos[i]] else {
+                    return Err(DeskewError::Misaligned { lane: i });
+                };
+                seq != target
+            } {
+                // Skip this whole block: marker + am_period words.
+                pos[i] += 1 + self.cfg.am_period;
+                if pos[i] >= lane.len() {
+                    return Err(DeskewError::NoCommonMarker);
+                }
+            }
+        }
+
+        // Read blocks while all lanes have a complete block buffered.
+        let mut out = Vec::new();
+        let mut expected = target;
+        loop {
+            let complete = lanes
+                .iter()
+                .zip(&pos)
+                .all(|(lane, &p)| p + self.cfg.am_period < lane.len());
+            if !complete {
+                break;
+            }
+            // Verify the marker row.
+            for (i, lane) in lanes.iter().enumerate() {
+                match lane[pos[i]] {
+                    LaneWord::Marker(seq) if seq == expected => {}
+                    _ => return Err(DeskewError::Misaligned { lane: i }),
+                }
+            }
+            // Round-robin data: word j of the block came from lane
+            // j % L at depth j / L.
+            for j in 0..self.cfg.block_payload() {
+                let lane = j % self.cfg.lanes;
+                let depth = j / self.cfg.lanes;
+                match lanes[lane][pos[lane] + 1 + depth] {
+                    LaneWord::Data(w) => out.push(w),
+                    LaneWord::Marker(_) => {
+                        return Err(DeskewError::Misaligned { lane });
+                    }
+                }
+            }
+            for p in pos.iter_mut() {
+                *p += 1 + self.cfg.am_period;
+            }
+            expected = expected.wrapping_add(1);
+        }
+        Ok(out)
+    }
+}
+
+/// Test/simulation helper: delay a lane stream by `skew` words of line
+/// noise (junk data words), as a real lane's differing trace/fiber length
+/// and CDR lock time would.
+pub fn apply_skew(stream: &[LaneWord], skew: usize, junk: u64) -> Vec<LaneWord> {
+    let mut out = Vec::with_capacity(stream.len() + skew);
+    out.extend(std::iter::repeat_n(LaneWord::Data(junk), skew));
+    out.extend_from_slice(stream);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(lanes: usize, am: usize, words: usize, skews: &[usize]) -> (Vec<u64>, Vec<u64>) {
+        let cfg = StripeConfig::new(lanes, am);
+        let payload: Vec<u64> = (0..words as u64).collect();
+        let mut dist = Distributor::new(cfg);
+        let streams = dist.stripe(&payload, u64::MAX);
+        let skewed: Vec<Vec<LaneWord>> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| apply_skew(s, skews[i % skews.len()], 0xDEAD))
+            .collect();
+        let out = Deskewer::new(cfg).reassemble(&skewed).expect("deskew");
+        (payload, out)
+    }
+
+    #[test]
+    fn no_skew_identity() {
+        let (sent, got) = roundtrip(4, 8, 4 * 8 * 3, &[0]);
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn heavy_unequal_skew_recovered() {
+        let (sent, got) = roundtrip(8, 16, 8 * 16 * 4, &[0, 3, 17, 29, 5, 11, 2, 40]);
+        assert_eq!(got[..sent.len()], sent[..]);
+    }
+
+    #[test]
+    fn padding_fills_final_block() {
+        let cfg = StripeConfig::new(4, 4);
+        let payload: Vec<u64> = (0..10).collect(); // not a multiple of 16
+        let mut dist = Distributor::new(cfg);
+        let streams = dist.stripe(&payload, 0xFF);
+        let out = Deskewer::new(cfg).reassemble(&streams).unwrap();
+        assert_eq!(&out[..10], payload.as_slice());
+        assert!(out[10..].iter().all(|&w| w == 0xFF));
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn sequence_continues_across_calls() {
+        let cfg = StripeConfig::new(2, 2);
+        let mut dist = Distributor::new(cfg);
+        let s1 = dist.stripe(&[1, 2, 3, 4], 0);
+        let s2 = dist.stripe(&[5, 6, 7, 8], 0);
+        // Concatenate the two transmissions per lane; deskewer must read
+        // both blocks as a continuous sequence.
+        let joined: Vec<Vec<LaneWord>> = s1
+            .into_iter()
+            .zip(s2)
+            .map(|(mut a, b)| {
+                a.extend(b);
+                a
+            })
+            .collect();
+        let out = Deskewer::new(cfg).reassemble(&joined).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn missing_marker_is_an_error() {
+        let cfg = StripeConfig::new(2, 2);
+        let mut dist = Distributor::new(cfg);
+        let mut streams = dist.stripe(&[1, 2, 3, 4], 0);
+        streams[1].retain(|w| !matches!(w, LaneWord::Marker(_)));
+        assert_eq!(
+            Deskewer::new(cfg).reassemble(&streams),
+            Err(DeskewError::NoMarker { lane: 1 })
+        );
+    }
+
+    #[test]
+    fn wrong_lane_count_rejected() {
+        let cfg = StripeConfig::new(3, 2);
+        let streams = vec![vec![], vec![]];
+        assert_eq!(Deskewer::new(cfg).reassemble(&streams), Err(DeskewError::LaneCount));
+    }
+
+    #[test]
+    fn marker_where_data_expected_detected() {
+        let cfg = StripeConfig::new(2, 2);
+        let mut dist = Distributor::new(cfg);
+        let mut streams = dist.stripe(&[1, 2, 3, 4], 0);
+        // Corrupt: replace a data word with a rogue marker.
+        streams[0][2] = LaneWord::Marker(99);
+        assert!(matches!(
+            Deskewer::new(cfg).reassemble(&streams),
+            Err(DeskewError::Misaligned { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_skews_roundtrip(
+            lanes in 1usize..12,
+            am in 1usize..10,
+            blocks in 1usize..6,
+            skew_seed in 0u64..1000,
+        ) {
+            let words = lanes * am * blocks;
+            let skews: Vec<usize> = (0..lanes)
+                .map(|i| ((skew_seed.wrapping_mul(i as u64 + 1) >> 3) % 23) as usize)
+                .collect();
+            let (sent, got) = roundtrip(lanes, am, words, &skews);
+            prop_assert_eq!(&got[..sent.len()], &sent[..]);
+        }
+    }
+}

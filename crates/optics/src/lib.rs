@@ -1,0 +1,20 @@
+//! Conventional laser-optics baselines for the Mosaic reproduction.
+//!
+//! These are the "narrow-and-fast" pluggables Mosaic is compared against:
+//! a few PAM4 lanes at 53–106 GBd, each needing a laser, a wideband analog
+//! front-end, and a shared DSP retimer chip that typically burns half the
+//! module. Module power is *assembled from components* (laser bias, driver,
+//! TIA, DSP energy/bit, housekeeping) rather than quoted, so experiments
+//! can sweep the underlying technology assumptions.
+//!
+//! * [`transceiver`] — the generic module model and its power breakdown;
+//! * [`variants`] — concrete SR8 / DR8 / LPO builders at 400G–1.6T.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod transceiver;
+pub mod variants;
+
+pub use transceiver::{LaserKind, ModulePower, OpticalModule};
+pub use variants::{dr8, lpo_dr8, sr8};

@@ -1,0 +1,117 @@
+//! Concrete baseline module builders.
+//!
+//! All builders take the aggregate rate and assume 100G-class PAM4 lanes
+//! (the 2024-era sweet spot); 1.6T builders move to 200G lanes.
+
+use crate::transceiver::{LaserKind, OpticalModule};
+use mosaic_units::{BitRate, Length, Power};
+
+fn lanes_for(aggregate: BitRate, lane_gbps: f64) -> usize {
+    let n = aggregate.as_gbps() / lane_gbps;
+    let rounded = n.round();
+    assert!(
+        (n - rounded).abs() < 1e-9 && rounded >= 1.0,
+        "aggregate {aggregate} not an integer multiple of {lane_gbps} G lanes"
+    );
+    rounded as usize
+}
+
+/// Multimode VCSEL module (SR class): cheapest optics, ~50 m reach on OM4.
+pub fn sr8(aggregate: BitRate) -> OpticalModule {
+    let lanes = lanes_for(aggregate, 100.0);
+    OpticalModule {
+        name: format!("{}G-SR{lanes}", aggregate.as_gbps().round()),
+        aggregate,
+        lanes,
+        laser: LaserKind::Vcsel,
+        launch_per_lane: Power::from_dbm(0.0),
+        extinction_ratio: 3.5,
+        full_dsp: true,
+        driver_per_lane: Power::from_mw(150.0),
+        overhead: Power::from_watts(0.8),
+        reach: Length::from_m(50.0),
+    }
+}
+
+/// Single-mode silicon-photonics module (DR class): 500 m reach.
+pub fn dr8(aggregate: BitRate) -> OpticalModule {
+    let lanes = lanes_for(aggregate, 100.0);
+    OpticalModule {
+        name: format!("{}G-DR{lanes}", aggregate.as_gbps().round()),
+        aggregate,
+        lanes,
+        laser: LaserKind::DfbWithModulator,
+        launch_per_lane: Power::from_dbm(1.0),
+        extinction_ratio: 4.0,
+        full_dsp: true,
+        driver_per_lane: Power::from_mw(300.0),
+        overhead: Power::from_watts(1.0),
+        reach: Length::from_m(500.0),
+    }
+}
+
+/// Linear-drive (LPO) variant of the DR module: drops the in-module DSP,
+/// paying only the residual host-equalization burden, at the cost of
+/// tighter interop margins and shorter qualified reach.
+pub fn lpo_dr8(aggregate: BitRate) -> OpticalModule {
+    let mut m = dr8(aggregate);
+    m.name = format!("{}G-LPO", aggregate.as_gbps().round());
+    m.full_dsp = false;
+    // Linear drivers work harder without a DSP cleaning the waveform.
+    m.driver_per_lane = Power::from_mw(380.0);
+    m.reach = Length::from_m(100.0);
+    m
+}
+
+/// A 1.6T DR-class module on 200G lanes (the next-generation baseline —
+/// even hotter per bit, which is the trend Mosaic targets).
+pub fn dr8_1600(aggregate: BitRate) -> OpticalModule {
+    let lanes = lanes_for(aggregate, 200.0);
+    OpticalModule {
+        name: format!("{}G-DR{lanes}-200G", aggregate.as_gbps().round()),
+        aggregate,
+        lanes,
+        laser: LaserKind::DfbWithModulator,
+        launch_per_lane: Power::from_dbm(2.0),
+        extinction_ratio: 4.0,
+        full_dsp: true,
+        driver_per_lane: Power::from_mw(450.0),
+        overhead: Power::from_watts(1.2),
+        reach: Length::from_m(500.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(sr8(BitRate::from_gbps(800.0)).lanes, 8);
+        assert_eq!(sr8(BitRate::from_gbps(400.0)).lanes, 4);
+        assert_eq!(dr8_1600(BitRate::from_gbps(1600.0)).lanes, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_integer_lane_count_rejected() {
+        let _ = sr8(BitRate::from_gbps(450.0));
+    }
+
+    #[test]
+    fn lpo_reach_shorter_than_dr() {
+        assert!(
+            lpo_dr8(BitRate::from_gbps(800.0)).reach.as_m()
+                < dr8(BitRate::from_gbps(800.0)).reach.as_m()
+        );
+    }
+
+    #[test]
+    fn next_gen_module_runs_hotter() {
+        // The industry trend Mosaic targets: each generation's module
+        // dissipates more absolute heat in the same cage.
+        let g800 = dr8(BitRate::from_gbps(800.0)).power();
+        let g1600 = dr8_1600(BitRate::from_gbps(1600.0)).power();
+        assert!(g1600.as_watts() > 1.4 * g800.as_watts(), "800G={g800} 1.6T={g1600}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Device and signal-integrity models for the Mosaic reproduction.
+//!
+//! This crate replaces the physical hardware of the paper's testbed — GaN
+//! microLED arrays, VCSEL/DFB lasers, photodiode + TIA receivers — with
+//! parameterized analytical models, plus the classic optical-link math
+//! (noise, Q-factor, BER, inter-symbol interference) that connects them.
+//!
+//! # Why these models
+//!
+//! Mosaic's core argument is *architectural*: the energy cost of a serial
+//! channel grows superlinearly with its symbol rate (equalization, CDR, DSP),
+//! while a directly-modulated microLED channel is cheap but caps out at a few
+//! Gb/s because its modulation bandwidth is carrier-lifetime limited. Both
+//! sides of that argument are physics, and both are modeled here from first
+//! principles:
+//!
+//! * [`microled`] — ABC-model recombination: light output, efficiency droop,
+//!   and modulation bandwidth all derive from one carrier-density solve, so
+//!   the "per-channel rate saturates around 2–4 Gb/s" behaviour is emergent,
+//!   not hard-coded.
+//! * [`serdes`] — survey-calibrated energy/bit versus lane-rate curves for
+//!   electrical I/O and retimers; the superlinear growth above ~25 G/lane is
+//!   the quantitative heart of "wide-and-slow wins".
+//! * [`ber`], [`noise`], [`eye`] — receiver sensitivity is computed, not
+//!   assumed: shot + thermal (+ RIN for lasers) noise currents feed a
+//!   Q-factor, and ISI from finite bandwidth adds an eye-closure penalty.
+//!
+//! All default constants live in [`params`] with provenance notes and are
+//! plain struct fields, so every experiment can sweep them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod driver;
+pub mod eye;
+pub mod laser;
+pub mod math;
+pub mod microled;
+pub mod modulation;
+pub mod noise;
+pub mod params;
+pub mod photodiode;
+pub mod serdes;
+pub mod tia;
+
+pub use ber::{ber_ook, ber_pam4, q_factor_ook, q_for_ber, OokReceiver, Pam4Receiver};
+pub use eye::isi_penalty;
+pub use laser::{DfbLaser, Vcsel};
+pub use microled::MicroLed;
+pub use modulation::Modulation;
+pub use photodiode::Photodiode;
+pub use tia::Tia;

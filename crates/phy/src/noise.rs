@@ -1,0 +1,107 @@
+//! Receiver noise-current budget.
+//!
+//! Three classical contributors, all expressed as RMS currents at the
+//! decision circuit so they can be root-sum-squared:
+//!
+//! * **thermal** — the TIA's input-referred noise, signal-independent;
+//! * **shot** — `√(2·q·I·B)`, grows with photocurrent, so the "one" level
+//!   is noisier than the "zero" level;
+//! * **RIN** — laser relative-intensity noise, proportional to photocurrent
+//!   (absent for LEDs, whose spontaneous emission has no cavity-induced
+//!   intensity noise peaks; we conservatively allow a RIN-like term anyway
+//!   if the caller supplies one).
+
+use mosaic_units::{Frequency, ELEMENTARY_CHARGE};
+
+/// Per-level noise budget for a received optical signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBudget {
+    /// TIA thermal RMS noise current, A.
+    pub thermal_a: f64,
+    /// Receiver noise bandwidth.
+    pub bandwidth: Frequency,
+    /// Laser RIN in dB/Hz, or `None` for RIN-free sources (LEDs).
+    pub rin_db_per_hz: Option<f64>,
+}
+
+impl NoiseBudget {
+    /// Shot-noise RMS current for a given DC photocurrent, A.
+    pub fn shot_a(&self, photocurrent_a: f64) -> f64 {
+        (2.0 * ELEMENTARY_CHARGE * photocurrent_a.max(0.0) * self.bandwidth.as_hz()).sqrt()
+    }
+
+    /// RIN-induced RMS current for a given photocurrent, A.
+    pub fn rin_a(&self, photocurrent_a: f64) -> f64 {
+        match self.rin_db_per_hz {
+            None => 0.0,
+            Some(rin_db) => {
+                let rin_lin = 10f64.powf(rin_db / 10.0);
+                photocurrent_a * (rin_lin * self.bandwidth.as_hz()).sqrt()
+            }
+        }
+    }
+
+    /// Total RMS noise current at a signal level producing `photocurrent_a`,
+    /// root-sum-squared across contributors.
+    pub fn total_a(&self, photocurrent_a: f64) -> f64 {
+        let t = self.thermal_a;
+        let s = self.shot_a(photocurrent_a);
+        let r = self.rin_a(photocurrent_a);
+        (t * t + s * s + r * r).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn budget(rin: Option<f64>) -> NoiseBudget {
+        NoiseBudget {
+            thermal_a: 100e-9,
+            bandwidth: Frequency::from_ghz(1.4),
+            rin_db_per_hz: rin,
+        }
+    }
+
+    #[test]
+    fn shot_noise_anchor() {
+        // 1 mA over 1 GHz: σ_shot = √(2·q·1e-3·1e9) ≈ 566 nA.
+        let b = NoiseBudget {
+            thermal_a: 0.0,
+            bandwidth: Frequency::from_ghz(1.0),
+            rin_db_per_hz: None,
+        };
+        assert!((b.shot_a(1e-3) - 566e-9).abs() < 10e-9);
+    }
+
+    #[test]
+    fn thermal_dominates_at_low_signal() {
+        let b = budget(None);
+        // At 1 µA photocurrent shot noise is ~21 nA « 100 nA thermal.
+        let total = b.total_a(1e-6);
+        assert!((total / b.thermal_a - 1.0).abs() < 0.05, "total={total}");
+    }
+
+    #[test]
+    fn rin_grows_with_signal() {
+        let b = budget(Some(-140.0));
+        assert!(b.rin_a(2e-3) > b.rin_a(1e-3));
+        // RIN-free (LED) total is strictly lower at equal photocurrent.
+        let led = budget(None);
+        assert!(led.total_a(1e-3) < b.total_a(1e-3));
+    }
+
+    proptest! {
+        #[test]
+        fn total_at_least_each_component(i in 0f64..1e-2) {
+            let b = budget(Some(-145.0));
+            let total = b.total_a(i);
+            prop_assert!(total >= b.thermal_a - 1e-18);
+            prop_assert!(total >= b.shot_a(i) - 1e-18);
+            prop_assert!(total >= b.rin_a(i) - 1e-18);
+            // And no larger than the arithmetic sum.
+            prop_assert!(total <= b.thermal_a + b.shot_a(i) + b.rin_a(i) + 1e-18);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Component failure-rate database (FIT = failures per 10⁹ device-hours).
+//!
+//! Values are published ballparks for the component class at datacenter
+//! ambient, not measurements of any specific part; experiments sweep them.
+//! The *ratios* — laser ≫ LED, DSP comparable to laser bank — carry the
+//! reliability argument, and those ratios are robust across sources
+//! (Telcordia-style predictions, transceiver field studies).
+
+use mosaic_units::Fit;
+
+/// A 1310 nm DFB laser diode with its TEC-less package.
+pub const DFB_LASER: Fit = Fit::new(100.0);
+
+/// An 850 nm datacom VCSEL.
+pub const VCSEL: Fit = Fit::new(60.0);
+
+/// A GaN microLED driven at kA/cm²-class density. LEDs have no facets and
+/// no cavity; indicator-class GaN parts post <1 FIT, we take 10 as a
+/// conservative value for hard-driven micro devices.
+pub const MICRO_LED: Fit = Fit::new(10.0);
+
+/// A PAM4 module DSP / retimer chip (complex 5 nm-class silicon).
+pub const PAM4_DSP: Fit = Fit::new(100.0);
+
+/// An AEC retimer (smaller than a module DSP).
+pub const AEC_RETIMER: Fit = Fit::new(60.0);
+
+/// A wideband (>25 GBd) TIA/driver analog slice.
+pub const HIGH_SPEED_ANALOG: Fit = Fit::new(15.0);
+
+/// A low-speed CMOS receiver/driver slice (Mosaic channel electronics).
+pub const LOW_SPEED_ANALOG: Fit = Fit::new(3.0);
+
+/// A photodiode (either band).
+pub const PHOTODIODE: Fit = Fit::new(5.0);
+
+/// The Mosaic gearbox ASIC/FPGA (one per module end).
+pub const GEARBOX: Fit = Fit::new(80.0);
+
+/// Module housekeeping (µC, power, monitors) — any module technology.
+pub const MODULE_MISC: Fit = Fit::new(50.0);
+
+/// A mated optical/electrical connector pair.
+pub const CONNECTOR: Fit = Fit::new(5.0);
+
+/// Passive copper cable assembly (essentially mechanical).
+pub const PASSIVE_CABLE: Fit = Fit::new(10.0);
+
+/// Passive fiber/imaging-fiber strand per span (mechanical + bend stress).
+pub const PASSIVE_FIBER: Fit = Fit::new(10.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_load_bearing_ratios_hold() {
+        // Laser ≫ LED is the heart of C3.
+        assert!(DFB_LASER.as_fit() >= 10.0 * MICRO_LED.as_fit());
+        assert!(VCSEL.as_fit() > MICRO_LED.as_fit());
+        // Wideband analog is harder-stressed than low-speed CMOS.
+        assert!(HIGH_SPEED_ANALOG.as_fit() > LOW_SPEED_ANALOG.as_fit());
+        // Passives are not free but are small.
+        assert!(PASSIVE_FIBER.as_fit() < 20.0);
+    }
+}

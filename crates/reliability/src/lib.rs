@@ -1,0 +1,35 @@
+//! Reliability modeling for the Mosaic reproduction (claim C3).
+//!
+//! The paper's reliability argument has two legs:
+//!
+//! 1. **Device classes.** Lasers wear out (facet degradation, junction
+//!    aging at high current density) at 100s of FIT each, and DSP retimer
+//!    chips add more; LEDs run at low current density with no facets and
+//!    historically post single-digit FITs.
+//! 2. **Architecture.** One of 8 lasers dying kills a conventional module;
+//!    one of ~400 microLED channels dying consumes a spare and the link
+//!    never notices. Redundancy converts many small failure rates into a
+//!    negligible system rate.
+//!
+//! Both legs are modeled here:
+//!
+//! * [`fitdb`] — per-component FIT values with provenance notes;
+//! * [`system`] — series budgets and k-of-n (spared) blocks, closed form;
+//! * [`markov`] — birth-death Markov chains for spared pools with and
+//!   without repair (transient solve by uniformization);
+//! * [`montecarlo`] — seeded lifetime simulation cross-checking the math;
+//! * [`weibull`] — wear-out lifetimes (the exponential-assumption
+//!   ablation: lasers age, LEDs barely do);
+//! * [`sparing`] — "how many spares for N nines over Y years" planning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fitdb;
+pub mod markov;
+pub mod montecarlo;
+pub mod sparing;
+pub mod system;
+pub mod weibull;
+
+pub use system::{KofN, SeriesBudget};

@@ -1,0 +1,155 @@
+//! Monte-Carlo lifetime simulation — the independent cross-check on the
+//! closed-form and Markov models.
+
+use mosaic_sim::rng::DetRng;
+use mosaic_units::{Duration, Fit};
+
+/// Result of a Monte-Carlo pool-lifetime study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolLifetime {
+    /// Trials run.
+    pub trials: u64,
+    /// Trials in which the pool stayed up through the horizon.
+    pub survived: u64,
+}
+
+impl PoolLifetime {
+    /// Estimated survival probability.
+    pub fn survival(&self) -> f64 {
+        self.survived as f64 / self.trials as f64
+    }
+}
+
+/// Simulate `trials` independent pools of `n` channels (need `k` alive,
+/// per-channel rate `fit`, no repair) over `horizon`. The pool dies when
+/// the `(n−k+1)`-th channel fails.
+pub fn simulate_pool_no_repair(
+    k: usize,
+    n: usize,
+    fit: Fit,
+    horizon: Duration,
+    trials: u64,
+    seed: u64,
+) -> PoolLifetime {
+    assert!(k >= 1 && k <= n);
+    let lam = fit.per_hour();
+    let mut rng = DetRng::substream(seed, "pool-lifetime");
+    let spares = n - k;
+    let horizon_h = horizon.as_hours();
+    let mut survived = 0u64;
+    for _ in 0..trials {
+        if lam == 0.0 {
+            survived += 1;
+            continue;
+        }
+        // Count failures before the horizon; order statistics are not
+        // needed — each channel fails before `t` with p = 1 − e^{−λt}.
+        let p_fail = 1.0 - (-lam * horizon_h).exp();
+        let mut failures = 0usize;
+        for _ in 0..n {
+            if rng.chance(p_fail) {
+                failures += 1;
+                if failures > spares {
+                    break;
+                }
+            }
+        }
+        if failures <= spares {
+            survived += 1;
+        }
+    }
+    PoolLifetime { trials, survived }
+}
+
+/// Simulate with repair: event-driven per trial. Failures ~ Exp((alive)·λ);
+/// repairs ~ Exp((failed)·µ). The trial fails when alive < k at any time.
+pub fn simulate_pool_with_repair(
+    k: usize,
+    n: usize,
+    fit: Fit,
+    repair_per_hour: f64,
+    horizon: Duration,
+    trials: u64,
+    seed: u64,
+) -> PoolLifetime {
+    assert!(k >= 1 && k <= n);
+    assert!(repair_per_hour >= 0.0);
+    let lam = fit.per_hour();
+    let mut rng = DetRng::substream(seed, "pool-repair");
+    let horizon_h = horizon.as_hours();
+    let mut survived = 0u64;
+    for _ in 0..trials {
+        let mut t = 0.0f64;
+        let mut failed = 0usize;
+        let ok = loop {
+            let rate_fail = (n - failed) as f64 * lam;
+            let rate_rep = failed as f64 * repair_per_hour;
+            let total = rate_fail + rate_rep;
+            if total == 0.0 {
+                break true;
+            }
+            t += rng.exponential(total);
+            if t >= horizon_h {
+                break true;
+            }
+            if rng.chance(rate_fail / total) {
+                failed += 1;
+                if n - failed < k {
+                    break false;
+                }
+            } else {
+                failed -= 1;
+            }
+        };
+        if ok {
+            survived += 1;
+        }
+    }
+    PoolLifetime { trials, survived }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::SparedPool;
+    use crate::system::KofN;
+
+    #[test]
+    fn no_repair_matches_closed_form() {
+        let t = Duration::from_years(7.0);
+        let (k, n, fit) = (40, 44, Fit::new(2000.0));
+        let mc = simulate_pool_no_repair(k, n, fit, t, 200_000, 3);
+        let closed = KofN::new(k, n, fit).survival(t);
+        let err = (mc.survival() - closed).abs();
+        assert!(err < 0.005, "mc {} vs closed {closed}", mc.survival());
+    }
+
+    #[test]
+    fn with_repair_matches_markov() {
+        let t = Duration::from_years(7.0);
+        // High failure rate + slow repair so the answer is far from 1 and
+        // statistics converge quickly.
+        let (k, n, fit, mu) = (10, 12, Fit::new(200_000.0), 1.0 / (90.0 * 24.0));
+        let mc = simulate_pool_with_repair(k, n, fit, mu, t, 100_000, 5);
+        let markov = SparedPool::new(k, n, fit, mu).survival(t);
+        let err = (mc.survival() - markov).abs();
+        assert!(err < 0.01, "mc {} vs markov {markov}", mc.survival());
+    }
+
+    #[test]
+    fn repair_mc_reduces_to_no_repair_mc() {
+        let t = Duration::from_years(5.0);
+        let (k, n, fit) = (20, 22, Fit::new(50_000.0));
+        let a = simulate_pool_with_repair(k, n, fit, 0.0, t, 60_000, 9);
+        let b = simulate_pool_no_repair(k, n, fit, t, 60_000, 9);
+        assert!((a.survival() - b.survival()).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = Duration::from_years(7.0);
+        let a = simulate_pool_no_repair(4, 6, Fit::new(10_000.0), t, 10_000, 1);
+        let b = simulate_pool_no_repair(4, 6, Fit::new(10_000.0), t, 10_000, 1);
+        assert_eq!(a, b);
+    }
+}

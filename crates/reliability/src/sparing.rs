@@ -1,0 +1,84 @@
+//! Sparing policy planning: how many spare channels buy how many nines.
+
+use crate::system::KofN;
+use mosaic_units::{Duration, Fit};
+
+/// The smallest spare count such that a pool of `k` active channels (each
+/// at `channel_fit`) survives `horizon` with probability ≥ `target`,
+/// searching up to `max_spares`. `None` if unreachable.
+pub fn spares_for_target(
+    k: usize,
+    channel_fit: Fit,
+    horizon: Duration,
+    target: f64,
+    max_spares: usize,
+) -> Option<usize> {
+    assert!((0.0..1.0).contains(&target), "target must be in [0,1)");
+    (0..=max_spares).find(|&s| KofN::new(k, k + s, channel_fit).survival(horizon) >= target)
+}
+
+/// One row of a sparing study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparingRow {
+    /// Spares provisioned.
+    pub spares: usize,
+    /// Survival probability over the horizon.
+    pub survival: f64,
+    /// Effective constant failure rate over the horizon.
+    pub effective_fit: Fit,
+    /// Fractional overprovisioning cost (spares / active).
+    pub overhead: f64,
+}
+
+/// Tabulate survival versus spare count (the F12 ablation's data).
+pub fn sparing_table(
+    k: usize,
+    channel_fit: Fit,
+    horizon: Duration,
+    max_spares: usize,
+) -> Vec<SparingRow> {
+    (0..=max_spares)
+        .map(|s| {
+            let block = KofN::new(k, k + s, channel_fit);
+            SparingRow {
+                spares: s,
+                survival: block.survival(horizon),
+                effective_fit: block.effective_fit(horizon),
+                overhead: s as f64 / k as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_mosaic_pool_needs_few_spares() {
+        // 400 active channels × 20 FIT over 7 years: a handful of spares
+        // reaches four nines — at ~1–2 % area overhead. This is C3's
+        // architectural half.
+        let s = spares_for_target(400, Fit::new(20.0), Duration::from_years(7.0), 0.9999, 32)
+            .expect("reachable");
+        assert!(s >= 2 && s <= 8, "got {s}");
+    }
+
+    #[test]
+    fn table_is_monotone() {
+        let rows = sparing_table(100, Fit::new(100.0), Duration::from_years(7.0), 10);
+        assert_eq!(rows.len(), 11);
+        for w in rows.windows(2) {
+            assert!(w[1].survival >= w[0].survival);
+            assert!(w[1].effective_fit.as_fit() <= w[0].effective_fit.as_fit() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        // One active channel at a colossal rate: even many spares of the
+        // same terrible part cannot reach six nines over 10 years.
+        let s = spares_for_target(1, Fit::new(5_000_000.0), Duration::from_years(10.0), 0.999_999, 3);
+        assert_eq!(s, None);
+    }
+}

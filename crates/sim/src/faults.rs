@@ -1,0 +1,77 @@
+//! Time-scheduled fault scripts for link simulations.
+//!
+//! Faults are indexed by gearbox *epoch* (one transmit/receive round),
+//! which is the granularity at which the control plane can react. The
+//! smoltcp-style fault-injection philosophy applies: adverse conditions
+//! are first-class inputs to every experiment, not an afterthought.
+
+/// A fault to apply to one physical channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The channel goes permanently dark (LED/PD death, fiber core break).
+    Kill {
+        /// Physical channel index.
+        channel: usize,
+    },
+    /// A transient error burst: the channel runs at `ber` for `epochs`
+    /// epochs, then recovers (connector vibration, transient misalignment).
+    Burst {
+        /// Physical channel index.
+        channel: usize,
+        /// Elevated bit-error rate during the burst.
+        ber: f64,
+        /// Burst duration in epochs.
+        epochs: usize,
+    },
+}
+
+/// A schedule mapping epochs to faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<(usize, Fault)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault at `epoch`.
+    pub fn at(mut self, epoch: usize, fault: Fault) -> Self {
+        self.events.push((epoch, fault));
+        self
+    }
+
+    /// All faults scheduled for `epoch`.
+    pub fn faults_at(&self, epoch: usize) -> impl Iterator<Item = &Fault> {
+        self.events.iter().filter(move |(e, _)| *e == epoch).map(|(_, f)| f)
+    }
+
+    /// Total scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_filters_by_epoch() {
+        let s = FaultSchedule::new()
+            .at(3, Fault::Kill { channel: 1 })
+            .at(3, Fault::Kill { channel: 2 })
+            .at(5, Fault::Burst { channel: 0, ber: 1e-2, epochs: 2 });
+        assert_eq!(s.faults_at(3).count(), 2);
+        assert_eq!(s.faults_at(4).count(), 0);
+        assert_eq!(s.faults_at(5).count(), 1);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! End-to-end frame-level link simulation.
+//!
+//! Drives the *real* gearbox (striping, scrambling, CRC framing, sparing)
+//! over channels with per-channel BER and a fault script. Every delivered
+//! frame is validated byte-for-byte against what was sent — the simulator
+//! can prove "zero corrupted frames delivered", not merely estimate it.
+//!
+//! Error telemetry: the receive-side health monitors are fed the injected
+//! error counts per channel, modeling the per-channel PRBS/FEC counters
+//! the Mosaic hardware exposes. When a monitor crosses the degrade
+//! threshold (or a kill fault lands), both gearboxes remap to a spare at
+//! the next epoch boundary — in-flight data is lost, which is visible in
+//! the report as lost frames during the failover epoch.
+
+use crate::faults::{Fault, FaultSchedule};
+use crate::inject::BitErrorInjector;
+use crate::rng::DetRng;
+use mosaic_link::gearbox::Gearbox;
+use mosaic_link::lanes::{FailureKind, LaneHealth};
+use mosaic_link::striping::LaneWord;
+
+/// Configuration of a link simulation run.
+#[derive(Debug, Clone)]
+pub struct LinkSimConfig {
+    /// Active logical lanes.
+    pub logical_lanes: usize,
+    /// Physical channels (≥ logical; surplus are spares).
+    pub physical_channels: usize,
+    /// Alignment-marker period in words per lane.
+    pub am_period: usize,
+    /// Per-physical-channel baseline BER (post-optics, pre-gearbox).
+    pub per_channel_ber: Vec<f64>,
+    /// Number of transmit/receive epochs.
+    pub epochs: usize,
+    /// Frames per epoch.
+    pub frames_per_epoch: usize,
+    /// Payload bytes per frame.
+    pub frame_size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault script.
+    pub faults: FaultSchedule,
+    /// BER above which a channel is retired (None = no monitoring).
+    pub degrade_threshold: Option<f64>,
+    /// Health-monitor window size in bits (a full window of evidence is
+    /// required before a channel can be declared degraded).
+    pub monitor_window_bits: u64,
+}
+
+impl LinkSimConfig {
+    /// A clean 8-over-10 channel link used as a test/example baseline.
+    pub fn small_clean() -> Self {
+        LinkSimConfig {
+            logical_lanes: 8,
+            physical_channels: 10,
+            am_period: 16,
+            per_channel_ber: vec![0.0; 10],
+            epochs: 4,
+            frames_per_epoch: 16,
+            frame_size: 256,
+            seed: 1,
+            faults: FaultSchedule::new(),
+            degrade_threshold: None,
+            monitor_window_bits: 10_000,
+        }
+    }
+}
+
+/// Aggregated results of a link simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSimReport {
+    /// Frames transmitted.
+    pub frames_sent: u64,
+    /// Frames delivered intact (CRC-verified and payload-matched).
+    pub frames_delivered: u64,
+    /// Frames whose corruption was *detected* (CRC fail / never arrived).
+    pub frames_lost: u64,
+    /// Frames delivered with wrong content (must always be zero — CRC-32
+    /// makes silent corruption vanishingly unlikely and any occurrence is
+    /// a bug signal).
+    pub frames_silently_corrupted: u64,
+    /// Epochs whose deskew failed outright.
+    pub deskew_failed_epochs: u64,
+    /// Total bits pushed through the channels.
+    pub bits_transmitted: u64,
+    /// Total bit errors injected.
+    pub bit_errors_injected: u64,
+    /// Spare remaps performed.
+    pub remaps: u64,
+    /// Channels retired by the health monitor.
+    pub retired_by_monitor: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes_delivered: u64,
+}
+
+impl LinkSimReport {
+    /// Fraction of frames delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.frames_sent == 0 {
+            return 1.0;
+        }
+        self.frames_delivered as f64 / self.frames_sent as f64
+    }
+
+    /// Measured channel BER across the run.
+    pub fn measured_ber(&self) -> f64 {
+        if self.bits_transmitted == 0 {
+            return 0.0;
+        }
+        self.bit_errors_injected as f64 / self.bits_transmitted as f64
+    }
+}
+
+/// Run the simulation.
+pub fn simulate_link(cfg: &LinkSimConfig) -> LinkSimReport {
+    assert_eq!(
+        cfg.per_channel_ber.len(),
+        cfg.physical_channels,
+        "need one BER per physical channel"
+    );
+    let mut tx = Gearbox::new(cfg.logical_lanes, cfg.physical_channels, cfg.am_period);
+    let mut rx = Gearbox::new(cfg.logical_lanes, cfg.physical_channels, cfg.am_period);
+
+    let mut injectors: Vec<BitErrorInjector> = (0..cfg.physical_channels)
+        .map(|c| {
+            BitErrorInjector::new(
+                cfg.per_channel_ber[c],
+                DetRng::substream(cfg.seed, &format!("chan-{c}")),
+            )
+        })
+        .collect();
+    let mut monitors: Vec<LaneHealth> = (0..cfg.physical_channels)
+        .map(|_| LaneHealth::new(cfg.monitor_window_bits, 8))
+        .collect();
+    let mut dead = vec![false; cfg.physical_channels];
+    let mut burst_left = vec![0usize; cfg.physical_channels];
+
+    let mut payload_rng = DetRng::substream(cfg.seed, "payload");
+    let mut report = LinkSimReport {
+        frames_sent: 0,
+        frames_delivered: 0,
+        frames_lost: 0,
+        frames_silently_corrupted: 0,
+        deskew_failed_epochs: 0,
+        bits_transmitted: 0,
+        bit_errors_injected: 0,
+        remaps: 0,
+        retired_by_monitor: 0,
+        payload_bytes_delivered: 0,
+    };
+    let mut sent_payloads: Vec<Vec<u8>> = Vec::new();
+
+    for epoch in 0..cfg.epochs {
+        // 1. Apply scheduled faults at the epoch boundary.
+        for fault in cfg.faults.faults_at(epoch) {
+            match *fault {
+                Fault::Kill { channel } => {
+                    dead[channel] = true;
+                }
+                Fault::Burst { channel, ber, epochs } => {
+                    injectors[channel].set_ber(ber);
+                    burst_left[channel] = epochs;
+                }
+            }
+        }
+
+        // 2. Generate and transmit this epoch's frames.
+        let payloads: Vec<Vec<u8>> = (0..cfg.frames_per_epoch)
+            .map(|_| (0..cfg.frame_size).map(|_| payload_rng.next_u64() as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let mut channels = tx.transmit(&refs);
+        report.frames_sent += payloads.len() as u64;
+        sent_payloads.extend(payloads.iter().cloned());
+
+        // 3. The medium: per-channel error injection and dead channels.
+        for (c, stream) in channels.iter_mut().enumerate() {
+            if dead[c] {
+                // A dark channel delivers junk words and no markers.
+                let junk_rng_word = 0u64;
+                for w in stream.iter_mut() {
+                    *w = LaneWord::Data(junk_rng_word);
+                }
+                continue;
+            }
+            let before = injectors[c].errors;
+            let bits_before = injectors[c].bits;
+            injectors[c].corrupt_lane(stream);
+            let errs = injectors[c].errors - before;
+            let bits = injectors[c].bits - bits_before;
+            report.bit_errors_injected += errs;
+            report.bits_transmitted += bits;
+            monitors[c].record(bits, errs);
+        }
+
+        // 4. Receive.
+        let r = rx.receive(&channels);
+        if r.deskew_failed {
+            report.deskew_failed_epochs += 1;
+        }
+        for f in &r.frames {
+            match sent_payloads.get(f.seq as usize) {
+                Some(sent) if *sent == f.payload => {
+                    report.frames_delivered += 1;
+                    report.payload_bytes_delivered += f.payload.len() as u64;
+                }
+                _ => report.frames_silently_corrupted += 1,
+            }
+        }
+
+        // 5. Control plane: retire channels that died or degraded, on both
+        //    ends (out-of-band coordination, effective next epoch).
+        for c in 0..cfg.physical_channels {
+            let assigned = tx.lane_map().assignment().contains(&c);
+            if !assigned {
+                continue;
+            }
+            let monitor_trip = match cfg.degrade_threshold {
+                Some(th) => monitors[c].degraded(th),
+                None => false,
+            };
+            if dead[c] || monitor_trip {
+                let kind = if dead[c] { FailureKind::Dead } else { FailureKind::Degraded };
+                let a = tx.fail_channel(c, kind);
+                let b = rx.fail_channel(c, kind);
+                debug_assert_eq!(a, b);
+                if let Ok(Some(_)) = a {
+                    report.remaps += 1;
+                    if !dead[c] {
+                        report.retired_by_monitor += 1;
+                        // The monitor-retired channel keeps its physics but
+                        // is out of service; reset its monitor so a later
+                        // re-add (not modeled) would start fresh.
+                        monitors[c] = LaneHealth::new(cfg.monitor_window_bits, 8);
+                    }
+                }
+            }
+        }
+
+        // 6. Burst expiry.
+        for c in 0..cfg.physical_channels {
+            if burst_left[c] > 0 {
+                burst_left[c] -= 1;
+                if burst_left[c] == 0 {
+                    injectors[c].set_ber(cfg.per_channel_ber[c]);
+                }
+            }
+        }
+    }
+
+    report.frames_lost = report.frames_sent - report.frames_delivered - report.frames_silently_corrupted;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_link_delivers_all_frames() {
+        let r = simulate_link(&LinkSimConfig::small_clean());
+        assert_eq!(r.frames_sent, 64);
+        assert_eq!(r.frames_delivered, 64);
+        assert_eq!(r.frames_silently_corrupted, 0);
+        assert_eq!(r.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut cfg = LinkSimConfig::small_clean();
+        cfg.per_channel_ber = vec![1e-4; 10];
+        let a = simulate_link(&cfg);
+        let b = simulate_link(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_link_loses_frames_but_never_lies() {
+        let mut cfg = LinkSimConfig::small_clean();
+        cfg.per_channel_ber = vec![1e-4; 10];
+        cfg.epochs = 6;
+        let r = simulate_link(&cfg);
+        assert!(r.frames_delivered < r.frames_sent);
+        assert_eq!(r.frames_silently_corrupted, 0, "CRC must catch all corruption");
+        assert!(r.measured_ber() > 0.5e-4 && r.measured_ber() < 2e-4);
+    }
+
+    #[test]
+    fn kill_with_spares_recovers_after_one_epoch() {
+        let mut cfg = LinkSimConfig::small_clean();
+        cfg.epochs = 6;
+        cfg.faults = FaultSchedule::new().at(2, Fault::Kill { channel: 3 });
+        let r = simulate_link(&cfg);
+        // Epoch 2 deskews fail (channel dark mid-epoch); epochs 3+ run on
+        // the spare. The self-synchronizing descrambler missed an epoch of
+        // state, so it may additionally corrupt the first frame after
+        // failover while it resyncs — at most one extra loss.
+        assert_eq!(r.deskew_failed_epochs, 1);
+        assert_eq!(r.remaps, 1);
+        let expect = (cfg.epochs as u64 - 1) * 16;
+        assert!(
+            r.frames_delivered >= expect - 1 && r.frames_delivered <= expect,
+            "delivered {}",
+            r.frames_delivered
+        );
+        assert_eq!(r.frames_silently_corrupted, 0);
+    }
+
+    #[test]
+    fn burst_elevates_then_recovers() {
+        let mut cfg = LinkSimConfig::small_clean();
+        cfg.epochs = 8;
+        cfg.faults =
+            FaultSchedule::new().at(1, Fault::Burst { channel: 0, ber: 5e-3, epochs: 2 });
+        let r = simulate_link(&cfg);
+        assert!(r.bit_errors_injected > 0);
+        // After the burst the link must go back to perfect delivery: the
+        // last epochs' frames all arrive.
+        assert!(r.frames_delivered >= r.frames_sent - 2 * 16);
+    }
+
+    #[test]
+    fn monitor_retires_persistently_bad_channel() {
+        let mut cfg = LinkSimConfig::small_clean();
+        cfg.epochs = 10;
+        cfg.frames_per_epoch = 8;
+        cfg.frame_size = 512;
+        cfg.per_channel_ber[2] = 1e-3; // persistently terrible channel
+        cfg.degrade_threshold = Some(1e-4);
+        let r = simulate_link(&cfg);
+        assert_eq!(r.retired_by_monitor, 1);
+        assert_eq!(r.remaps, 1);
+        // Once retired, later epochs are clean.
+        assert!(r.delivery_ratio() > 0.5);
+    }
+
+    #[test]
+    fn kill_without_spares_takes_link_down() {
+        let mut cfg = LinkSimConfig::small_clean();
+        cfg.physical_channels = 8; // no spares
+        cfg.per_channel_ber = vec![0.0; 8];
+        cfg.epochs = 5;
+        cfg.faults = FaultSchedule::new().at(1, Fault::Kill { channel: 0 });
+        let r = simulate_link(&cfg);
+        // Epochs 1.. all fail deskew: only epoch 0 delivers.
+        assert_eq!(r.frames_delivered, 16);
+        assert_eq!(r.deskew_failed_epochs, 4);
+        assert_eq!(r.remaps, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Monte-Carlo receiver and coded-channel simulation.
+//!
+//! Two jobs:
+//!
+//! 1. **Validate the analytic BER model** (F4): sample actual Gaussian
+//!    noise at the decision circuit, count actual errors, and compare
+//!    against `mosaic_phy::ber`'s closed form.
+//! 2. **Validate the analytic FEC math** (F10): push real bits through the
+//!    real RS/BCH decoders under injected errors and compare measured
+//!    post-FEC rates against `mosaic_fec::analysis`.
+
+use crate::inject::BitErrorInjector;
+use crate::rng::DetRng;
+use mosaic_fec::rs::{DecodeOutcome, ReedSolomon};
+use mosaic_phy::ber::OokReceiver;
+use mosaic_units::Power;
+
+/// Result of a Monte-Carlo BER measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerMeasurement {
+    /// Bits simulated.
+    pub bits: u64,
+    /// Errors observed.
+    pub errors: u64,
+    /// Point estimate.
+    pub ber: f64,
+    /// 95 % Wilson confidence interval (lo, hi).
+    pub ci95: (f64, f64),
+}
+
+/// Wilson score interval for a binomial proportion (robust at zero
+/// observed errors, unlike the normal approximation).
+pub fn wilson_ci(errors: u64, trials: u64) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = errors as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Simulate an OOK slicer: per bit, pick a level (equiprobable 0/1), add
+/// the level-dependent Gaussian noise, and threshold at the optimum point.
+/// This is the physical process the Q-factor formula models; the test
+/// suite checks they agree.
+pub fn simulate_ook_ber(
+    rx: &OokReceiver,
+    avg_power: Power,
+    bits: u64,
+    rng: &mut DetRng,
+) -> BerMeasurement {
+    let (p1, p0) = rx.levels(avg_power);
+    let i1 = rx.pd.photocurrent(p1) + rx.pd.dark_current_a;
+    let i0 = rx.pd.photocurrent(p0) + rx.pd.dark_current_a;
+    let s1 = rx.noise.total_a(i1);
+    let s0 = rx.noise.total_a(i0);
+    // Optimum threshold for unequal noises.
+    let threshold = (s0 * i1 + s1 * i0) / (s0 + s1);
+    let mut errors = 0u64;
+    for _ in 0..bits {
+        let (level, sigma, is_one) = if rng.chance(0.5) { (i1, s1, true) } else { (i0, s0, false) };
+        let sample = level + sigma * rng.standard_normal();
+        let decided_one = sample > threshold;
+        if decided_one != is_one {
+            errors += 1;
+        }
+    }
+    BerMeasurement {
+        bits,
+        errors,
+        ber: errors as f64 / bits as f64,
+        ci95: wilson_ci(errors, bits),
+    }
+}
+
+/// Result of a coded-channel Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodedRun {
+    /// Codewords pushed through.
+    pub codewords: u64,
+    /// Codewords that decoded (clean or corrected).
+    pub decoded: u64,
+    /// Codewords that failed (detected uncorrectable).
+    pub failures: u64,
+    /// Codewords that "decoded" to the wrong codeword (silent
+    /// miscorrection — possible when errors exceed t; rate ~1/t!).
+    pub miscorrected: u64,
+    /// Pre-FEC bit errors injected.
+    pub pre_fec_bit_errors: u64,
+    /// Bits transmitted.
+    pub bits: u64,
+    /// Residual data-symbol errors after decoding (from failed words).
+    pub residual_symbol_errors: u64,
+}
+
+impl CodedRun {
+    /// Measured codeword failure probability (detected + miscorrected).
+    pub fn failure_prob(&self) -> f64 {
+        (self.failures + self.miscorrected) as f64 / self.codewords as f64
+    }
+
+    /// Measured pre-FEC BER.
+    pub fn pre_ber(&self) -> f64 {
+        self.pre_fec_bit_errors as f64 / self.bits as f64
+    }
+}
+
+/// Push `codewords` random RS codewords through a BER-`ber` channel and
+/// decode them, counting real failures.
+pub fn run_rs_channel(rs: &ReedSolomon, ber: f64, codewords: u64, seed: u64) -> CodedRun {
+    let m = rs.symbol_bits();
+    let mut data_rng = DetRng::substream(seed, "rs-data");
+    let mut inj = BitErrorInjector::new(ber, DetRng::substream(seed, "rs-noise"));
+    let mask = ((1u32 << m) - 1) as u16;
+    let mut out = CodedRun {
+        codewords,
+        decoded: 0,
+        failures: 0,
+        miscorrected: 0,
+        pre_fec_bit_errors: 0,
+        bits: 0,
+        residual_symbol_errors: 0,
+    };
+    for _ in 0..codewords {
+        let data: Vec<u16> = (0..rs.k()).map(|_| (data_rng.next_u64() as u16) & mask).collect();
+        let clean = rs.encode(&data);
+        // Serialize symbols to bits, corrupt, reassemble.
+        let mut bits: Vec<u8> = Vec::with_capacity(rs.n() * m as usize);
+        for &s in &clean {
+            for b in 0..m {
+                bits.push(((s >> b) & 1) as u8);
+            }
+        }
+        out.pre_fec_bit_errors += inj.corrupt_bits(&mut bits);
+        out.bits += bits.len() as u64;
+        let mut word: Vec<u16> = bits
+            .chunks(m as usize)
+            .map(|c| c.iter().enumerate().fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i)))
+            .collect();
+        match rs.decode(&mut word) {
+            DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
+                if word[..rs.k()] == data[..] {
+                    out.decoded += 1;
+                } else {
+                    // Beyond-capacity miscorrection to a different valid
+                    // codeword — inherent to bounded-distance decoding.
+                    out.miscorrected += 1;
+                    out.residual_symbol_errors += word[..rs.k()]
+                        .iter()
+                        .zip(&data)
+                        .filter(|(a, b)| a != b)
+                        .count() as u64;
+                }
+            }
+            DecodeOutcome::Failure => {
+                out.failures += 1;
+                out.residual_symbol_errors += word[..rs.k()]
+                    .iter()
+                    .zip(&data)
+                    .filter(|(a, b)| a != b)
+                    .count() as u64;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_fec::analysis::rs_performance;
+    use mosaic_phy::noise::NoiseBudget;
+    use mosaic_phy::photodiode::Photodiode;
+    use mosaic_units::Frequency;
+
+    fn mosaic_rx() -> OokReceiver {
+        OokReceiver {
+            pd: Photodiode::silicon_blue(),
+            noise: NoiseBudget {
+                thermal_a: 3.0e-12 * (1.4e9f64).sqrt(),
+                bandwidth: Frequency::from_ghz(1.4),
+                rin_db_per_hz: None,
+            },
+            extinction_ratio: 6.0,
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_ber() {
+        // Pick a power where BER ≈ 1e-3 so 2M bits give tight statistics.
+        let rx = mosaic_rx();
+        let p = rx.sensitivity(1e-3).unwrap();
+        let mut rng = DetRng::new(2024);
+        let m = simulate_ook_ber(&rx, p, 2_000_000, &mut rng);
+        let analytic = rx.ber_at(p);
+        assert!(
+            m.ci95.0 <= analytic && analytic <= m.ci95.1,
+            "analytic {analytic} outside CI {:?} (measured {})",
+            m.ci95,
+            m.ber
+        );
+    }
+
+    #[test]
+    fn wilson_interval_sane() {
+        let (lo, hi) = wilson_ci(0, 1000);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01);
+        let (lo, hi) = wilson_ci(500, 1000);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.07);
+    }
+
+    #[test]
+    fn rs_channel_failure_rate_matches_analytic() {
+        // A weak code at a harsh BER so failures are common enough to
+        // measure in few words: RS(31,23) t=4 at BER 2e-2.
+        let rs = ReedSolomon::new(8, 31, 23);
+        let ber = 2e-2;
+        let run = run_rs_channel(&rs, ber, 2000, 7);
+        let analytic = rs_performance(rs.n(), rs.t(), rs.symbol_bits(), ber);
+        let measured = run.failure_prob();
+        let expected = analytic.codeword_failure_prob;
+        assert!(
+            (measured / expected - 1.0).abs() < 0.25,
+            "measured {measured} vs analytic {expected}"
+        );
+        // Pre-FEC BER should be close to target.
+        assert!((run.pre_ber() / ber - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn clean_channel_never_fails() {
+        let rs = ReedSolomon::new(8, 31, 23);
+        let run = run_rs_channel(&rs, 0.0, 100, 1);
+        assert_eq!(run.failures, 0);
+        assert_eq!(run.decoded, 100);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let rs = ReedSolomon::new(8, 31, 23);
+        let a = run_rs_channel(&rs, 1e-2, 300, 5);
+        let b = run_rs_channel(&rs, 1e-2, 300, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! Datacenter upgrade study: what swapping in Mosaic does to a fleet.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_upgrade
+//! ```
+//!
+//! Takes a 64k-server Clos fabric, assigns every link the cheapest
+//! technology under three deployment policies, and compares fleet power
+//! and yearly repair tickets — the operator's view of claims C2 and C3.
+
+use mosaic_repro::mosaic::compare::candidates;
+use mosaic_repro::netsim::assignment::{assign, Policy};
+use mosaic_repro::netsim::failure_sim::simulate_fleet;
+use mosaic_repro::netsim::fleet::rollup;
+use mosaic_repro::netsim::topology::ClosTopology;
+use mosaic_repro::units::{BitRate, Duration};
+
+fn main() {
+    let topo = ClosTopology::large();
+    let cands = candidates(BitRate::from_gbps(800.0));
+    println!(
+        "fabric: {} servers, {} links (800G everywhere)\n",
+        topo.servers(),
+        topo.total_links()
+    );
+
+    let mut baseline_power = None;
+    for (name, policy) in [
+        ("all-optics", Policy::AllOptics),
+        ("copper + optics", Policy::CopperPlusOptics),
+        ("copper + Mosaic + optics", Policy::WithMosaic),
+    ] {
+        let assignments = assign(&topo.link_classes(), &cands, policy);
+        let fleet = rollup(&assignments);
+        let sim = simulate_fleet(&assignments, 5.0, Duration::from_hours(24.0), 42);
+        let kw = fleet.total_power.as_watts() / 1000.0;
+        let saving = baseline_power
+            .map(|base: f64| format!("  (-{:.0} % vs all-optics)", (1.0 - kw / base) * 100.0))
+            .unwrap_or_default();
+        if baseline_power.is_none() {
+            baseline_power = Some(kw);
+        }
+        println!("policy: {name}");
+        println!("  interconnect power : {kw:>8.1} kW{saving}");
+        println!("  per server         : {:>8.1} W", fleet.total_power.as_watts() / topo.servers() as f64);
+        println!("  repair tickets     : {:>8} over 5 simulated years", sim.tickets);
+        println!("  link mix           : {}", fleet
+            .links_by_tech
+            .iter()
+            .map(|(k, v)| format!("{k}×{v}"))
+            .collect::<Vec<_>>()
+            .join(", "));
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Design-space explorer: find the wide-and-slow sweet spot yourself.
+//!
+//! ```sh
+//! cargo run --release --example design_explorer [aggregate_gbps] [span_m]
+//! ```
+//!
+//! Sweeps the per-channel rate for your target (default 800 Gb/s over
+//! 10 m) and prints the full trade table: channel count, feasibility,
+//! power, energy/bit and array size, plus the chosen optimum — the F1
+//! experiment as an interactive tool.
+
+use mosaic_repro::mosaic::design::{best_design, default_rate_grid, sweep_channel_rate};
+use mosaic_repro::units::{BitRate, Length};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let gbps: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(800.0);
+    let span: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10.0);
+
+    let aggregate = BitRate::from_gbps(gbps);
+    let length = Length::from_m(span);
+    println!("design space for {aggregate} over {length}\n");
+    println!(
+        "{:>8} {:>9} {:>9} {:>10} {:>9} {:>10} {:>12}",
+        "Gb/s/ch", "channels", "feasible", "margin dB", "link W", "pJ/bit", "array"
+    );
+    let points = sweep_channel_rate(aggregate, length, &default_rate_grid());
+    for p in &points {
+        println!(
+            "{:>8.2} {:>9} {:>9} {:>10} {:>9.2} {:>10.2} {:>12}",
+            p.channel_rate.as_gbps(),
+            p.channels,
+            p.feasible,
+            if p.feasible { format!("{:.1}", p.worst_margin_db) } else { "-".into() },
+            p.link_power.as_watts(),
+            p.energy_per_bit.as_pj_per_bit(),
+            format!("{}", p.array_radius),
+        );
+    }
+    match best_design(&points) {
+        Some(best) => println!(
+            "\noptimum: {:.1} Gb/s per channel — {} channels, {:.2} W per link, {:.2} pJ/bit",
+            best.channel_rate.as_gbps(),
+            best.channels,
+            best.link_power.as_watts(),
+            best.energy_per_bit.as_pj_per_bit()
+        ),
+        None => println!("\nno feasible design at this span — try fewer Gb/s or a shorter run"),
+    }
+}

@@ -1,0 +1,54 @@
+//! Fault-injection demo: a Mosaic link rides through channel deaths.
+//!
+//! ```sh
+//! cargo run --release --example lane_failure_resilience
+//! ```
+//!
+//! Streams framed traffic over a 64-channel gearbox while a fault script
+//! kills channels and injects an error burst; spare channels absorb the
+//! damage and the CRC layer proves no frame is ever silently corrupted.
+//! This is claim C6 (protocol-agnostic integration + resilience) running
+//! for real.
+
+use mosaic_repro::sim::faults::{Fault, FaultSchedule};
+use mosaic_repro::sim::link_sim::{simulate_link, LinkSimConfig};
+
+fn run(label: &str, spares: usize, faults: FaultSchedule) {
+    let cfg = LinkSimConfig {
+        logical_lanes: 64,
+        physical_channels: 64 + spares,
+        am_period: 16,
+        per_channel_ber: vec![1e-9; 64 + spares],
+        epochs: 16,
+        frames_per_epoch: 32,
+        frame_size: 512,
+        seed: 7,
+        faults,
+        degrade_threshold: Some(1e-5),
+        monitor_window_bits: 10_000,
+    };
+    let r = simulate_link(&cfg);
+    println!("{label} (spares: {spares})");
+    println!("  frames delivered    : {} / {}", r.frames_delivered, r.frames_sent);
+    println!("  silently corrupted  : {} (must be 0)", r.frames_silently_corrupted);
+    println!("  spare remaps        : {}", r.remaps);
+    println!("  epochs fully down   : {}", r.deskew_failed_epochs);
+    println!("  monitor retirements : {}", r.retired_by_monitor);
+    println!();
+}
+
+fn main() {
+    println!("64-lane Mosaic gearbox, 16 epochs of framed traffic\n");
+
+    run("baseline: clean channels", 4, FaultSchedule::new());
+
+    let kills = FaultSchedule::new()
+        .at(4, Fault::Kill { channel: 12 })
+        .at(8, Fault::Kill { channel: 40 })
+        .at(12, Fault::Kill { channel: 3 });
+    run("three channel deaths, hot spares", 4, kills.clone());
+    run("three channel deaths, NO spares", 0, kills);
+
+    let burst = FaultSchedule::new().at(6, Fault::Burst { channel: 9, ber: 2e-3, epochs: 3 });
+    run("transient 3-epoch error burst (BER 2e-3) + monitor retirement", 4, burst);
+}

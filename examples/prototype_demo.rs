@@ -1,0 +1,66 @@
+//! The paper's headline demo, end to end: 100 microLED channels ×
+//! 2 Gb/s over 10 m of imaging fiber.
+//!
+//! ```sh
+//! cargo run --release --example prototype_demo [misalign_um] [rotation_mrad]
+//! ```
+//!
+//! Prints the per-channel pre-FEC BER map (by lattice ring), pushes real
+//! frames through the full gearbox + error-injection stack, and reports
+//! delivery. A lateral misalignment hits every ring equally; a rotation
+//! hits the outer rings first (try `0 25`, then `3 0`).
+
+use mosaic_repro::fec::KP4_BER_THRESHOLD;
+use mosaic_repro::fiber::crosstalk::Misalignment;
+use mosaic_repro::fiber::geometry::cores_in_rings;
+use mosaic_repro::mosaic::prototype::{prototype_ber_map, prototype_config, run_prototype};
+use mosaic_repro::units::Length;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let misalign_um: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.0);
+    let rotation_mrad: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.0);
+
+    let mut cfg = prototype_config();
+    cfg.misalignment = Misalignment {
+        lateral: Length::from_um(misalign_um),
+        rotation_rad: rotation_mrad / 1000.0,
+    };
+    println!(
+        "prototype: {} channels x {} over {} (lateral {misalign_um} um, rotation {rotation_mrad} mrad)\n",
+        cfg.active_channels(),
+        cfg.channel_rate,
+        cfg.length
+    );
+
+    let map = prototype_ber_map(&cfg);
+    println!("per-ring worst pre-FEC BER (KP4 threshold {KP4_BER_THRESHOLD:.1e}):");
+    let mut start = 0usize;
+    let mut ring = 0u32;
+    while start < map.len() {
+        let end = cores_in_rings(ring).min(map.len());
+        let worst = map[start..end].iter().cloned().fold(0.0, f64::max);
+        let bar_len = ((worst.log10() + 60.0) / 60.0 * 40.0).clamp(0.0, 40.0) as usize;
+        let status = if worst < KP4_BER_THRESHOLD { "ok" } else { "FAIL" };
+        println!(
+            "  ring {ring}: {:>9.2e}  {:<40} {status}",
+            worst,
+            "#".repeat(bar_len)
+        );
+        start = end;
+        ring += 1;
+    }
+
+    let passing = map.iter().filter(|&&b| b < KP4_BER_THRESHOLD).count();
+    println!("\n{passing}/{} channels inside the KP4 threshold", map.len());
+
+    if passing == map.len() {
+        let report = run_prototype(&cfg, 4, 2025);
+        println!(
+            "end-to-end: {}/{} frames delivered intact, {} silently corrupted",
+            report.frames_delivered, report.frames_sent, report.frames_silently_corrupted
+        );
+    } else {
+        println!("link would not close — realign the optics and retry");
+    }
+}

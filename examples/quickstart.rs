@@ -1,0 +1,35 @@
+//! Quickstart: design and evaluate one Mosaic link.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds an 800G wide-and-slow link over 10 m of imaging fiber, prints
+//! the full engineering report (per-channel budget summary, power
+//! breakdown, reliability), then shows how the same link degrades as the
+//! span stretches toward the reach limit.
+
+use mosaic_repro::mosaic::MosaicConfig;
+use mosaic_repro::units::{BitRate, Length};
+
+fn main() {
+    // The one-liner: aggregate rate + span length; everything else has
+    // production defaults (2 Gb/s channels, KP4 FEC, 2 % sparing).
+    let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let report = cfg.evaluate();
+    println!("{report}");
+
+    // Stretch the span: margin erodes until the link stops closing.
+    println!("\nmargin vs span length:");
+    for m in [5.0, 10.0, 20.0, 30.0, 50.0, 70.0, 90.0, 120.0] {
+        let mut c = cfg.clone();
+        c.length = Length::from_m(m);
+        let r = c.evaluate();
+        match r.worst_margin {
+            Some(margin) if r.is_feasible() => {
+                println!("  {m:>5.0} m  margin {:>6.2} dB", margin.as_db())
+            }
+            _ => println!("  {m:>5.0} m  does not close"),
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! `mosaic-cli` — the link designer as a command-line tool.
+//!
+//! ```text
+//! mosaic-cli design  <gbps> <metres>        evaluate one Mosaic link
+//! mosaic-cli sweep   <gbps> <metres>        channel-rate design sweep
+//! mosaic-cli compare <gbps> [metres]        technology shoot-out at a reach
+//! mosaic-cli fleet   <small|large|rail>     fleet study under three policies
+//! mosaic-cli prototype [lateral_um] [rot_mrad]   the 100-channel demo
+//! ```
+//!
+//! No argument-parsing dependency on purpose: subcommand + positional
+//! numbers, everything else defaulted, errors print usage.
+
+use mosaic_repro::mosaic::compare::{candidates, winner_at};
+use mosaic_repro::mosaic::cost::link_tco;
+use mosaic_repro::mosaic::design::{best_design, default_rate_grid, sweep_channel_rate};
+use mosaic_repro::mosaic::prototype::{prototype_ber_map, prototype_config};
+use mosaic_repro::mosaic::MosaicConfig;
+use mosaic_repro::netsim::assignment::{assign, Policy};
+use mosaic_repro::netsim::fleet::rollup;
+use mosaic_repro::netsim::topology::{ClosTopology, RailTopology};
+use mosaic_repro::units::{BitRate, Duration, Length};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mosaic-cli design  <gbps> <metres>\n  mosaic-cli sweep   <gbps> <metres>\n  \
+         mosaic-cli compare <gbps> [metres]\n  mosaic-cli fleet   <small|large|rail>\n  \
+         mosaic-cli prototype [lateral_um] [rotation_mrad]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_f64(s: Option<String>) -> Option<f64> {
+    s.and_then(|v| v.parse().ok())
+}
+
+fn cmd_design(gbps: f64, metres: f64) {
+    let cfg = MosaicConfig::new(BitRate::from_gbps(gbps), Length::from_m(metres));
+    println!("{}", cfg.evaluate());
+}
+
+fn cmd_sweep(gbps: f64, metres: f64) {
+    let points = sweep_channel_rate(
+        BitRate::from_gbps(gbps),
+        Length::from_m(metres),
+        &default_rate_grid(),
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>10} {:>9} {:>9}",
+        "Gb/s/ch", "channels", "feasible", "margin dB", "link W", "pJ/bit"
+    );
+    for p in &points {
+        println!(
+            "{:>8.2} {:>9} {:>9} {:>10} {:>9.2} {:>9.2}",
+            p.channel_rate.as_gbps(),
+            p.channels,
+            p.feasible,
+            if p.feasible { format!("{:.1}", p.worst_margin_db) } else { "-".into() },
+            p.link_power.as_watts(),
+            p.energy_per_bit.as_pj_per_bit(),
+        );
+    }
+    match best_design(&points) {
+        Some(b) => println!("\noptimum: {:.1} Gb/s per channel", b.channel_rate.as_gbps()),
+        None => println!("\nno feasible design"),
+    }
+}
+
+fn cmd_compare(gbps: f64, metres: Option<f64>) {
+    let cands = candidates(BitRate::from_gbps(gbps));
+    let horizon = Duration::from_years(5.0);
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "technology", "reach", "link W", "pJ/bit", "link FIT", "5yr TCO $"
+    );
+    for c in &cands {
+        println!(
+            "{:<14} {:>10} {:>10.2} {:>9.2} {:>10.0} {:>10.0}",
+            c.name,
+            format!("{}", c.reach),
+            c.link_power.as_watts(),
+            c.energy_per_bit.as_pj_per_bit(),
+            c.link_fit.as_fit(),
+            link_tco(c, horizon).total(),
+        );
+    }
+    if let Some(m) = metres {
+        match winner_at(&cands, Length::from_m(m)) {
+            Some(w) => println!("\ncheapest feasible at {m} m: {}", w.name),
+            None => println!("\nnothing reaches {m} m"),
+        }
+    }
+}
+
+fn cmd_fleet(which: &str) -> Option<()> {
+    let classes = match which {
+        "small" => ClosTopology::small().link_classes(),
+        "large" => ClosTopology::large().link_classes(),
+        "rail" => RailTopology::gpu_16k().link_classes(),
+        _ => return None,
+    };
+    let cands = candidates(BitRate::from_gbps(800.0));
+    println!(
+        "{:<16} {:>10} {:>14} {:>12}",
+        "policy", "fleet kW", "tickets/yr", "links"
+    );
+    for (name, policy) in [
+        ("all-optics", Policy::AllOptics),
+        ("copper+optics", Policy::CopperPlusOptics),
+        ("with-mosaic", Policy::WithMosaic),
+    ] {
+        let fleet = rollup(&assign(&classes, &cands, policy));
+        println!(
+            "{:<16} {:>10.1} {:>14.1} {:>12}",
+            name,
+            fleet.total_power.as_watts() / 1000.0,
+            fleet.failures_per_year,
+            fleet.links,
+        );
+    }
+    Some(())
+}
+
+fn cmd_prototype(lateral_um: f64, rotation_mrad: f64) {
+    use mosaic_repro::fiber::crosstalk::Misalignment;
+    let mut cfg = prototype_config();
+    cfg.misalignment = Misalignment {
+        lateral: Length::from_um(lateral_um),
+        rotation_rad: rotation_mrad / 1000.0,
+    };
+    let map = prototype_ber_map(&cfg);
+    let threshold = mosaic_repro::fec::KP4_BER_THRESHOLD;
+    let ok = map.iter().filter(|&&b| b < threshold).count();
+    let worst = map.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "100-channel prototype: {ok}/100 channels under the KP4 threshold (worst {worst:.2e})"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { return usage() };
+    match cmd.as_str() {
+        "design" => {
+            let (Some(g), Some(m)) = (parse_f64(args.next()), parse_f64(args.next())) else {
+                return usage();
+            };
+            cmd_design(g, m);
+        }
+        "sweep" => {
+            let (Some(g), Some(m)) = (parse_f64(args.next()), parse_f64(args.next())) else {
+                return usage();
+            };
+            cmd_sweep(g, m);
+        }
+        "compare" => {
+            let Some(g) = parse_f64(args.next()) else { return usage() };
+            cmd_compare(g, parse_f64(args.next()));
+        }
+        "fleet" => {
+            let Some(which) = args.next() else { return usage() };
+            if cmd_fleet(&which).is_none() {
+                return usage();
+            }
+        }
+        "prototype" => {
+            let lat = parse_f64(args.next()).unwrap_or(0.0);
+            let rot = parse_f64(args.next()).unwrap_or(0.0);
+            cmd_prototype(lat, rot);
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the Mosaic reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use a
+//! single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use mosaic;
+pub use mosaic_copper as copper;
+pub use mosaic_fec as fec;
+pub use mosaic_fiber as fiber;
+pub use mosaic_link as link;
+pub use mosaic_netsim as netsim;
+pub use mosaic_optics as optics;
+pub use mosaic_phy as phy;
+pub use mosaic_power as power;
+pub use mosaic_reliability as reliability;
+pub use mosaic_sim as sim;
+pub use mosaic_units as units;

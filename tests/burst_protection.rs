@@ -1,0 +1,99 @@
+//! Integration test: block interleaving turns channel bursts into
+//! correctable scattered errors — the mechanism that lets one Mosaic
+//! channel glitch (vibration, transient misalignment) without losing any
+//! codeword, and the reason a *dead* channel costs each KP4 word only
+//! n/channels symbols (few enough to erase-correct).
+
+use mosaic_repro::fec::interleave::BlockInterleaver;
+use mosaic_repro::fec::rs::{DecodeOutcome, ReedSolomon};
+use mosaic_repro::sim::rng::DetRng;
+
+/// Encode `rows` RS codewords, interleave, hit the stream with a
+/// contiguous burst, deinterleave, decode. Returns decoded count.
+fn run_burst(rows: usize, burst_len: usize, interleaved: bool) -> usize {
+    let rs = ReedSolomon::rs_255_223(); // t = 16
+    let mut rng = DetRng::new(404);
+    let words: Vec<Vec<u16>> = (0..rows)
+        .map(|_| {
+            let data: Vec<u16> = (0..rs.k()).map(|_| (rng.next_u64() & 0xFF) as u16).collect();
+            rs.encode(&data)
+        })
+        .collect();
+
+    // Flatten row-major, optionally interleave.
+    let flat: Vec<u16> = words.iter().flatten().copied().collect();
+    let il = BlockInterleaver::new(rows, rs.n());
+    let mut stream = if interleaved { il.interleave(&flat) } else { flat.clone() };
+
+    // The burst: `burst_len` consecutive transmitted symbols corrupted.
+    let start = stream.len() / 3;
+    for s in stream.iter_mut().skip(start).take(burst_len) {
+        *s ^= 0xA5;
+    }
+
+    let restored = if interleaved { il.deinterleave(&stream) } else { stream };
+    let mut decoded = 0;
+    for (i, chunk) in restored.chunks(rs.n()).enumerate() {
+        let mut w = chunk.to_vec();
+        match rs.decode(&mut w) {
+            DecodeOutcome::Clean | DecodeOutcome::Corrected(_) if w == words[i] => decoded += 1,
+            _ => {}
+        }
+    }
+    decoded
+}
+
+#[test]
+fn burst_kills_uninterleaved_words() {
+    // A 160-symbol burst lands ~160 errors in one codeword (t = 16): that
+    // word is unrecoverable without interleaving.
+    let decoded = run_burst(16, 160, false);
+    assert!(decoded < 16, "burst should destroy at least one word");
+}
+
+#[test]
+fn interleaving_absorbs_the_same_burst() {
+    // Interleaved over 16 rows, the same burst spreads to ≤10 errors per
+    // word — all 16 decode.
+    let decoded = run_burst(16, 160, true);
+    assert_eq!(decoded, 16);
+}
+
+#[test]
+fn interleaving_has_a_capacity_too() {
+    // A burst longer than rows × t must defeat even the interleaver.
+    let decoded = run_burst(16, 16 * 16 * 2, true);
+    assert!(decoded < 16, "over-long burst should exceed interleaved capacity");
+}
+
+/// Dead-channel scenario with erasure decoding: a KP4 word striped over
+/// 30 channels loses one whole channel (18-19 symbols, known positions).
+/// Blind decoding fails (>15 errors); erasure decoding recovers.
+#[test]
+fn dead_channel_is_recoverable_as_erasures() {
+    let rs = ReedSolomon::kp4(); // n=544, t=15, 2t=30
+    let mut rng = DetRng::new(7);
+    let data: Vec<u16> = (0..rs.k()).map(|_| (rng.next_u64() & 0x3FF) as u16).collect();
+    let clean = rs.encode(&data);
+
+    // Symbols are distributed round-robin over 30 channels; channel 4 dies.
+    let channels = 30usize;
+    let dead = 4usize;
+    let positions: Vec<usize> = (0..rs.n()).filter(|i| i % channels == dead).collect();
+    assert!(positions.len() > rs.t(), "a dead channel exceeds blind capacity");
+    assert!(positions.len() <= rs.n() - rs.k(), "…but fits the erasure budget");
+
+    let mut word = clean.clone();
+    for &p in &positions {
+        word[p] = 0x3FF; // the dead channel reads as garbage
+    }
+
+    // Blind decode: beyond capacity.
+    let mut blind = word.clone();
+    assert_eq!(rs.decode(&mut blind), DecodeOutcome::Failure);
+
+    // Erasure decode with the lane monitor's knowledge: full recovery.
+    let out = rs.decode_with_erasures(&mut word, &positions);
+    assert!(matches!(out, DecodeOutcome::Corrected(_)), "got {out:?}");
+    assert_eq!(word, clean);
+}

@@ -1,0 +1,46 @@
+//! Smoke tests: every experiment runner in the bench harness produces
+//! plausible, non-empty output. Keeps `cargo test --workspace` proving the
+//! whole evaluation is regenerable, not just the libraries.
+//!
+//! (This lives in the root package's tests rather than mosaic-bench so the
+//! bench crate keeps zero dev-dependencies beyond criterion.)
+
+use mosaic_repro::mosaic::compare::{candidates, TechnologyKind};
+use mosaic_repro::units::BitRate;
+
+#[test]
+fn candidate_set_is_complete_and_ordered() {
+    let c = candidates(BitRate::from_gbps(800.0));
+    assert_eq!(c.len(), 6);
+    let kinds: Vec<TechnologyKind> = c.iter().map(|x| x.kind).collect();
+    for k in [
+        TechnologyKind::Dac,
+        TechnologyKind::Aec,
+        TechnologyKind::Sr,
+        TechnologyKind::Dr,
+        TechnologyKind::Lpo,
+        TechnologyKind::Mosaic,
+    ] {
+        assert!(kinds.contains(&k), "missing {k:?}");
+    }
+}
+
+#[test]
+fn every_experiment_runner_produces_output() {
+    // The heavy runners (F1, F4, F6) are exercised; this is the "nothing
+    // panics, everything emits its table" guarantee for run_all.
+    for (id, title, run) in mosaic_bench_reexport::all_experiments() {
+        let out = run();
+        assert!(!out.trim().is_empty(), "{id} ({title}) produced no output");
+        assert!(
+            out.lines().count() >= 3,
+            "{id} output suspiciously short:\n{out}"
+        );
+    }
+}
+
+/// The bench crate is a private harness; re-export through a thin alias so
+/// this smoke test can drive it.
+mod mosaic_bench_reexport {
+    pub use mosaic_bench::all_experiments;
+}
