@@ -11,7 +11,9 @@ fn bench_budget(c: &mut Criterion) {
     let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
     g.bench_function("engine_build_428ch", |b| b.iter(|| BudgetEngine::new(&cfg)));
     let engine = BudgetEngine::new(&cfg);
-    g.bench_function("all_channels_428", |b| b.iter(|| engine.all_channels(&cfg.led)));
+    g.bench_function("all_channels_428", |b| {
+        b.iter(|| engine.all_channels(&cfg.led))
+    });
     g.bench_function("full_evaluate_800g", |b| b.iter(|| cfg.evaluate()));
     g.finish();
 }

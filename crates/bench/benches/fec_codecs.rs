@@ -10,7 +10,10 @@ use rand::{Rng, SeedableRng};
 fn bench_rs(c: &mut Criterion) {
     let mut g = c.benchmark_group("reed_solomon");
     g.sample_size(20);
-    for (name, rs) in [("kp4_544_514", ReedSolomon::kp4()), ("kr4_528_514", ReedSolomon::kr4())] {
+    for (name, rs) in [
+        ("kp4_544_514", ReedSolomon::kp4()),
+        ("kr4_528_514", ReedSolomon::kr4()),
+    ] {
         let mut rng = StdRng::seed_from_u64(1);
         let data: Vec<u16> = (0..rs.k()).map(|_| rng.gen::<u16>() & 0x3FF).collect();
         let clean = rs.encode(&data);
@@ -24,12 +27,16 @@ fn bench_rs(c: &mut Criterion) {
         for i in 0..rs.t() / 2 {
             corrupted[i * 37 % rs.n()] ^= 0x155;
         }
-        g.bench_with_input(BenchmarkId::new("decode_t_half", name), &corrupted, |b, w| {
-            b.iter(|| {
-                let mut word = w.clone();
-                rs.decode(&mut word)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decode_t_half", name),
+            &corrupted,
+            |b, w| {
+                b.iter(|| {
+                    let mut word = w.clone();
+                    rs.decode(&mut word)
+                });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("decode_clean", name), &clean, |b, w| {
             b.iter(|| {
                 let mut word = w.clone();
@@ -66,7 +73,9 @@ fn bench_hamming(c: &mut Criterion) {
     let h = Hamming7264;
     let mut g = c.benchmark_group("hamming");
     g.throughput(Throughput::Elements(64));
-    g.bench_function("encode_72_64", |b| b.iter(|| h.encode(0xDEAD_BEEF_F00D_CAFE)));
+    g.bench_function("encode_72_64", |b| {
+        b.iter(|| h.encode(0xDEAD_BEEF_F00D_CAFE))
+    });
     g.bench_function("decode_72_64_1err", |b| {
         let check = h.encode(0xDEAD_BEEF_F00D_CAFE);
         b.iter(|| {

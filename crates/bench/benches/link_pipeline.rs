@@ -13,10 +13,7 @@ fn bench_gearbox(c: &mut Criterion) {
     let bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
     g.throughput(Throughput::Bytes(bytes));
     g.bench_function("transmit_100ch_16k", |b| {
-        b.iter_with_setup(
-            || Gearbox::new(100, 108, 32),
-            |mut tx| tx.transmit(&refs),
-        )
+        b.iter_with_setup(|| Gearbox::new(100, 108, 32), |mut tx| tx.transmit(&refs))
     });
     g.bench_function("roundtrip_100ch_16k", |b| {
         b.iter_with_setup(
@@ -36,10 +33,7 @@ fn bench_striping(c: &mut Criterion) {
     let payload: Vec<u64> = (0..64 * 16 * 8).collect();
     g.throughput(Throughput::Bytes(payload.len() as u64 * 8));
     g.bench_function("stripe_64lanes", |b| {
-        b.iter_with_setup(
-            || Distributor::new(cfg),
-            |mut d| d.stripe(&payload, 0),
-        )
+        b.iter_with_setup(|| Distributor::new(cfg), |mut d| d.stripe(&payload, 0))
     });
     let streams = Distributor::new(cfg).stripe(&payload, 0);
     g.bench_function("deskew_64lanes", |b| {
@@ -54,7 +48,10 @@ fn bench_scrambler(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(words.len() as u64 * 8));
     g.bench_function("scramble_32kB", |b| {
         b.iter_with_setup(Scrambler::new, |mut s| {
-            words.iter().map(|&w| s.scramble_word(w)).collect::<Vec<_>>()
+            words
+                .iter()
+                .map(|&w| s.scramble_word(w))
+                .collect::<Vec<_>>()
         })
     });
     g.finish();

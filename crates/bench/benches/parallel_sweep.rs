@@ -1,0 +1,70 @@
+//! Monte-Carlo speedup benchmark for the deterministic sweep engine:
+//! the same OOK-slicer and pool-lifetime workloads at 1 thread vs 8.
+//!
+//! On a multi-core box the 8-thread rows should come in at ≥3× the
+//! 1-thread throughput (the work is embarrassingly parallel; the only
+//! overheads are thread spawn and the index-ordered merge). On a 1-core
+//! container the two rows collapse to parity — that is the machine, not
+//! the engine; CI runs this on multi-core workers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mosaic_phy::ber::OokReceiver;
+use mosaic_phy::noise::NoiseBudget;
+use mosaic_phy::photodiode::Photodiode;
+use mosaic_phy::tia::Tia;
+use mosaic_reliability::montecarlo::simulate_pool_no_repair_with;
+use mosaic_sim::montecarlo::simulate_ook_ber_par;
+use mosaic_sim::sweep::Exec;
+use mosaic_units::{Duration as SimDuration, Fit, Power};
+use std::time::Duration;
+
+fn receiver() -> OokReceiver {
+    let tia = Tia::low_speed(2.0);
+    OokReceiver {
+        pd: Photodiode::silicon_blue(),
+        noise: NoiseBudget {
+            thermal_a: tia.rms_noise_current(),
+            bandwidth: tia.bandwidth,
+            rin_db_per_hz: None,
+        },
+        extinction_ratio: 6.0,
+    }
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let rx = receiver();
+    let p = rx.sensitivity(1e-3).unwrap_or(Power::from_dbm(-25.0));
+    const BITS: u64 = 1_000_000;
+    let mut g = c.benchmark_group("ook_mc");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(BITS));
+    for threads in [1usize, 8] {
+        let exec = Exec::with_threads(threads);
+        g.bench_function(format!("{threads}threads"), |b| {
+            b.iter(|| simulate_ook_ber_par(&exec, &rx, p, BITS, 7));
+        });
+    }
+    g.finish();
+
+    const TRIALS: u64 = 100_000;
+    let horizon = SimDuration::from_years(7.0);
+    let mut g = c.benchmark_group("pool_mc");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(TRIALS));
+    for threads in [1usize, 8] {
+        let exec = Exec::with_threads(threads);
+        g.bench_function(format!("{threads}threads"), |b| {
+            b.iter(|| {
+                simulate_pool_no_repair_with(&exec, 428, 432, Fit::new(500.0), horizon, TRIALS, 6)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(2));
+    targets = bench_parallel_sweep
+);
+criterion_main!(benches);

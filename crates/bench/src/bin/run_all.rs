@@ -1,15 +1,40 @@
 //! Regenerates every figure and table into `results/` and prints a summary.
+//!
+//! `--quick` (or `MOSAIC_QUICK=1`) runs every Monte-Carlo-heavy experiment
+//! at reduced trial counts — a smoke pass over all 19 artifacts in
+//! seconds, used by CI. Thread count comes from `MOSAIC_THREADS`
+//! (default: all cores); per-experiment `[stats]` lines go to stderr so
+//! the result files stay byte-identical across thread counts.
 use std::fs;
 use std::time::Instant;
 
 fn main() {
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => std::env::set_var(mosaic_bench::runcfg::QUICK_ENV, "1"),
+            other => {
+                eprintln!("unknown argument: {other} (supported: --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if mosaic_bench::runcfg::quick() {
+        "quick"
+    } else {
+        "full"
+    };
+    let threads = mosaic_sim::sweep::Exec::from_env().threads();
+    eprintln!("[run_all] mode={mode} threads={threads}");
     fs::create_dir_all("results").expect("create results/");
     for (id, title, runner) in mosaic_bench::all_experiments() {
         let start = Instant::now();
         let output = runner();
         let path = format!("results/{}.txt", id.to_lowercase());
         fs::write(&path, &output).expect("write result");
-        println!("[{id}] {title} -> {path} ({:.1}s)", start.elapsed().as_secs_f64());
+        println!(
+            "[{id}] {title} -> {path} ({:.1}s)",
+            start.elapsed().as_secs_f64()
+        );
     }
     println!("\nall experiments regenerated; see EXPERIMENTS.md for the paper-vs-measured index");
 }

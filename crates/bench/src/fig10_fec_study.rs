@@ -3,11 +3,14 @@
 //! cross-check against the real decoders.
 
 use crate::cells;
+use crate::runcfg;
 use crate::table::Table;
 use mosaic::config::FecChoice;
 use mosaic_fec::analysis::{binary_performance, rs_performance};
 use mosaic_fec::rs::ReedSolomon;
-use mosaic_sim::montecarlo::run_rs_channel;
+use mosaic_sim::montecarlo::run_rs_channel_with;
+use mosaic_sim::sweep::{Exec, RunStats};
+use std::time::Instant;
 
 /// Rough decoder energy per bit (pJ) for each code class — hardware
 /// synthesis ballparks: Hamming is trivial, BCH needs BM over GF(2^10),
@@ -33,7 +36,14 @@ pub fn run() -> String {
     ];
 
     let mut out = String::from("F10a: post-FEC BER by code and pre-FEC channel BER\n");
-    let mut t = Table::new(&["code", "overhead", "pJ/bit dec", "pre 1e-3", "pre 2.4e-4", "pre 1e-5"]);
+    let mut t = Table::new(&[
+        "code",
+        "overhead",
+        "pJ/bit dec",
+        "pre 1e-3",
+        "pre 2.4e-4",
+        "pre 1e-5",
+    ]);
     for (name, fec) in &codes {
         let post = |pre: f64| -> String {
             let v = match *fec {
@@ -62,8 +72,11 @@ pub fn run() -> String {
     // measured failure rates are both large. The analytic machinery being
     // validated is identical.
     let rs = ReedSolomon::new(8, 31, 23);
+    let exec = Exec::from_env();
+    let codewords = runcfg::trials(4000, 600);
+    let start = Instant::now();
     for &ber in &[1e-2, 2e-2, 4e-2] {
-        let run = run_rs_channel(&rs, ber, 4000, 17);
+        let run = run_rs_channel_with(&exec, &rs, ber, codewords, 17);
         let analytic = rs_performance(rs.n(), rs.t(), rs.symbol_bits(), ber);
         out.push_str(&format!(
             "  RS(31,23) @BER {ber:.0e}: measured word-failure {:.3e}, analytic {:.3e}\n",
@@ -71,6 +84,12 @@ pub fn run() -> String {
             analytic.codeword_failure_prob
         ));
     }
+    RunStats {
+        trials: 3 * codewords,
+        wall: start.elapsed(),
+        threads: exec.threads(),
+    }
+    .report("F10");
 
     out.push_str("\nF10c: FEC threshold (pre-FEC BER for 1e-15 output)\n");
     for (name, fec) in &codes {

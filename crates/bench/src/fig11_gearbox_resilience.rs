@@ -4,7 +4,9 @@
 use crate::cells;
 use crate::table::Table;
 use mosaic_sim::faults::{Fault, FaultSchedule};
-use mosaic_sim::link_sim::{simulate_link, LinkSimConfig};
+use mosaic_sim::link_sim::{simulate_link_with, LinkSimConfig};
+use mosaic_sim::sweep::{Exec, RunStats};
+use std::time::Instant;
 
 fn base(spares: usize) -> LinkSimConfig {
     LinkSimConfig {
@@ -24,19 +26,28 @@ fn base(spares: usize) -> LinkSimConfig {
 
 /// Run the experiment.
 pub fn run() -> String {
-    let mut out = String::from(
-        "F11: 64-lane gearbox under a 3-channel kill schedule (epochs 3, 6, 9)\n",
-    );
+    let mut out =
+        String::from("F11: 64-lane gearbox under a 3-channel kill schedule (epochs 3, 6, 9)\n");
     let mut t = Table::new(&[
-        "spares", "delivered", "sent", "ratio", "remaps", "down epochs", "silent corruption",
+        "spares",
+        "delivered",
+        "sent",
+        "ratio",
+        "remaps",
+        "down epochs",
+        "silent corruption",
     ]);
+    let exec = Exec::from_env();
+    let mut frames = 0u64;
+    let start = Instant::now();
     for spares in [0usize, 1, 2, 4, 8] {
         let mut cfg = base(spares);
         cfg.faults = FaultSchedule::new()
             .at(3, Fault::Kill { channel: 10 })
             .at(6, Fault::Kill { channel: 20 })
             .at(9, Fault::Kill { channel: 30 });
-        let r = simulate_link(&cfg);
+        let r = simulate_link_with(&exec, &cfg);
+        frames += r.frames_sent;
         t.row(cells![
             spares,
             r.frames_delivered,
@@ -53,7 +64,14 @@ pub fn run() -> String {
     let mut cfg = base(4);
     cfg.frame_size = 2048; // enough bits per channel to close monitor windows
     cfg.per_channel_ber[5] = 1e-3;
-    let r = simulate_link(&cfg);
+    let r = simulate_link_with(&exec, &cfg);
+    frames += r.frames_sent;
+    RunStats {
+        trials: frames,
+        wall: start.elapsed(),
+        threads: exec.threads(),
+    }
+    .report("F11");
     out.push_str(&format!(
         "  retired by monitor: {}, remaps: {}, delivery after retirement recovers to {:.3}\n",
         r.retired_by_monitor,

@@ -6,8 +6,10 @@ use crate::table::Table;
 use mosaic::reliability_model::channel_fit;
 use mosaic_reliability::sparing::{spares_for_target, sparing_table};
 use mosaic_sim::faults::{Fault, FaultSchedule};
-use mosaic_sim::link_sim::{simulate_link, LinkSimConfig};
+use mosaic_sim::link_sim::{simulate_link_with, LinkSimConfig};
+use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_units::Duration;
+use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -32,14 +34,18 @@ pub fn run() -> String {
         ));
     }
 
-    out.push_str("\nF12b: functional ablation under 2 kills (epochs 4 and 8; 32-lane link, 12 epochs)\n");
+    out.push_str(
+        "\nF12b: functional ablation under 2 kills (epochs 4 and 8; 32-lane link, 12 epochs)\n",
+    );
     let mut t = Table::new(&["policy", "delivery ratio", "down epochs"]);
-    for (name, spares, monitor) in [
+    let policies = [
         ("no spares", 0usize, None),
         ("cold spares (no monitor)", 4, None),
         ("hot spares + monitor", 4, Some(1e-5)),
-    ] {
-        let cfg = LinkSimConfig {
+    ];
+    let cfgs: Vec<LinkSimConfig> = policies
+        .iter()
+        .map(|&(_, spares, monitor)| LinkSimConfig {
             logical_lanes: 32,
             physical_channels: 32 + spares,
             am_period: 16,
@@ -53,8 +59,22 @@ pub fn run() -> String {
                 .at(8, Fault::Kill { channel: 17 }),
             degrade_threshold: monitor,
             monitor_window_bits: 10_000,
-        };
-        let r = simulate_link(&cfg);
+        })
+        .collect();
+    // The three policy runs are independent: sweep them in parallel, each
+    // run sequential inside (no nested fan-out). Results come back in
+    // policy order, so the table is thread-count invariant.
+    let exec = Exec::from_env();
+    let start = Instant::now();
+    let runs = exec.par_sweep(&cfgs, |cfg| simulate_link_with(&Exec::with_threads(1), cfg));
+    let frames: u64 = runs.iter().map(|r| r.frames_sent).sum();
+    RunStats {
+        trials: frames,
+        wall: start.elapsed(),
+        threads: exec.threads(),
+    }
+    .report("F12");
+    for ((name, _, _), r) in policies.iter().zip(&runs) {
         t.row(cells![
             name,
             format!("{:.3}", r.delivery_ratio()),

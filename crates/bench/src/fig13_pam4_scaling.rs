@@ -9,7 +9,11 @@ use mosaic::config::MosaicConfig;
 use mosaic_phy::modulation::Modulation;
 use mosaic_units::{BitRate, Length};
 
-fn eval(aggregate: f64, modulation: Modulation, ch_gbps: f64) -> (MosaicConfig, mosaic::LinkReport) {
+fn eval(
+    aggregate: f64,
+    modulation: Modulation,
+    ch_gbps: f64,
+) -> (MosaicConfig, mosaic::LinkReport) {
     let mut cfg = MosaicConfig::new(BitRate::from_gbps(aggregate), Length::from_m(10.0));
     cfg.set_modulation(modulation);
     cfg.set_channel_rate(BitRate::from_gbps(ch_gbps));
@@ -21,7 +25,14 @@ fn eval(aggregate: f64, modulation: Modulation, ch_gbps: f64) -> (MosaicConfig, 
 pub fn run() -> String {
     let mut out = String::from("F13: NRZ vs PAM4 Mosaic channels (10 m span)\n");
     let mut t = Table::new(&[
-        "config", "ch rate", "GBd", "channels", "margin dB", "module W", "reach", "array",
+        "config",
+        "ch rate",
+        "GBd",
+        "channels",
+        "margin dB",
+        "module W",
+        "reach",
+        "array",
     ]);
     for (label, agg, m, ch) in [
         ("800G NRZ (paper)", 800.0, Modulation::Nrz, 2.0),

@@ -13,7 +13,11 @@ use mosaic_units::{BitRate, Length};
 pub fn run() -> String {
     let mut out = String::from("F14: 800G link vs junction temperature (uncooled, 10 m)\n");
     let mut t = Table::new(&[
-        "junction °C", "rel. light dB", "worst margin dB", "feasible", "reach limit",
+        "junction °C",
+        "rel. light dB",
+        "worst margin dB",
+        "feasible",
+        "reach limit",
     ]);
     let base = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
     let i = base.drive_current();
@@ -28,7 +32,9 @@ pub fn run() -> String {
             None => ("closed".into(), false),
         };
         let reach = if feasible {
-            max_reach(&cfg).map(|x| format!("{x}")).unwrap_or_else(|| "-".into())
+            max_reach(&cfg)
+                .map(|x| format!("{x}"))
+                .unwrap_or_else(|| "-".into())
         } else {
             "-".into()
         };

@@ -7,11 +7,14 @@
 //! This experiment re-evaluates F6 under wear-out lifetimes.
 
 use crate::cells;
+use crate::runcfg;
 use crate::table::Table;
 use mosaic::reliability_model::channel_fit;
 use mosaic_reliability::fitdb;
-use mosaic_reliability::weibull::{pool_survival_weibull, Weibull};
+use mosaic_reliability::weibull::{pool_survival_weibull_with, Weibull};
+use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_units::Duration;
+use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -19,7 +22,12 @@ pub fn run() -> String {
     let mut out = String::from(
         "F15a: laser-bank survival, exponential vs wear-out (8 lasers, FIT calibrated at 7 yr)\n",
     );
-    let mut t = Table::new(&["years", "exponential", "wear-out k=2.5", "ratio of failure probs"]);
+    let mut t = Table::new(&[
+        "years",
+        "exponential",
+        "wear-out k=2.5",
+        "ratio of failure probs",
+    ]);
     let fit = fitdb::DFB_LASER * 8.0; // the DR8 laser bank as one series block
     let expo = Weibull::matching_fit_at(fit, 1.0, design_life);
     let wear = Weibull::matching_fit_at(fit, 2.5, design_life);
@@ -39,16 +47,27 @@ pub fn run() -> String {
 
     out.push_str("\nF15b: Mosaic channel pool (428+4) with wear-out channels, Monte-Carlo 100k\n");
     let mut t = Table::new(&["shape k", "7-yr pool survival", "12-yr pool survival"]);
+    let exec = Exec::from_env();
+    let trials = runcfg::trials(100_000, 10_000);
+    let start = Instant::now();
     for shape in [1.0, 1.5, 2.5] {
         let lt = Weibull::matching_fit_at(channel_fit(), shape, design_life);
-        let s7 = pool_survival_weibull(428, 432, lt, Duration::from_years(7.0), 100_000, 15);
-        let s12 = pool_survival_weibull(428, 432, lt, Duration::from_years(12.0), 100_000, 16);
+        let s7 =
+            pool_survival_weibull_with(&exec, 428, 432, lt, Duration::from_years(7.0), trials, 15);
+        let s12 =
+            pool_survival_weibull_with(&exec, 428, 432, lt, Duration::from_years(12.0), trials, 16);
         t.row(cells![
             format!("{shape:.1}"),
             format!("{s7:.5}"),
             format!("{s12:.5}")
         ]);
     }
+    RunStats {
+        trials: 6 * trials,
+        wall: start.elapsed(),
+        threads: exec.threads(),
+    }
+    .report("F15");
     out.push_str(&t.render());
     out.push_str(
         "\nshape: within the calibrated design life, wear-out parts fail *less*\n\

@@ -39,7 +39,12 @@ pub fn run() -> String {
 
     out.push_str("\nF16b: single-color vs RGB-multiplexed 800G module (10 m)\n");
     let mut t = Table::new(&[
-        "plan", "ch/core", "cores", "array radius", "net worst margin dB", "feasible",
+        "plan",
+        "ch/core",
+        "cores",
+        "array radius",
+        "net worst margin dB",
+        "feasible",
     ]);
     let base = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
     for plan in [ColorPlan::single(), ColorPlan::rgb()] {
@@ -63,7 +68,11 @@ pub fn run() -> String {
             _ => ("closed".into(), false),
         };
         t.row(cells![
-            if plan.channels_per_core() == 1 { "blue only" } else { "RGB ×3" },
+            if plan.channels_per_core() == 1 {
+                "blue only"
+            } else {
+                "RGB ×3"
+            },
             plan.channels_per_core(),
             cores,
             format!("{}", lattice.image_radius()),

@@ -6,8 +6,8 @@
 //! rates, showing the sweet spot where channel fixed costs and the LED
 //! bandwidth wall balance.
 
-use crate::table::Table;
 use crate::cells;
+use crate::table::Table;
 use mosaic::design::{best_design, default_rate_grid, sweep_channel_rate};
 use mosaic_phy::params::dsp;
 use mosaic_phy::serdes::{lane_energy, SerdesReach};
@@ -21,13 +21,24 @@ pub fn run() -> String {
         let rate = BitRate::from_gbps(g);
         let serdes = lane_energy(rate, SerdesReach::LongReach);
         // PAM4 module DSP only applies to PAM4-era lane rates.
-        let dsp_pj = if g >= 50.0 { dsp::PAM4_DSP_PJ_PER_BIT } else { 0.0 };
+        let dsp_pj = if g >= 50.0 {
+            dsp::PAM4_DSP_PJ_PER_BIT
+        } else {
+            0.0
+        };
         let with_dsp = serdes.as_pj_per_bit() + dsp_pj;
         t.row(cells![
             format!("{g:.2}"),
             format!("{:.2}", serdes.as_pj_per_bit()),
-            if dsp_pj > 0.0 { format!("{with_dsp:.2}") } else { "n/a (NRZ)".into() },
-            format!("{:.2}", serdes.power_at(rate).as_watts() + dsp_pj * 1e-12 * rate.as_bps())
+            if dsp_pj > 0.0 {
+                format!("{with_dsp:.2}")
+            } else {
+                "n/a (NRZ)".into()
+            },
+            format!(
+                "{:.2}",
+                serdes.power_at(rate).as_watts() + dsp_pj * 1e-12 * rate.as_bps()
+            )
         ]);
     }
     out.push_str(&t.render());
@@ -39,14 +50,24 @@ pub fn run() -> String {
         &default_rate_grid(),
     );
     let mut t = Table::new(&[
-        "ch Gb/s", "channels", "feasible", "margin dB", "link W", "pJ/bit", "array radius",
+        "ch Gb/s",
+        "channels",
+        "feasible",
+        "margin dB",
+        "link W",
+        "pJ/bit",
+        "array radius",
     ]);
     for p in &points {
         t.row(cells![
             format!("{:.2}", p.channel_rate.as_gbps()),
             p.channels,
             p.feasible,
-            if p.feasible { format!("{:.1}", p.worst_margin_db) } else { "-".into() },
+            if p.feasible {
+                format!("{:.1}", p.worst_margin_db)
+            } else {
+                "-".into()
+            },
             format!("{:.2}", p.link_power.as_watts()),
             format!("{:.2}", p.energy_per_bit.as_pj_per_bit()),
             format!("{}", p.array_radius)

@@ -14,7 +14,12 @@ pub fn run() -> String {
         .find(|c| c.kind == TechnologyKind::Mosaic)
         .expect("mosaic candidate");
     let mut t = Table::new(&[
-        "technology", "reach", "link power", "pJ/bit", "mosaic saving", "link FIT",
+        "technology",
+        "reach",
+        "link power",
+        "pJ/bit",
+        "mosaic saving",
+        "link FIT",
     ]);
     for c in &cands {
         let saving = if c.kind == TechnologyKind::Mosaic {
@@ -33,7 +38,9 @@ pub fn run() -> String {
             format!("{:.0}", c.link_fit.as_fit())
         ]);
     }
-    let mut out = String::from("F2: 800G link power by technology (both ends; host SerDes excluded as common)\n");
+    let mut out = String::from(
+        "F2: 800G link power by technology (both ends; host SerDes excluded as common)\n",
+    );
     out.push_str(&t.render());
     out
 }

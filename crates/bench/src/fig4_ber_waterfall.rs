@@ -2,15 +2,17 @@
 //! model overlaid with Monte-Carlo measurements (claim C4's substrate).
 
 use crate::cells;
+use crate::runcfg;
 use crate::table::Table;
 use mosaic_fec::KP4_BER_THRESHOLD;
 use mosaic_phy::ber::OokReceiver;
 use mosaic_phy::noise::NoiseBudget;
 use mosaic_phy::photodiode::Photodiode;
 use mosaic_phy::tia::Tia;
-use mosaic_sim::montecarlo::simulate_ook_ber;
-use mosaic_sim::rng::DetRng;
+use mosaic_sim::montecarlo::simulate_ook_ber_par;
+use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_units::Power;
+use std::time::Instant;
 
 fn receiver(rate_gbps: f64) -> OokReceiver {
     let tia = Tia::low_speed(rate_gbps);
@@ -27,20 +29,31 @@ fn receiver(rate_gbps: f64) -> OokReceiver {
 
 /// Run the experiment.
 pub fn run() -> String {
-    let mut out =
-        String::from("F4: BER vs received optical power, microLED OOK channel (KP4 threshold 2.4e-4)\n");
+    let mut out = String::from(
+        "F4: BER vs received optical power, microLED OOK channel (KP4 threshold 2.4e-4)\n",
+    );
     let mut t = Table::new(&[
-        "Prx dBm", "1G analytic", "2G analytic", "4G analytic", "2G Monte-Carlo (95% CI)",
+        "Prx dBm",
+        "1G analytic",
+        "2G analytic",
+        "4G analytic",
+        "2G Monte-Carlo (95% CI)",
     ]);
     let rx1 = receiver(1.0);
     let rx2 = receiver(2.0);
     let rx4 = receiver(4.0);
-    let mut rng = DetRng::new(404);
-    for dbm_tenths in (-300..=-210).step_by(10) {
+    let exec = Exec::from_env();
+    let bits = runcfg::trials(4_000_000, 250_000);
+    let mut mc_bits = 0u64;
+    let start = Instant::now();
+    for (idx, dbm_tenths) in (-300..=-210).step_by(10).enumerate() {
         let dbm = dbm_tenths as f64 / 10.0;
         let p = Power::from_dbm(dbm);
         let mc = if rx2.ber_at(p) > 5e-7 {
-            let m = simulate_ook_ber(&rx2, p, 4_000_000, &mut rng);
+            // One independent root seed per sweep point; within a point,
+            // the bits fan out over fixed chunks (thread-count invariant).
+            let m = simulate_ook_ber_par(&exec, &rx2, p, bits, 404_000 + idx as u64);
+            mc_bits += bits;
             format!("{:.2e} [{:.1e},{:.1e}]", m.ber, m.ci95.0, m.ci95.1)
         } else {
             "below MC resolution".into()
@@ -53,6 +66,12 @@ pub fn run() -> String {
             mc
         ]);
     }
+    RunStats {
+        trials: mc_bits,
+        wall: start.elapsed(),
+        threads: exec.threads(),
+    }
+    .report("F4");
     out.push_str(&t.render());
     for (g, rx) in [(1.0, &rx1), (2.0, &rx2), (4.0, &rx4)] {
         if let Some(s) = rx.sensitivity(KP4_BER_THRESHOLD) {

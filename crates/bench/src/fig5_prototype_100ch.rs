@@ -14,8 +14,10 @@ pub fn run() -> String {
     let aligned = prototype_ber_map(&cfg);
 
     let mut misaligned_cfg = cfg.clone();
-    misaligned_cfg.misalignment =
-        Misalignment { lateral: Length::from_um(2.0), rotation_rad: 0.02 };
+    misaligned_cfg.misalignment = Misalignment {
+        lateral: Length::from_um(2.0),
+        rotation_rad: 0.02,
+    };
     let misaligned = prototype_ber_map(&misaligned_cfg);
 
     let mut out = String::from(

@@ -3,13 +3,16 @@
 //! cross-check.
 
 use crate::cells;
+use crate::runcfg;
 use crate::table::Table;
 use mosaic::compare::candidates;
 use mosaic::reliability_model::channel_fit;
 use mosaic_reliability::markov::SparedPool;
-use mosaic_reliability::montecarlo::simulate_pool_no_repair;
+use mosaic_reliability::montecarlo::simulate_pool_no_repair_with;
 use mosaic_reliability::system::KofN;
+use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_units::{BitRate, Duration};
+use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -26,14 +29,33 @@ pub fn run() -> String {
     }
     out.push_str(&t.render());
 
-    out.push_str("\nF6b: Mosaic channel-pool survival over 7 years vs spares (428 active channels)\n");
+    out.push_str(
+        "\nF6b: Mosaic channel-pool survival over 7 years vs spares (428 active channels)\n",
+    );
     let horizon = Duration::from_years(7.0);
-    let mut t = Table::new(&["spares", "closed form", "Markov", "Monte-Carlo (100k)", "effective FIT"]);
+    let exec = Exec::from_env();
+    let trials = runcfg::trials(100_000, 10_000);
+    let start = Instant::now();
+    let mut t = Table::new(&[
+        "spares",
+        "closed form",
+        "Markov",
+        "Monte-Carlo (100k)",
+        "effective FIT",
+    ]);
     for spares in [0usize, 2, 4, 8, 16] {
         let pool = KofN::new(428, 428 + spares, channel_fit());
         let closed = pool.survival(horizon);
         let markov = SparedPool::new(428, 428 + spares, channel_fit(), 0.0).survival(horizon);
-        let mc = simulate_pool_no_repair(428, 428 + spares, channel_fit(), horizon, 100_000, 6);
+        let mc = simulate_pool_no_repair_with(
+            &exec,
+            428,
+            428 + spares,
+            channel_fit(),
+            horizon,
+            trials,
+            6,
+        );
         t.row(cells![
             spares,
             format!("{closed:.6}"),
@@ -42,6 +64,12 @@ pub fn run() -> String {
             format!("{:.2}", pool.effective_fit(horizon).as_fit())
         ]);
     }
+    RunStats {
+        trials: 5 * trials,
+        wall: start.elapsed(),
+        threads: exec.threads(),
+    }
+    .report("F6");
     out.push_str(&t.render());
     out.push_str("\nF6c: with monthly repair (µ = 1/720 h)\n");
     let mut t = Table::new(&["spares", "7-yr survival", "steady-state availability"]);

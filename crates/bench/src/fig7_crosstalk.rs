@@ -11,12 +11,21 @@ use mosaic_units::{BitRate, Length};
 
 /// Run the experiment.
 pub fn run() -> String {
-    let mut out = String::from("F7a: nearest-neighbor crosstalk vs core pitch (10 m span, center channel)\n");
+    let mut out =
+        String::from("F7a: nearest-neighbor crosstalk vs core pitch (10 m span, center channel)\n");
     let coupling = CoreCoupling::imaging_default();
-    let mut t = Table::new(&["pitch µm", "XT per neighbor dB/10m", "total XT (6 nbrs)", "penalty dB"]);
+    let mut t = Table::new(&[
+        "pitch µm",
+        "XT per neighbor dB/10m",
+        "total XT (6 nbrs)",
+        "penalty dB",
+    ]);
     for &pitch_um in &[12.0, 16.0, 20.0, 24.0, 30.0, 40.0] {
         let pitch = Length::from_um(pitch_um);
-        let model = CrosstalkModel { coupling: coupling.clone(), ..CrosstalkModel::default_aligned() };
+        let model = CrosstalkModel {
+            coupling: coupling.clone(),
+            ..CrosstalkModel::default_aligned()
+        };
         let lat = CoreLattice::spiral(127, pitch);
         let xt = model.total_crosstalk(&lat, 0, Length::from_m(10.0));
         let per = coupling.xt_total(pitch, Length::from_m(10.0));

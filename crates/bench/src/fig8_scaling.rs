@@ -11,7 +11,13 @@ use mosaic_units::{BitRate, Length};
 pub fn run() -> String {
     let mut out = String::from("F8: Mosaic scaling (10 m span, 2 Gb/s channels)\n");
     let mut t = Table::new(&[
-        "aggregate", "channels(+spares)", "array radius", "module W", "link pJ/bit", "reach", "7yr survival",
+        "aggregate",
+        "channels(+spares)",
+        "array radius",
+        "module W",
+        "link pJ/bit",
+        "reach",
+        "7yr survival",
     ]);
     for &g in &[200.0, 400.0, 800.0, 1600.0] {
         let cfg = MosaicConfig::new(BitRate::from_gbps(g), Length::from_m(10.0));
@@ -22,14 +28,19 @@ pub fn run() -> String {
             format!("{}", r.array_radius),
             format!("{:.2}", r.module_power.total().as_watts()),
             format!("{:.2}", r.energy_per_bit.as_pj_per_bit()),
-            r.reach_limit.map(|x| format!("{x}")).unwrap_or_else(|| "-".into()),
+            r.reach_limit
+                .map(|x| format!("{x}"))
+                .unwrap_or_else(|| "-".into()),
             format!("{:.4}", r.reliability.link_survival)
         ]);
     }
     out.push_str(&t.render());
 
     out.push_str("\nnarrow-and-fast reference modules:\n");
-    for m in [dr8(BitRate::from_gbps(800.0)), dr8_1600(BitRate::from_gbps(1600.0))] {
+    for m in [
+        dr8(BitRate::from_gbps(800.0)),
+        dr8_1600(BitRate::from_gbps(1600.0)),
+    ] {
         out.push_str(&format!(
             "  {:<16} {} lanes  {:.1} W/module  {:.2} pJ/bit (link)\n",
             m.name,

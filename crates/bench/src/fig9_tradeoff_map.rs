@@ -9,8 +9,16 @@ use mosaic_units::{BitRate, Length};
 pub fn run() -> String {
     let cands = candidates(BitRate::from_gbps(800.0));
     let mut out = String::from("F9: cheapest feasible 800G technology vs required reach\n");
-    let mut t = Table::new(&["reach m", "winner", "link power", "runner-up", "runner-up power"]);
-    for &m in &[0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 30.0, 50.0, 70.0, 100.0, 200.0, 500.0] {
+    let mut t = Table::new(&[
+        "reach m",
+        "winner",
+        "link power",
+        "runner-up",
+        "runner-up power",
+    ]);
+    for &m in &[
+        0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 30.0, 50.0, 70.0, 100.0, 200.0, 500.0,
+    ] {
         let reach = Length::from_m(m);
         let mut feasible: Vec<_> = cands.iter().filter(|c| c.serves(reach)).collect();
         feasible.sort_by(|a, b| a.link_power.as_watts().total_cmp(&b.link_power.as_watts()));

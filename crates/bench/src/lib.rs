@@ -10,8 +10,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runcfg;
 pub mod table;
 
+pub mod fig10_fec_study;
+pub mod fig11_gearbox_resilience;
+pub mod fig12_sparing_ablation;
+pub mod fig13_pam4_scaling;
+pub mod fig14_temperature;
+pub mod fig15_wearout;
+pub mod fig16_color_mux;
 pub mod fig1_energy_vs_lane_rate;
 pub mod fig2_power_comparison;
 pub mod fig3_reach_vs_rate;
@@ -21,35 +29,63 @@ pub mod fig6_reliability;
 pub mod fig7_crosstalk;
 pub mod fig8_scaling;
 pub mod fig9_tradeoff_map;
-pub mod fig10_fec_study;
-pub mod fig11_gearbox_resilience;
-pub mod fig12_sparing_ablation;
-pub mod fig13_pam4_scaling;
-pub mod fig14_temperature;
-pub mod fig15_wearout;
-pub mod fig16_color_mux;
 pub mod tab1_power_breakdown;
 pub mod tab2_datacenter;
 pub mod tab3_cost;
 
+/// One experiment entry: (id, title, runner).
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
 /// Every experiment: (id, title, runner).
-pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("F1", "Energy/bit vs per-lane rate (why wide-and-slow)", fig1_energy_vs_lane_rate::run),
-        ("F2", "Link power comparison at 800G", fig2_power_comparison::run),
-        ("T1", "Per-component power breakdown", tab1_power_breakdown::run),
+        (
+            "F1",
+            "Energy/bit vs per-lane rate (why wide-and-slow)",
+            fig1_energy_vs_lane_rate::run,
+        ),
+        (
+            "F2",
+            "Link power comparison at 800G",
+            fig2_power_comparison::run,
+        ),
+        (
+            "T1",
+            "Per-component power breakdown",
+            tab1_power_breakdown::run,
+        ),
         ("F3", "Reach vs per-lane rate", fig3_reach_vs_rate::run),
-        ("F4", "BER waterfall of a microLED channel", fig4_ber_waterfall::run),
+        (
+            "F4",
+            "BER waterfall of a microLED channel",
+            fig4_ber_waterfall::run,
+        ),
         ("F5", "100-channel prototype", fig5_prototype_100ch::run),
         ("F6", "Reliability comparison", fig6_reliability::run),
-        ("F7", "Crosstalk vs pitch and misalignment", fig7_crosstalk::run),
+        (
+            "F7",
+            "Crosstalk vs pitch and misalignment",
+            fig7_crosstalk::run,
+        ),
         ("F8", "Scaling 200G → 1.6T", fig8_scaling::run),
         ("F9", "Power-vs-reach trade-off map", fig9_tradeoff_map::run),
         ("F10", "FEC trade study", fig10_fec_study::run),
-        ("F11", "Gearbox resilience under channel kills", fig11_gearbox_resilience::run),
-        ("F12", "Sparing-policy ablation", fig12_sparing_ablation::run),
+        (
+            "F11",
+            "Gearbox resilience under channel kills",
+            fig11_gearbox_resilience::run,
+        ),
+        (
+            "F12",
+            "Sparing-policy ablation",
+            fig12_sparing_ablation::run,
+        ),
         ("F13", "PAM4 rate-scaling ablation", fig13_pam4_scaling::run),
-        ("F14", "Thermal robustness (uncooled)", fig14_temperature::run),
+        (
+            "F14",
+            "Thermal robustness (uncooled)",
+            fig14_temperature::run,
+        ),
         ("F15", "Wear-out lifetime ablation", fig15_wearout::run),
         ("F16", "RGB wavelength multiplexing", fig16_color_mux::run),
         ("T2", "Datacenter fleet study", tab2_datacenter::run),

@@ -1,0 +1,40 @@
+//! Run-scale configuration shared by the figure binaries.
+//!
+//! `MOSAIC_QUICK=1` switches every Monte-Carlo-heavy experiment to a
+//! reduced trial count so the whole evaluation smoke-runs in seconds
+//! (CI uses this). Quick and full runs are each individually
+//! deterministic — quick mode changes *how many* trials run, never how
+//! any given trial draws its randomness — so outputs are byte-identical
+//! across thread counts within either mode.
+
+/// Environment variable selecting reduced trial counts.
+pub const QUICK_ENV: &str = "MOSAIC_QUICK";
+
+/// Whether quick mode is active (`MOSAIC_QUICK` set to anything but `0`).
+pub fn quick() -> bool {
+    matches!(std::env::var(QUICK_ENV), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Pick the trial count for the active mode.
+pub fn trials(full: u64, quick_count: u64) -> u64 {
+    if quick() {
+        quick_count
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mode_uses_full_count() {
+        // The test environment does not set MOSAIC_QUICK.
+        if !quick() {
+            assert_eq!(trials(100, 7), 100);
+        } else {
+            assert_eq!(trials(100, 7), 7);
+        }
+    }
+}

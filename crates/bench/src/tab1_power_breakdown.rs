@@ -33,8 +33,6 @@ pub fn run() -> String {
         cfg.spares,
         b
     ));
-    out.push_str(&format!(
-        "\nkey shape: DSP ≈ half of a laser module; Mosaic has no DSP-class line item\n"
-    ));
+    out.push_str("\nkey shape: DSP ≈ half of a laser module; Mosaic has no DSP-class line item\n");
     out
 }

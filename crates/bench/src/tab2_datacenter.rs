@@ -2,13 +2,16 @@
 //! deployment policies, for small and large Clos fabrics.
 
 use crate::cells;
+use crate::runcfg;
 use crate::table::Table;
 use mosaic::compare::candidates;
 use mosaic_netsim::assignment::{assign, Policy};
-use mosaic_netsim::failure_sim::simulate_fleet;
+use mosaic_netsim::failure_sim::simulate_fleet_ensemble;
 use mosaic_netsim::fleet::rollup;
 use mosaic_netsim::topology::{ClosTopology, RailTopology};
+use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_units::{BitRate, Duration};
+use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -31,11 +34,20 @@ pub fn run() -> String {
             RailTopology::gpu_16k().link_classes(),
         ),
     ];
+    let exec = Exec::from_env();
+    let replicas = runcfg::trials(8, 3);
+    let mut histories = 0u64;
+    let start = Instant::now();
     for (label, size, classes) in fabrics {
         let total_links: usize = classes.iter().map(|c| c.count).sum();
         out.push_str(&format!("\n{label}: {size}, {total_links} links\n"));
         let mut t = Table::new(&[
-            "policy", "fleet kW", "W/link", "tickets/yr (exp)", "tickets/10yr (sim)", "availability",
+            "policy",
+            "fleet kW",
+            "W/link",
+            "tickets/yr (exp)",
+            &format!("tickets/10yr (sim mean of {replicas})"),
+            "availability",
         ]);
         for (name, policy) in [
             ("all-optics", Policy::AllOptics),
@@ -44,14 +56,23 @@ pub fn run() -> String {
         ] {
             let a = assign(&classes, &cands, policy);
             let fleet = rollup(&a);
-            let sim = simulate_fleet(&a, 10.0, Duration::from_hours(24.0), 77);
+            // An ensemble of independent 10-year histories instead of a
+            // single trajectory: parallel replicas, mean ± spread.
+            let sims =
+                simulate_fleet_ensemble(&exec, &a, 10.0, Duration::from_hours(24.0), 77, replicas);
+            histories += replicas;
+            let mean_tickets =
+                sims.iter().map(|s| s.tickets as f64).sum::<f64>() / sims.len() as f64;
+            let min_tickets = sims.iter().map(|s| s.tickets).min().unwrap_or(0);
+            let max_tickets = sims.iter().map(|s| s.tickets).max().unwrap_or(0);
+            let mean_avail = sims.iter().map(|s| s.availability).sum::<f64>() / sims.len() as f64;
             t.row(cells![
                 name,
                 format!("{:.1}", fleet.total_power.as_watts() / 1000.0),
                 format!("{:.2}", fleet.total_power.as_watts() / total_links as f64),
                 format!("{:.1}", fleet.failures_per_year),
-                sim.tickets,
-                format!("{:.6}", sim.availability)
+                format!("{mean_tickets:.1} [{min_tickets},{max_tickets}]"),
+                format!("{mean_avail:.6}")
             ]);
         }
         out.push_str(&t.render());
@@ -68,5 +89,11 @@ pub fn run() -> String {
         out.push_str(&mix.join(", "));
         out.push('\n');
     }
+    RunStats {
+        trials: histories,
+        wall: start.elapsed(),
+        threads: exec.threads(),
+    }
+    .report("T2");
     out
 }

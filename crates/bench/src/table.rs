@@ -9,7 +9,10 @@ pub struct Table {
 impl Table {
     /// Start a table with column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Append a row (must match the header width).
@@ -38,7 +41,13 @@ impl Table {
         let mut out = String::new();
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));

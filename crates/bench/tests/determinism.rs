@@ -1,0 +1,38 @@
+//! The determinism gate, in-process form: the figure pipelines named in
+//! the acceptance criteria must produce byte-identical output whether
+//! they run sequentially or fanned out over many threads. CI runs the
+//! same check against the built binaries (`MOSAIC_THREADS=1` vs default)
+//! and diffs the files.
+//!
+//! One `#[test]` only: the experiments read `MOSAIC_THREADS` from the
+//! environment, and tests in one binary run concurrently — a second
+//! env-mutating test would race.
+
+#[test]
+fn figure_outputs_are_thread_count_invariant() {
+    // Quick mode keeps this at smoke-test cost; quick vs full changes
+    // trial counts, not the determinism contract under test.
+    std::env::set_var(mosaic_bench::runcfg::QUICK_ENV, "1");
+
+    let run_all_figs = || {
+        [
+            ("F4", mosaic_bench::fig4_ber_waterfall::run()),
+            ("F10", mosaic_bench::fig10_fec_study::run()),
+            ("F12", mosaic_bench::fig12_sparing_ablation::run()),
+            ("T2", mosaic_bench::tab2_datacenter::run()),
+        ]
+    };
+
+    std::env::set_var(mosaic_sim::sweep::THREADS_ENV, "1");
+    let sequential = run_all_figs();
+    for threads in ["2", "8"] {
+        std::env::set_var(mosaic_sim::sweep::THREADS_ENV, threads);
+        for ((id, seq), (_, par)) in sequential.iter().zip(run_all_figs()) {
+            assert_eq!(
+                *seq, par,
+                "{id} output diverged at MOSAIC_THREADS={threads}"
+            );
+        }
+    }
+    std::env::remove_var(mosaic_sim::sweep::THREADS_ENV);
+}

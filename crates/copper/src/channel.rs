@@ -79,10 +79,7 @@ mod tests {
         let f = TwinaxChannel::pam4_nyquist(106.25);
         assert!((f.as_ghz() - 26.5625).abs() < 1e-9);
         let il = ch.insertion_loss(f, Length::from_m(2.0));
-        assert!(
-            il.as_db() < -18.0 && il.as_db() > -24.0,
-            "got {il}"
-        );
+        assert!(il.as_db() < -18.0 && il.as_db() > -24.0, "got {il}");
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub struct AecLink {
 impl AecLink {
     /// An 800G AEC.
     pub fn aec_800g() -> Self {
-        AecLink { dac: DacLink::dac_800g() }
+        AecLink {
+            dac: DacLink::dac_800g(),
+        }
     }
 
     /// Maximum cable length (two independently equalized halves).

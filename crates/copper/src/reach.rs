@@ -98,8 +98,18 @@ mod tests {
     #[test]
     fn thicker_cable_buys_reach() {
         let budget = EqualizationBudget::host_lr();
-        let thin = max_reach(&TwinaxChannel::awg30(), BitRate::from_gbps(106.25), budget, 6.0);
-        let thick = max_reach(&TwinaxChannel::awg26(), BitRate::from_gbps(106.25), budget, 6.0);
+        let thin = max_reach(
+            &TwinaxChannel::awg30(),
+            BitRate::from_gbps(106.25),
+            budget,
+            6.0,
+        );
+        let thick = max_reach(
+            &TwinaxChannel::awg26(),
+            BitRate::from_gbps(106.25),
+            budget,
+            6.0,
+        );
         assert!(thick.as_m() > thin.as_m());
     }
 

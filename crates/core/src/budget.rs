@@ -17,8 +17,8 @@ use mosaic_fiber::path::ImagingFiber;
 use mosaic_fiber::{ChannelPath, CoreLattice};
 use mosaic_phy::ber::{OokReceiver, Pam4Receiver};
 use mosaic_phy::driver::LedDrive;
-use mosaic_phy::modulation::Modulation;
 use mosaic_phy::eye::isi_penalty;
+use mosaic_phy::modulation::Modulation;
 use mosaic_phy::noise::NoiseBudget;
 use mosaic_phy::photodiode::Photodiode;
 use mosaic_phy::tia::Tia;
@@ -216,7 +216,9 @@ impl BudgetEngine {
 
     /// Budget every channel.
     pub fn all_channels(&self, led: &mosaic_phy::microled::MicroLed) -> Vec<ChannelBudget> {
-        (0..self.fiber.channels()).map(|i| self.channel(led, i)).collect()
+        (0..self.fiber.channels())
+            .map(|i| self.channel(led, i))
+            .collect()
     }
 
     /// The worst-channel margin, `None` if any channel is unusable.
@@ -294,10 +296,7 @@ mod tests {
         // C1/C5: the solved reach should land in the tens-of-metres band
         // (the paper claims "up to 50 m" with engineering margin).
         let reach = max_reach(&cfg_800g(10.0)).expect("feasible at 1 m");
-        assert!(
-            reach.as_m() > 50.0 && reach.as_m() < 200.0,
-            "reach {reach}"
-        );
+        assert!(reach.as_m() > 50.0 && reach.as_m() < 200.0, "reach {reach}");
     }
 
     #[test]
@@ -321,7 +320,10 @@ mod tests {
         let base = max_reach(&cfg).unwrap();
         cfg.set_channel_rate(BitRate::from_gbps(4.0));
         let fast = max_reach(&cfg).expect("4G still feasible at short reach");
-        assert!(fast.as_m() < base.as_m(), "4G reach {fast} vs 2G reach {base}");
+        assert!(
+            fast.as_m() < base.as_m(),
+            "4G reach {fast} vs 2G reach {base}"
+        );
     }
 
     #[test]
@@ -360,7 +362,10 @@ mod tests {
     fn center_channel_is_not_the_worst_under_rotation() {
         use mosaic_fiber::crosstalk::Misalignment;
         let mut cfg = cfg_800g(10.0);
-        cfg.misalignment = Misalignment { lateral: Length::ZERO, rotation_rad: 0.02 };
+        cfg.misalignment = Misalignment {
+            lateral: Length::ZERO,
+            rotation_rad: 0.02,
+        };
         let engine = BudgetEngine::new(&cfg);
         let budgets = engine.all_channels(&cfg.led);
         let center = budgets[0].margin.unwrap();

@@ -76,7 +76,12 @@ pub fn candidates(aggregate: BitRate) -> Vec<LinkCandidate> {
     });
 
     // AEC.
-    let aec = AecLink { dac: DacLink { aggregate, ..DacLink::dac_800g() } };
+    let aec = AecLink {
+        dac: DacLink {
+            aggregate,
+            ..DacLink::dac_800g()
+        },
+    };
     out.push(LinkCandidate {
         name: format!("{}G-AEC", aggregate.as_gbps().round()),
         kind: TechnologyKind::Aec,
@@ -182,11 +187,7 @@ mod tests {
     fn lasers_win_beyond_mosaic_reach() {
         let c = set();
         let w = winner_at(&c, Length::from_m(300.0)).unwrap();
-        assert!(
-            matches!(w.kind, TechnologyKind::Dr),
-            "at 300 m: {}",
-            w.name
-        );
+        assert!(matches!(w.kind, TechnologyKind::Dr), "at 300 m: {}", w.name);
     }
 
     #[test]

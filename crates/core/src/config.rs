@@ -44,9 +44,7 @@ impl FecChoice {
         match self {
             FecChoice::None => 1e-15,
             FecChoice::Hamming => 2e-8,
-            FecChoice::Bch { t } => {
-                mosaic_fec::analysis::rs_ber_threshold(1023, t, 1, 1e-15)
-            }
+            FecChoice::Bch { t } => mosaic_fec::analysis::rs_ber_threshold(1023, t, 1, 1e-15),
             FecChoice::Kr4 => mosaic_fec::KR4_BER_THRESHOLD,
             FecChoice::Kp4 => mosaic_fec::KP4_BER_THRESHOLD,
         }
@@ -120,7 +118,7 @@ impl MosaicConfig {
     /// rate assumes operation at or below it, and beyond it GaN junction
     /// aging accelerates superlinearly.
     pub fn default_drive_density(rate: BitRate) -> f64 {
-        (1500.0 * rate.as_gbps()).max(2000.0).min(5000.0)
+        (1500.0 * rate.as_gbps()).clamp(2000.0, 5000.0)
     }
 
     /// Change the per-channel rate, re-deriving the drive density (from

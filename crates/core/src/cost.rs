@@ -103,7 +103,12 @@ mod tests {
         // visible single-digit-percent line item and repairs are real.
         let dr = tco_of(TechnologyKind::Dr);
         assert!(dr.capex > dr.energy && dr.capex > dr.repairs);
-        assert!(dr.energy > 0.04 * dr.total(), "energy {} of {}", dr.energy, dr.total());
+        assert!(
+            dr.energy > 0.04 * dr.total(),
+            "energy {} of {}",
+            dr.energy,
+            dr.total()
+        );
         assert!(dr.repairs > 0.0);
     }
 

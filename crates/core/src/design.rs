@@ -97,7 +97,10 @@ mod tests {
     fn too_fast_becomes_infeasible() {
         // At 8 Gb/s per channel the LED bandwidth wall closes the eye.
         let points = sweep_800g_10m();
-        let fast = points.iter().find(|p| p.channel_rate.as_gbps() == 8.0).unwrap();
+        let fast = points
+            .iter()
+            .find(|p| p.channel_rate.as_gbps() == 8.0)
+            .unwrap();
         assert!(!fast.feasible, "8 G/channel should not close at 10 m");
     }
 
@@ -105,7 +108,10 @@ mod tests {
     fn very_slow_pays_channel_count_tax() {
         let points = sweep_800g_10m();
         let best = best_design(&points).unwrap();
-        let slow = points.iter().find(|p| p.channel_rate.as_gbps() == 0.25).unwrap();
+        let slow = points
+            .iter()
+            .find(|p| p.channel_rate.as_gbps() == 0.25)
+            .unwrap();
         assert!(slow.feasible);
         assert!(
             slow.link_power.as_watts() > best.link_power.as_watts(),
@@ -136,8 +142,14 @@ mod tests {
     #[test]
     fn array_radius_grows_with_width() {
         let points = sweep_800g_10m();
-        let slow = points.iter().find(|p| p.channel_rate.as_gbps() == 0.5).unwrap();
-        let fast = points.iter().find(|p| p.channel_rate.as_gbps() == 4.0).unwrap();
+        let slow = points
+            .iter()
+            .find(|p| p.channel_rate.as_gbps() == 0.5)
+            .unwrap();
+        let fast = points
+            .iter()
+            .find(|p| p.channel_rate.as_gbps() == 4.0)
+            .unwrap();
         assert!(slow.array_radius.as_m() > fast.array_radius.as_m());
     }
 }

@@ -24,7 +24,7 @@ pub fn prototype_config() -> MosaicConfig {
     cfg.fec = FecChoice::Kp4;
     cfg.spares = 0;
     assert_eq!(cfg.active_channels(), 101); // ceil() lands at 101
-    // Trim framing overhead so the demo is exactly 100 channels.
+                                            // Trim framing overhead so the demo is exactly 100 channels.
     cfg.framing_overhead = 1.0045;
     assert_eq!(cfg.active_channels(), 100);
     // Demo-grade optics: a first-spin lens stack (lower capture) and two
@@ -38,7 +38,11 @@ pub fn prototype_config() -> MosaicConfig {
 /// Per-channel expected pre-FEC BER map of the prototype.
 pub fn prototype_ber_map(cfg: &MosaicConfig) -> Vec<f64> {
     let engine = BudgetEngine::new(cfg);
-    engine.all_channels(&cfg.led).iter().map(|b| b.expected_ber).collect()
+    engine
+        .all_channels(&cfg.led)
+        .iter()
+        .map(|b| b.expected_ber)
+        .collect()
 }
 
 /// Convert a pre-FEC BER map to the residual post-FEC BER the gearbox's
@@ -125,6 +129,9 @@ mod tests {
         // Spiral order: first channels are central, last are edge.
         let center_avg: f64 = map[..10].iter().sum::<f64>() / 10.0;
         let edge_avg: f64 = map[90..].iter().sum::<f64>() / 10.0;
-        assert!(edge_avg > center_avg, "edge {edge_avg} vs center {center_avg}");
+        assert!(
+            edge_avg > center_avg,
+            "edge {edge_avg} vs center {center_avg}"
+        );
     }
 }

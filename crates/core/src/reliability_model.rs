@@ -16,9 +16,7 @@ use mosaic_units::{Duration, Fit};
 /// (TX LED + driver slice at one end, PD + TIA slice at the other, both
 /// directions).
 pub fn channel_fit() -> Fit {
-    fitdb::MICRO_LED
-        + fitdb::PHOTODIODE
-        + fitdb::LOW_SPEED_ANALOG * 2.0 // driver + TIA slices
+    fitdb::MICRO_LED + fitdb::PHOTODIODE + fitdb::LOW_SPEED_ANALOG * 2.0 // driver + TIA slices
 }
 
 /// The common (unspared) electronics of a link: both module ends plus the

@@ -82,7 +82,11 @@ impl fmt::Display for LinkReport {
             cfg.core_pitch,
         )?;
         match self.worst_margin {
-            Some(m) => writeln!(f, "  worst-channel margin : {m} (pre-FEC BER ≤ {:.2e})", self.worst_ber)?,
+            Some(m) => writeln!(
+                f,
+                "  worst-channel margin : {m} (pre-FEC BER ≤ {:.2e})",
+                self.worst_ber
+            )?,
             None => writeln!(f, "  INFEASIBLE: at least one channel cannot close")?,
         }
         if let Some(r) = self.reach_limit {

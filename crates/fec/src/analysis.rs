@@ -12,14 +12,14 @@
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -106,7 +106,11 @@ pub fn binary_performance(n: usize, t: usize, pre_ber: f64) -> CodePerformance {
     for i in (t + 1)..=n {
         post_ber += (i as f64 / n as f64) * binomial_pmf(n, i, pre_ber);
     }
-    CodePerformance { codeword_failure_prob: fail, post_ser: post_ber, post_ber }
+    CodePerformance {
+        codeword_failure_prob: fail,
+        post_ser: post_ber,
+        post_ber,
+    }
 }
 
 /// The pre-FEC BER at which an RS-like code first achieves `target_post`

@@ -93,7 +93,13 @@ impl Bch {
         let parity = generator.len() - 1;
         assert!(n > parity, "length {n} cannot fit {parity} parity bits");
         let k = n - parity;
-        Bch { field, n, k, t, generator }
+        Bch {
+            field,
+            n,
+            k,
+            t,
+            generator,
+        }
     }
 
     /// The common BCH(1023, ·, t) family over GF(2¹⁰), full length.
@@ -137,8 +143,8 @@ impl Bch {
             rem.rotate_left(1);
             rem[parity_len - 1] = 0;
             if feedback == 1 {
-                for j in 0..parity_len {
-                    rem[j] ^= self.generator[parity_len - 1 - j];
+                for (j, r) in rem.iter_mut().enumerate() {
+                    *r ^= self.generator[parity_len - 1 - j];
                 }
             }
         }
@@ -180,7 +186,9 @@ impl Bch {
         for r in 0..two_t {
             let mut delta = 0u16;
             for i in 0..=l.min(r) {
-                delta = self.field.add(delta, self.field.mul(lambda[i], synd[r - i]));
+                delta = self
+                    .field
+                    .add(delta, self.field.mul(lambda[i], synd[r - i]));
             }
             if delta == 0 {
                 shift += 1;
@@ -190,7 +198,9 @@ impl Bch {
             let mut cand = lambda.clone();
             for i in shift..=two_t {
                 if prev[i - shift] != 0 {
-                    cand[i] = self.field.add(cand[i], self.field.mul(coeff, prev[i - shift]));
+                    cand[i] = self
+                        .field
+                        .add(cand[i], self.field.mul(coeff, prev[i - shift]));
                 }
             }
             if 2 * l <= r {
@@ -278,7 +288,11 @@ mod tests {
                 pos.swap(i, j);
                 word[pos[i]] ^= 1;
             }
-            assert_eq!(code.decode(&mut word), BchOutcome::Corrected(nerr), "nerr={nerr}");
+            assert_eq!(
+                code.decode(&mut word),
+                BchOutcome::Corrected(nerr),
+                "nerr={nerr}"
+            );
             assert_eq!(word, clean);
         }
     }

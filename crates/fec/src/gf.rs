@@ -24,7 +24,7 @@ fn default_poly(m: u32) -> u32 {
         5 => 0b10_0101,
         6 => 0b100_0011,
         7 => 0b1000_1001,
-        8 => 0b1_0001_1101,  // 0x11D, the CCSDS/Ethernet GF(256) polynomial
+        8 => 0b1_0001_1101, // 0x11D, the CCSDS/Ethernet GF(256) polynomial
         9 => 0b10_0001_0001,
         10 => 0b100_0000_1001, // 0x409 = x^10 + x^3 + 1, the KP4 field
         11 => 0b1000_0000_0101,
@@ -47,8 +47,8 @@ impl GaloisField {
         let mut exp = vec![0u16; 2 * (size - 1)];
         let mut log = vec![0u16; size];
         let mut x: u32 = 1;
-        for i in 0..(size - 1) {
-            exp[i] = x as u16;
+        for (i, e) in exp.iter_mut().take(size - 1).enumerate() {
+            *e = x as u16;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & (1 << m) != 0 {

@@ -70,7 +70,7 @@ impl Hamming7264 {
         // received parity7 bits.
         let received_ones =
             data.count_ones() + ((*check & 0x7F) as u32).count_ones() + overall_received as u32;
-        let overall_ok = received_ones % 2 == 0;
+        let overall_ok = received_ones.is_multiple_of(2);
 
         if parity_diff == 0 {
             if overall_ok {

@@ -18,7 +18,10 @@ pub struct BlockInterleaver {
 impl BlockInterleaver {
     /// Construct; both dimensions must be non-zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "interleaver dimensions must be non-zero");
+        assert!(
+            rows > 0 && cols > 0,
+            "interleaver dimensions must be non-zero"
+        );
         BlockInterleaver { rows, cols }
     }
 
@@ -86,8 +89,11 @@ mod tests {
         let data: Vec<usize> = (0..32).collect();
         let tx = il.interleave(&data);
         // Corrupt transmitted positions 8..12 (a 4-burst).
-        let corrupted: Vec<usize> =
-            tx.iter().enumerate().map(|(i, &v)| if (8..12).contains(&i) { 999 } else { v }).collect();
+        let corrupted: Vec<usize> = tx
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if (8..12).contains(&i) { 999 } else { v })
+            .collect();
         let rx = il.deinterleave(&corrupted);
         for r in 0..4 {
             let row = &rx[r * 8..(r + 1) * 8];

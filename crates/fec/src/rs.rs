@@ -39,7 +39,11 @@ impl ReedSolomon {
     pub fn new(m: u32, n: usize, k: usize) -> Self {
         let field = GaloisField::new(m);
         assert!(k >= 1 && k < n, "need 1 ≤ k < n, got n={n} k={k}");
-        assert!(n <= field.order(), "n={n} exceeds field order {}", field.order());
+        assert!(
+            n <= field.order(),
+            "n={n} exceeds field order {}",
+            field.order()
+        );
         let two_t = n - k;
         // Generator g(x) = Π_{i=0}^{2t−1} (x − α^i), built lowest-first.
         let mut generator = vec![1u16];
@@ -48,7 +52,12 @@ impl ReedSolomon {
             // Multiply by (x + root) — characteristic 2, so minus is plus.
             generator = field.poly_mul(&generator, &[root, 1]);
         }
-        ReedSolomon { field, n, k, generator }
+        ReedSolomon {
+            field,
+            n,
+            k,
+            generator,
+        }
     }
 
     /// IEEE 802.3 "KP4" RS(544,514) over GF(2¹⁰): t = 15.
@@ -113,17 +122,21 @@ impl ReedSolomon {
         // `word[0..k]` are the running dividend coefficients (highest first).
         let mut rem = vec![0u16; two_t];
         for &d in data {
-            assert!(d <= mask, "data symbol {d:#x} outside GF(2^{})", self.field.m());
+            assert!(
+                d <= mask,
+                "data symbol {d:#x} outside GF(2^{})",
+                self.field.m()
+            );
             let factor = self.field.add(d, rem[0]);
             // Shift remainder left by one, feed in zero.
             rem.rotate_left(1);
             rem[two_t - 1] = 0;
             if factor != 0 {
-                for j in 0..two_t {
+                for (j, r) in rem.iter_mut().enumerate() {
                     // generator is lowest-first; we need the coefficient of
                     // x^{2t−1−j} which is generator[2t−1−j].
                     let g = self.generator[two_t - 1 - j];
-                    rem[j] = self.field.add(rem[j], self.field.mul(factor, g));
+                    *r = self.field.add(*r, self.field.mul(factor, g));
                 }
             }
         }
@@ -254,7 +267,9 @@ impl ReedSolomon {
         // marks an error at polynomial power p, i.e. word index n−1−p.
         let mut error_powers = Vec::with_capacity(deg);
         for p in 0..self.n {
-            let x_inv = self.field.alpha_pow((self.field.order() - p % self.field.order()) % self.field.order());
+            let x_inv = self
+                .field
+                .alpha_pow((self.field.order() - p % self.field.order()) % self.field.order());
             if self.field.poly_eval(&lambda, x_inv) == 0 {
                 error_powers.push(p);
             }
@@ -471,7 +486,10 @@ mod tests {
         let mut word = rs.encode(&data);
         let erased: Vec<usize> = (0..9).collect(); // 9 > 2t = 8
         word[0] ^= 1;
-        assert_eq!(rs.decode_with_erasures(&mut word, &erased), DecodeOutcome::Failure);
+        assert_eq!(
+            rs.decode_with_erasures(&mut word, &erased),
+            DecodeOutcome::Failure
+        );
     }
 
     #[test]

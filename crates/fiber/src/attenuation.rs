@@ -23,18 +23,27 @@ impl Attenuation {
     /// glass imaging bundles are quoted at 0.05–0.5 dB/m in the visible;
     /// we take a good-but-not-heroic value).
     pub fn imaging_glass() -> Self {
-        Attenuation { db_per_m_at_ref: 0.10, ref_wavelength_m: 450e-9 }
+        Attenuation {
+            db_per_m_at_ref: 0.10,
+            ref_wavelength_m: 450e-9,
+        }
     }
 
     /// Telecom-grade OM4 multimode silica (for baselines): 2.3 dB/km at
     /// 850 nm.
     pub fn om4_850() -> Self {
-        Attenuation { db_per_m_at_ref: 0.0023, ref_wavelength_m: 850e-9 }
+        Attenuation {
+            db_per_m_at_ref: 0.0023,
+            ref_wavelength_m: 850e-9,
+        }
     }
 
     /// Single-mode silica at 1310 nm (for DR baselines): 0.32 dB/km.
     pub fn smf_1310() -> Self {
-        Attenuation { db_per_m_at_ref: 0.00032, ref_wavelength_m: 1310e-9 }
+        Attenuation {
+            db_per_m_at_ref: 0.00032,
+            ref_wavelength_m: 1310e-9,
+        }
     }
 
     /// Loss per metre at `wavelength_m`, dB (positive).

@@ -26,13 +26,25 @@ pub struct Color {
 }
 
 /// Blue InGaN (the paper's baseline).
-pub const BLUE: Color = Color { name: "blue", wavelength_m: 450e-9, efficiency_vs_blue: 1.0 };
+pub const BLUE: Color = Color {
+    name: "blue",
+    wavelength_m: 450e-9,
+    efficiency_vs_blue: 1.0,
+};
 
 /// Green InGaN (the green gap).
-pub const GREEN: Color = Color { name: "green", wavelength_m: 520e-9, efficiency_vs_blue: 0.55 };
+pub const GREEN: Color = Color {
+    name: "green",
+    wavelength_m: 520e-9,
+    efficiency_vs_blue: 0.55,
+};
 
 /// Red AlInGaP (harder at micro scale: surface recombination).
-pub const RED: Color = Color { name: "red", wavelength_m: 630e-9, efficiency_vs_blue: 0.8 };
+pub const RED: Color = Color {
+    name: "red",
+    wavelength_m: 630e-9,
+    efficiency_vs_blue: 0.8,
+};
 
 /// A color-multiplexing plan for one core.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,12 +59,18 @@ pub struct ColorPlan {
 impl ColorPlan {
     /// Single-color (the paper's design point).
     pub fn single() -> Self {
-        ColorPlan { colors: vec![BLUE], filter_rejection_db: 25.0 }
+        ColorPlan {
+            colors: vec![BLUE],
+            filter_rejection_db: 25.0,
+        }
     }
 
     /// Full RGB: ×3 capacity per core.
     pub fn rgb() -> Self {
-        ColorPlan { colors: vec![BLUE, GREEN, RED], filter_rejection_db: 25.0 }
+        ColorPlan {
+            colors: vec![BLUE, GREEN, RED],
+            filter_rejection_db: 25.0,
+        }
     }
 
     /// Capacity multiplier per core.
@@ -99,12 +117,16 @@ mod tests {
 
     #[test]
     fn bad_filters_close_the_eye() {
-        let p = ColorPlan { colors: vec![BLUE, GREEN, RED], filter_rejection_db: 5.0 };
+        let p = ColorPlan {
+            colors: vec![BLUE, GREEN, RED],
+            filter_rejection_db: 5.0,
+        };
         // 2 × 10^-0.5 ≈ 0.63 > 0.5: unusable.
         assert!(p.color_crosstalk_penalty().is_none());
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // regression guard on const tuning
     fn green_gap_ordering() {
         assert!(GREEN.efficiency_vs_blue < RED.efficiency_vs_blue);
         assert!(RED.efficiency_vs_blue < BLUE.efficiency_vs_blue);

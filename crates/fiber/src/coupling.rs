@@ -67,10 +67,7 @@ mod tests {
     #[test]
     fn default_budget_is_about_eight_db() {
         let loss = CouplingBudget::mosaic_default().loss();
-        assert!(
-            loss.as_db() < -6.0 && loss.as_db() > -10.0,
-            "got {loss}"
-        );
+        assert!(loss.as_db() < -6.0 && loss.as_db() > -10.0, "got {loss}");
     }
 
     #[test]

@@ -64,8 +64,10 @@ pub struct Misalignment {
 
 impl Misalignment {
     /// Perfect alignment.
-    pub const NONE: Misalignment =
-        Misalignment { lateral: Length::ZERO, rotation_rad: 0.0 };
+    pub const NONE: Misalignment = Misalignment {
+        lateral: Length::ZERO,
+        rotation_rad: 0.0,
+    };
 
     /// Effective offset magnitude for a channel at radius `r` from the
     /// optical axis: lateral and rotational (`r·θ`) contributions in
@@ -202,7 +204,10 @@ mod tests {
         let mut m = CrosstalkModel::default_aligned();
         let clean_self = m.self_coupling(&lat, 0);
         let clean_xt = m.total_crosstalk(&lat, 0, Length::from_m(10.0));
-        m.misalignment = Misalignment { lateral: Length::from_um(6.0), rotation_rad: 0.0 };
+        m.misalignment = Misalignment {
+            lateral: Length::from_um(6.0),
+            rotation_rad: 0.0,
+        };
         assert!(m.self_coupling(&lat, 0) < clean_self);
         assert!(m.total_crosstalk(&lat, 0, Length::from_m(10.0)) > clean_xt);
     }
@@ -211,7 +216,10 @@ mod tests {
     fn rotation_hits_outer_channels_hardest() {
         let lat = lattice();
         let m = CrosstalkModel {
-            misalignment: Misalignment { lateral: Length::ZERO, rotation_rad: 0.05 },
+            misalignment: Misalignment {
+                lateral: Length::ZERO,
+                rotation_rad: 0.05,
+            },
             ..CrosstalkModel::default_aligned()
         };
         let center = m.self_coupling(&lat, 0);

@@ -21,12 +21,16 @@ impl ModalDispersion {
     /// couple strongly, giving an effective ~100 MHz·km — far better than
     /// large-core step-index POF, far worse than laser-optimized OM4.
     pub fn imaging_core() -> Self {
-        ModalDispersion { bandwidth_length_hz_m: 100e6 * 1000.0 }
+        ModalDispersion {
+            bandwidth_length_hz_m: 100e6 * 1000.0,
+        }
     }
 
     /// OM4 multimode at 850 nm: 4700 MHz·km effective modal bandwidth.
     pub fn om4() -> Self {
-        ModalDispersion { bandwidth_length_hz_m: 4700e6 * 1000.0 }
+        ModalDispersion {
+            bandwidth_length_hz_m: 4700e6 * 1000.0,
+        }
     }
 
     /// −3 dB modal bandwidth of a span of `length`.

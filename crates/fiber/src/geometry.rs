@@ -49,7 +49,10 @@ impl HexCoord {
     pub fn neighbors(self) -> [HexCoord; 6] {
         let mut out = [HexCoord::CENTER; 6];
         for (o, d) in out.iter_mut().zip(Self::DIRECTIONS) {
-            *o = HexCoord { q: self.q + d.q, r: self.r + d.r };
+            *o = HexCoord {
+                q: self.q + d.q,
+                r: self.r + d.r,
+            };
         }
         out
     }
@@ -98,7 +101,10 @@ impl CoreLattice {
         let mut ring = 1u32;
         'outer: while cores.len() < count {
             // Walk the ring counter-clockwise starting from the "east" spoke.
-            let mut c = HexCoord { q: ring as i32, r: 0 };
+            let mut c = HexCoord {
+                q: ring as i32,
+                r: 0,
+            };
             for dir in [2usize, 3, 4, 5, 0, 1] {
                 for _ in 0..ring {
                     cores.push(c);
@@ -106,7 +112,10 @@ impl CoreLattice {
                         break 'outer;
                     }
                     let d = HexCoord::DIRECTIONS[dir];
-                    c = HexCoord { q: c.q + d.q, r: c.r + d.r };
+                    c = HexCoord {
+                        q: c.q + d.q,
+                        r: c.r + d.r,
+                    };
                 }
             }
             ring += 1;
@@ -185,7 +194,7 @@ mod tests {
     fn interior_core_has_six_neighbors() {
         let lat = CoreLattice::spiral(19, Length::from_um(20.0));
         assert_eq!(lat.neighbor_indices(0).len(), 6); // center
-        // A ring-2 (outermost) corner core has fewer populated neighbors.
+                                                      // A ring-2 (outermost) corner core has fewer populated neighbors.
         let outer = lat.cores.iter().position(|c| c.ring() == 2).unwrap();
         assert!(lat.neighbor_indices(outer).len() < 6);
     }

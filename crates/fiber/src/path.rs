@@ -107,7 +107,11 @@ mod tests {
         // of glass — well under 15 dB, leaving margin for an LED launch.
         let f = ImagingFiber::mosaic_default(100, Length::from_m(10.0));
         let p = f.channel_path(0, BLUE);
-        assert!(p.loss.as_db() < -7.0 && p.loss.as_db() > -15.0, "{}", p.loss);
+        assert!(
+            p.loss.as_db() < -7.0 && p.loss.as_db() > -15.0,
+            "{}",
+            p.loss
+        );
         assert!(p.crosstalk_penalty.is_some());
         assert!(p.modal_bandwidth.as_ghz() > 5.0);
     }
@@ -125,9 +129,7 @@ mod tests {
     fn loss_grows_with_length() {
         let short = ImagingFiber::mosaic_default(100, Length::from_m(5.0));
         let long = ImagingFiber::mosaic_default(100, Length::from_m(50.0));
-        assert!(
-            long.channel_path(0, BLUE).loss.as_db() < short.channel_path(0, BLUE).loss.as_db()
-        );
+        assert!(long.channel_path(0, BLUE).loss.as_db() < short.channel_path(0, BLUE).loss.as_db());
     }
 
     #[test]

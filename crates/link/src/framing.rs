@@ -17,7 +17,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             for (i, entry) in t.iter_mut().enumerate() {
                 let mut c = i as u32;
                 for _ in 0..8 {
-                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
                 }
                 *entry = c;
             }
@@ -88,16 +92,15 @@ impl Frame {
             return Err(FrameError::BadLength);
         }
         let body = &buf[..10 + len];
-        let crc_rx = u32::from_le_bytes([
-            buf[10 + len],
-            buf[11 + len],
-            buf[12 + len],
-            buf[13 + len],
-        ]);
+        let crc_rx =
+            u32::from_le_bytes([buf[10 + len], buf[11 + len], buf[12 + len], buf[13 + len]]);
         if crc32(body) != crc_rx {
             return Err(FrameError::BadCrc);
         }
-        Ok(Frame { seq, payload: buf[10..10 + len].to_vec() })
+        Ok(Frame {
+            seq,
+            payload: buf[10..10 + len].to_vec(),
+        })
     }
 }
 
@@ -114,14 +117,20 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        let f = Frame { seq: 7, payload: b"hello mosaic".to_vec() };
+        let f = Frame {
+            seq: 7,
+            payload: b"hello mosaic".to_vec(),
+        };
         let parsed = Frame::from_bytes(&f.to_bytes()).unwrap();
         assert_eq!(parsed, f);
     }
 
     #[test]
     fn corruption_detected() {
-        let f = Frame { seq: 1, payload: vec![0u8; 64] };
+        let f = Frame {
+            seq: 1,
+            payload: vec![0u8; 64],
+        };
         let mut bytes = f.to_bytes();
         bytes[20] ^= 0x40;
         assert_eq!(Frame::from_bytes(&bytes), Err(FrameError::BadCrc));
@@ -129,7 +138,10 @@ mod tests {
 
     #[test]
     fn header_corruption_detected() {
-        let f = Frame { seq: 1, payload: vec![1, 2, 3] };
+        let f = Frame {
+            seq: 1,
+            payload: vec![1, 2, 3],
+        };
         let mut bytes = f.to_bytes();
         bytes[0] ^= 0xFF;
         assert_eq!(Frame::from_bytes(&bytes), Err(FrameError::BadMagic));
@@ -137,9 +149,15 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let f = Frame { seq: 1, payload: vec![9; 32] };
+        let f = Frame {
+            seq: 1,
+            payload: vec![9; 32],
+        };
         let bytes = f.to_bytes();
-        assert_eq!(Frame::from_bytes(&bytes[..bytes.len() - 3]), Err(FrameError::BadLength));
+        assert_eq!(
+            Frame::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(FrameError::BadLength)
+        );
         assert_eq!(Frame::from_bytes(&bytes[..5]), Err(FrameError::Truncated));
     }
 

@@ -77,7 +77,11 @@ impl Gearbox {
     }
 
     /// Retire a physical channel and swap in a spare.
-    pub fn fail_channel(&mut self, physical: usize, kind: FailureKind) -> Result<Option<usize>, NoSpares> {
+    pub fn fail_channel(
+        &mut self,
+        physical: usize,
+        kind: FailureKind,
+    ) -> Result<Option<usize>, NoSpares> {
         self.map.fail_channel(physical, kind)
     }
 
@@ -88,7 +92,10 @@ impl Gearbox {
         // Frames → byte stream.
         let mut bytes = Vec::new();
         for p in payloads {
-            let f = Frame { seq: self.next_tx_seq, payload: p.to_vec() };
+            let f = Frame {
+                seq: self.next_tx_seq,
+                payload: p.to_vec(),
+            };
             self.next_tx_seq = self.next_tx_seq.wrapping_add(1);
             bytes.extend_from_slice(&f.to_bytes());
         }
@@ -106,8 +113,10 @@ impl Gearbox {
             words.push(0);
         }
         // Scramble.
-        let scrambled: Vec<u64> =
-            words.iter().map(|&w| self.tx_scrambler.scramble_word(w)).collect();
+        let scrambled: Vec<u64> = words
+            .iter()
+            .map(|&w| self.tx_scrambler.scramble_word(w))
+            .collect();
         // Stripe over logical lanes.
         let logical_streams = self.dist.stripe(&scrambled, 0);
         // Map to physical channels.
@@ -128,7 +137,12 @@ impl Gearbox {
 
     /// Receive one epoch of physical channel streams.
     pub fn receive(&mut self, channels: &[Vec<LaneWord>]) -> RxReport {
-        assert_eq!(channels.len(), self.physical, "expected {} channel streams", self.physical);
+        assert_eq!(
+            channels.len(),
+            self.physical,
+            "expected {} channel streams",
+            self.physical
+        );
         // Gather the assigned channels in logical order.
         let lanes: Vec<Vec<LaneWord>> = (0..self.cfg.lanes)
             .map(|l| channels[self.map.physical_for(l)].clone())
@@ -151,7 +165,12 @@ impl Gearbox {
         }
         let (frames, corrupt) = scan_frames(&bytes);
         let payload_bytes = frames.iter().map(|f| f.payload.len()).sum();
-        RxReport { frames, corrupt_frames: corrupt, payload_bytes, deskew_failed: false }
+        RxReport {
+            frames,
+            corrupt_frames: corrupt,
+            payload_bytes,
+            deskew_failed: false,
+        }
     }
 }
 
@@ -261,7 +280,11 @@ mod tests {
         }
         let report = rx.receive(&channels);
         assert!(!report.deskew_failed);
-        assert!(report.frames.len() >= 24, "lost too many: {}", report.frames.len());
+        assert!(
+            report.frames.len() >= 24,
+            "lost too many: {}",
+            report.frames.len()
+        );
         assert!(report.frames.len() < 30);
         assert!(report.corrupt_frames > 0);
         // Delivered frames are bit-exact.
@@ -307,8 +330,14 @@ mod tests {
 
     #[test]
     fn scan_resynchronizes_after_garbage() {
-        let f1 = Frame { seq: 1, payload: vec![1; 20] };
-        let f2 = Frame { seq: 2, payload: vec![2; 20] };
+        let f1 = Frame {
+            seq: 1,
+            payload: vec![1; 20],
+        };
+        let f2 = Frame {
+            seq: 2,
+            payload: vec![2; 20],
+        };
         let mut bytes = vec![0x5Au8; 7]; // leading garbage
         bytes.extend(f1.to_bytes());
         bytes.extend(vec![0xFF; 13]); // mid-stream garbage

@@ -23,7 +23,13 @@ impl LaneHealth {
     /// completed windows of history.
     pub fn new(window_bits: u64, max_windows: usize) -> Self {
         assert!(window_bits > 0 && max_windows > 0);
-        LaneHealth { window_bits, history: vec![], cur_bits: 0, cur_errors: 0, max_windows }
+        LaneHealth {
+            window_bits,
+            history: vec![],
+            cur_bits: 0,
+            cur_errors: 0,
+            max_windows,
+        }
     }
 
     /// Record `bits` observed with `errors` mismatches.
@@ -36,7 +42,8 @@ impl LaneHealth {
             let carry_bits = self.cur_bits - self.window_bits;
             let carry_errors =
                 ((self.cur_errors as f64) * (carry_bits as f64 / self.cur_bits as f64)) as u64;
-            self.history.push((self.window_bits, self.cur_errors - carry_errors));
+            self.history
+                .push((self.window_bits, self.cur_errors - carry_errors));
             if self.history.len() > self.max_windows {
                 self.history.remove(0);
             }
@@ -93,7 +100,10 @@ impl LaneMap {
     /// # Panics
     /// Panics if there are fewer physical channels than logical lanes.
     pub fn new(logical: usize, physical: usize) -> Self {
-        assert!(physical >= logical, "need at least {logical} channels, have {physical}");
+        assert!(
+            physical >= logical,
+            "need at least {logical} channels, have {physical}"
+        );
         LaneMap {
             assignment: (0..logical).collect(),
             spares: (logical..physical).collect(),
@@ -214,7 +224,10 @@ mod tests {
     fn exhausted_spares_is_an_error() {
         let mut map = LaneMap::new(2, 3); // one spare: channel 2
         assert_eq!(map.fail_channel(0, FailureKind::Dead).unwrap(), Some(0));
-        assert_eq!(map.fail_channel(1, FailureKind::Dead), Err(NoSpares { logical: 1 }));
+        assert_eq!(
+            map.fail_channel(1, FailureKind::Dead),
+            Err(NoSpares { logical: 1 })
+        );
     }
 
     #[test]

@@ -37,12 +37,18 @@ pub enum DecodedBlock {
 
 /// Encode a data word.
 pub fn encode_data(word: u64) -> Block66 {
-    Block66 { sync: SYNC_DATA, payload: word }
+    Block66 {
+        sync: SYNC_DATA,
+        payload: word,
+    }
 }
 
 /// Encode an idle block.
 pub fn encode_idle() -> Block66 {
-    Block66 { sync: SYNC_CTRL, payload: IDLE_PAYLOAD }
+    Block66 {
+        sync: SYNC_CTRL,
+        payload: IDLE_PAYLOAD,
+    }
 }
 
 /// Decode a received block.

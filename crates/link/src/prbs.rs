@@ -16,24 +16,39 @@ pub struct Prbs {
 impl Prbs {
     /// PRBS7: x⁷ + x⁶ + 1 (period 127).
     pub fn prbs7() -> Self {
-        Prbs { state: 0x7F, taps: (7, 6), order: 7 }
+        Prbs {
+            state: 0x7F,
+            taps: (7, 6),
+            order: 7,
+        }
     }
 
     /// PRBS15: x¹⁵ + x¹⁴ + 1 (period 32767).
     pub fn prbs15() -> Self {
-        Prbs { state: 0x7FFF, taps: (15, 14), order: 15 }
+        Prbs {
+            state: 0x7FFF,
+            taps: (15, 14),
+            order: 15,
+        }
     }
 
     /// PRBS31: x³¹ + x²⁸ + 1 (period 2³¹−1), the datacom standard.
     pub fn prbs31() -> Self {
-        Prbs { state: 0x7FFF_FFFF, taps: (31, 28), order: 31 }
+        Prbs {
+            state: 0x7FFF_FFFF,
+            taps: (31, 28),
+            order: 31,
+        }
     }
 
     /// Construct with an explicit non-zero seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         let mask = (1u64 << self.order) - 1;
         let s = seed & mask;
-        assert!(s != 0, "LFSR seed must be non-zero within the register width");
+        assert!(
+            s != 0,
+            "LFSR seed must be non-zero within the register width"
+        );
         self.state = s;
         self
     }
@@ -74,7 +89,13 @@ pub struct PrbsChecker {
 impl PrbsChecker {
     /// A checker for the given PRBS family.
     pub fn new(template: Prbs) -> Self {
-        PrbsChecker { reference: None, template, warmup: vec![], compared: 0, errors: 0 }
+        PrbsChecker {
+            reference: None,
+            template,
+            warmup: vec![],
+            compared: 0,
+            errors: 0,
+        }
     }
 
     /// Feed one received bit.

@@ -18,7 +18,9 @@ pub struct Scrambler {
 impl Default for Scrambler {
     fn default() -> Self {
         // Any non-zero init works; hardware commonly uses all-ones.
-        Scrambler { state: (1u64 << 58) - 1 }
+        Scrambler {
+            state: (1u64 << 58) - 1,
+        }
     }
 }
 
@@ -104,10 +106,16 @@ mod tests {
         let mut rx_dirty = Scrambler::new();
         let words = [0u64; 4];
         let mut scrambled: Vec<u64> = words.iter().map(|&w| tx.scramble_word(w)).collect();
-        let clean: Vec<u64> = scrambled.iter().map(|&w| rx_clean.descramble_word(w)).collect();
+        let clean: Vec<u64> = scrambled
+            .iter()
+            .map(|&w| rx_clean.descramble_word(w))
+            .collect();
         // Flip one bit on the line in word 1.
         scrambled[1] ^= 1 << 10;
-        let dirty: Vec<u64> = scrambled.iter().map(|&w| rx_dirty.descramble_word(w)).collect();
+        let dirty: Vec<u64> = scrambled
+            .iter()
+            .map(|&w| rx_dirty.descramble_word(w))
+            .collect();
         let flipped: u32 = clean
             .iter()
             .zip(&dirty)

@@ -133,7 +133,9 @@ impl Deskewer {
                 .iter()
                 .position(|w| matches!(w, LaneWord::Marker(_)))
                 .ok_or(DeskewError::NoMarker { lane: i })?;
-            let LaneWord::Marker(seq) = lane[p] else { unreachable!() };
+            let LaneWord::Marker(seq) = lane[p] else {
+                unreachable!()
+            };
             first_seq.push(seq);
             pos.push(p);
         }
@@ -282,7 +284,10 @@ mod tests {
     fn wrong_lane_count_rejected() {
         let cfg = StripeConfig::new(3, 2);
         let streams = vec![vec![], vec![]];
-        assert_eq!(Deskewer::new(cfg).reassemble(&streams), Err(DeskewError::LaneCount));
+        assert_eq!(
+            Deskewer::new(cfg).reassemble(&streams),
+            Err(DeskewError::LaneCount)
+        );
     }
 
     #[test]

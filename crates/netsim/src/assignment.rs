@@ -20,7 +20,10 @@ impl Policy {
     pub fn admits(self, kind: TechnologyKind) -> bool {
         match self {
             Policy::AllOptics => {
-                matches!(kind, TechnologyKind::Sr | TechnologyKind::Dr | TechnologyKind::Lpo)
+                matches!(
+                    kind,
+                    TechnologyKind::Sr | TechnologyKind::Dr | TechnologyKind::Lpo
+                )
             }
             Policy::CopperPlusOptics => !matches!(kind, TechnologyKind::Mosaic),
             Policy::WithMosaic => true,
@@ -57,10 +60,16 @@ pub fn assign(
                 .collect();
             let choice = winner_at(&admitted, class.length)
                 .unwrap_or_else(|| {
-                    panic!("no admitted technology reaches {} for {}", class.length, class.tier)
+                    panic!(
+                        "no admitted technology reaches {} for {}",
+                        class.length, class.tier
+                    )
                 })
                 .clone();
-            Assignment { class: class.clone(), choice }
+            Assignment {
+                class: class.clone(),
+                choice,
+            }
         })
         .collect()
 }
@@ -82,12 +91,17 @@ mod tests {
     #[test]
     fn with_mosaic_policy_uses_mosaic_in_row() {
         let a = assign(&classes(), &cands(), Policy::WithMosaic);
-        let by_tier: Vec<(&str, TechnologyKind)> =
-            a.iter().map(|x| (x.class.tier.as_str(), x.choice.kind)).collect();
+        let by_tier: Vec<(&str, TechnologyKind)> = a
+            .iter()
+            .map(|x| (x.class.tier.as_str(), x.choice.kind))
+            .collect();
         assert_eq!(by_tier[0], ("server-tor", TechnologyKind::Dac));
         assert_eq!(by_tier[1], ("tor-agg", TechnologyKind::Mosaic));
         assert_eq!(by_tier[2].0, "agg-spine");
-        assert!(matches!(by_tier[2].1, TechnologyKind::Dr | TechnologyKind::Lpo));
+        assert!(matches!(
+            by_tier[2].1,
+            TechnologyKind::Dr | TechnologyKind::Lpo
+        ));
     }
 
     #[test]

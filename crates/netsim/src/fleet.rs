@@ -1,6 +1,7 @@
 //! Fleet-wide rollups: power, energy per bit, expected failures.
 
 use crate::assignment::Assignment;
+use mosaic_sim::sweep::Exec;
 use mosaic_units::{Fit, Power};
 use std::collections::BTreeMap;
 
@@ -21,21 +22,37 @@ pub struct FleetReport {
     pub links_by_tech: BTreeMap<String, usize>,
 }
 
-/// Roll up an assignment into fleet totals.
+/// Roll up an assignment into fleet totals. Runs on the ambient
+/// (`MOSAIC_THREADS`) execution context; see [`rollup_with`].
 pub fn rollup(assignments: &[Assignment]) -> FleetReport {
+    rollup_with(&Exec::from_env(), assignments)
+}
+
+/// [`rollup`] on an explicit execution context: the per-class partials
+/// are computed as a parallel sweep over assignments, then folded into
+/// the totals in assignment order — so float accumulation order (and
+/// therefore the report) is identical at every thread count.
+pub fn rollup_with(exec: &Exec, assignments: &[Assignment]) -> FleetReport {
+    let partials = exec.par_sweep(assignments, |a| {
+        let n = a.class.count as f64;
+        (
+            a.choice.link_power * n,
+            a.choice.link_fit * n,
+            a.class.count,
+            a.choice.name.clone(),
+        )
+    });
     let mut total_power = Power::ZERO;
     let mut total_fit = Fit::ZERO;
     let mut links = 0usize;
     let mut power_by_tech: BTreeMap<String, Power> = BTreeMap::new();
     let mut links_by_tech: BTreeMap<String, usize> = BTreeMap::new();
-    for a in assignments {
-        let n = a.class.count as f64;
-        let p = a.choice.link_power * n;
+    for (p, fit, count, name) in partials {
         total_power += p;
-        total_fit = total_fit + a.choice.link_fit * n;
-        links += a.class.count;
-        *power_by_tech.entry(a.choice.name.clone()).or_insert(Power::ZERO) += p;
-        *links_by_tech.entry(a.choice.name.clone()).or_insert(0) += a.class.count;
+        total_fit = total_fit + fit;
+        links += count;
+        *power_by_tech.entry(name.clone()).or_insert(Power::ZERO) += p;
+        *links_by_tech.entry(name).or_insert(0) += count;
     }
     FleetReport {
         total_power,

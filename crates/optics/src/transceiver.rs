@@ -155,7 +155,10 @@ mod tests {
     fn lpo_saves_most_of_the_dsp() {
         let full = dr8(BitRate::from_gbps(800.0)).power();
         let lpo = lpo_dr8(BitRate::from_gbps(800.0)).power();
-        assert!(lpo.as_watts() < 0.75 * full.as_watts(), "lpo={lpo} full={full}");
+        assert!(
+            lpo.as_watts() < 0.75 * full.as_watts(),
+            "lpo={lpo} full={full}"
+        );
     }
 
     #[test]

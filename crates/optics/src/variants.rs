@@ -112,6 +112,9 @@ mod tests {
         // dissipates more absolute heat in the same cage.
         let g800 = dr8(BitRate::from_gbps(800.0)).power();
         let g1600 = dr8_1600(BitRate::from_gbps(1600.0)).power();
-        assert!(g1600.as_watts() > 1.4 * g800.as_watts(), "800G={g800} 1.6T={g1600}");
+        assert!(
+            g1600.as_watts() > 1.4 * g800.as_watts(),
+            "800G={g800} 1.6T={g1600}"
+        );
     }
 }

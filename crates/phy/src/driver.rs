@@ -38,7 +38,11 @@ impl LedDrive {
         let i_off = bisect(i_on * 1e-6, i_on, 120, |i| {
             led.optical_power(i).as_watts() - target
         });
-        LedDrive { i_on, i_off, extinction_ratio: er }
+        LedDrive {
+            i_on,
+            i_off,
+            extinction_ratio: er,
+        }
     }
 
     /// Time-average drive current assuming balanced (DC-free) data.
@@ -67,11 +71,7 @@ impl LedDrive {
 
 /// Average electrical power to directly modulate a threshold laser with OOK
 /// at extinction ratio `er`, producing average optical power `avg_optical`.
-pub fn laser_drive_power<L: ThresholdLaser>(
-    laser: &L,
-    avg_optical: Power,
-    er: f64,
-) -> Power {
+pub fn laser_drive_power<L: ThresholdLaser>(laser: &L, avg_optical: Power, er: f64) -> Power {
     assert!(er > 1.0, "extinction ratio must exceed 1");
     // Split average optical into on/off levels, map through the L-I curve.
     let p1 = avg_optical * (2.0 * er / (er + 1.0));

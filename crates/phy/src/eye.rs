@@ -50,7 +50,10 @@ pub fn isi_penalty(rate: BitRate, f3db: Frequency) -> Option<Db> {
 /// The highest NRZ bit rate with at least `min_eye` worst-case eye opening
 /// through a first-order channel: solves `1 − 2α = min_eye` in closed form.
 pub fn max_rate_for_eye(f3db: Frequency, min_eye: f64) -> BitRate {
-    assert!((0.0..1.0).contains(&min_eye), "eye fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&min_eye),
+        "eye fraction must be in [0,1)"
+    );
     let alpha = (1.0 - min_eye) / 2.0;
     let tau = 1.0 / (2.0 * core::f64::consts::PI * f3db.as_hz());
     // T = −τ·ln(α)
@@ -62,7 +65,10 @@ pub fn max_rate_for_eye(f3db: Frequency, min_eye: f64) -> BitRate {
 /// the measured eye opening. Used in tests to validate the closed form and
 /// available to experiments for eye-diagram style output.
 pub fn exhaustive_eye(rate: BitRate, f3db: Frequency, pattern_bits: u32) -> EyeMeasurement {
-    assert!(pattern_bits >= 2 && pattern_bits <= 16, "pattern length must be 2..=16");
+    assert!(
+        (2..=16).contains(&pattern_bits),
+        "pattern length must be 2..=16"
+    );
     let alpha = decay_factor(rate, f3db);
     let n = pattern_bits;
     let mut min_one = f64::INFINITY;

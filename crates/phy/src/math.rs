@@ -21,9 +21,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -46,7 +45,10 @@ pub fn normal_tail(x: f64) -> f64 {
 /// `p` must be in `(0, 0.5]`; values at or below ~1e-300 saturate at the
 /// bracket edge. Used to convert a target BER into a required Q-factor.
 pub fn normal_tail_inv(p: f64) -> f64 {
-    assert!(p > 0.0 && p <= 0.5, "tail probability must be in (0, 0.5], got {p}");
+    assert!(
+        p > 0.0 && p <= 0.5,
+        "tail probability must be in (0, 0.5], got {p}"
+    );
     let (mut lo, mut hi) = (0.0f64, 40.0f64);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);

@@ -290,7 +290,9 @@ mod tests {
     fn current_for_bandwidth_inverts_bandwidth() {
         let d = led();
         let target = Frequency::from_ghz(1.0);
-        let i = d.current_for_bandwidth(target, 20_000.0).expect("reachable");
+        let i = d
+            .current_for_bandwidth(target, 20_000.0)
+            .expect("reachable");
         let f = d.modulation_bandwidth(i);
         assert!((f.as_hz() / target.as_hz() - 1.0).abs() < 1e-3);
     }
@@ -298,14 +300,22 @@ mod tests {
     #[test]
     fn unreachable_bandwidth_returns_none() {
         let d = led();
-        assert!(d.current_for_bandwidth(Frequency::from_ghz(100.0), 20_000.0).is_none());
+        assert!(d
+            .current_for_bandwidth(Frequency::from_ghz(100.0), 20_000.0)
+            .is_none());
     }
 
     #[test]
     fn smaller_devices_same_density_same_bandwidth() {
         // Carrier dynamics depend on density, not absolute current.
-        let big = MicroLed { diameter_m: 8e-6, ..led() };
-        let small = MicroLed { diameter_m: 2e-6, ..led() };
+        let big = MicroLed {
+            diameter_m: 8e-6,
+            ..led()
+        };
+        let small = MicroLed {
+            diameter_m: 2e-6,
+            ..led()
+        };
         let fb = big.carrier_bandwidth(big.current_for_density(2000.0));
         let fs = small.carrier_bandwidth(small.current_for_density(2000.0));
         assert!((fb.as_hz() / fs.as_hz() - 1.0).abs() < 1e-6);
@@ -321,7 +331,10 @@ mod tests {
         assert!(p_hot.as_watts() < p_cold.as_watts());
         // …but degradation over the datacenter range stays moderate
         // (within ~3 dB), which is what makes uncooled operation viable.
-        assert!(p_hot.as_watts() > 0.5 * p_cold.as_watts(), "hot {p_hot} cold {p_cold}");
+        assert!(
+            p_hot.as_watts() > 0.5 * p_cold.as_watts(),
+            "hot {p_hot} cold {p_cold}"
+        );
     }
 
     #[test]

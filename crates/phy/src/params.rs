@@ -138,6 +138,7 @@ mod tests {
     /// architecture argument rests on; if someone re-tunes them into an
     /// unphysical regime, fail loudly here.
     #[test]
+    #[allow(clippy::assertions_on_constants)] // regression guard on const tuning
     fn sanity_orderings() {
         assert!(super::tia::NOISE_DENSITY_LOW_SPEED < super::tia::NOISE_DENSITY_HIGH_SPEED);
         assert!(super::tia::POWER_LOW_SPEED_W < super::tia::POWER_HIGH_SPEED_W);

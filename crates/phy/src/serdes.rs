@@ -6,9 +6,9 @@
 //! * **short reach** (mm–cm, on-package or chip-to-nearby-module): simple
 //!   CMOS drivers/samplers, no equalization — a flat fraction of a pJ/bit
 //!   regardless of rate (until the rate itself demands equalization);
-//! * **long reach** (host trace + connector + cable/module): CTLE + FFE/DFE
-//!   + CDR whose complexity grows superlinearly with lane rate, following
-//!   the transceiver-survey trend `e(r) = e_ref · (r/r_ref)^γ`.
+//! * **long reach** (host trace + connector + cable/module): CTLE +
+//!   FFE/DFE + CDR whose complexity grows superlinearly with lane rate,
+//!   following the transceiver-survey trend `e(r) = e_ref · (r/r_ref)^γ`.
 //!
 //! Mosaic channels terminate in the first category at ~2 G/lane; the
 //! narrow-and-fast baselines live in the second at 50–112 G/lane.
@@ -69,8 +69,14 @@ mod tests {
         let e112 = lane_energy(BitRate::from_gbps(112.0), SerdesReach::LongReach);
         let e224 = lane_energy(BitRate::from_gbps(224.0), SerdesReach::LongReach);
         assert!((e25.as_pj_per_bit() - 2.0).abs() < 0.1, "{e25}");
-        assert!(e112.as_pj_per_bit() > 5.0 && e112.as_pj_per_bit() < 6.5, "{e112}");
-        assert!(e224.as_pj_per_bit() > 8.5 && e224.as_pj_per_bit() < 11.0, "{e224}");
+        assert!(
+            e112.as_pj_per_bit() > 5.0 && e112.as_pj_per_bit() < 6.5,
+            "{e112}"
+        );
+        assert!(
+            e224.as_pj_per_bit() > 8.5 && e224.as_pj_per_bit() < 11.0,
+            "{e224}"
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl PowerBreakdown {
     /// Scale every entry (e.g. per-lane → per-module).
     pub fn scaled(&self, factor: f64) -> PowerBreakdown {
         PowerBreakdown {
-            entries: self.entries.iter().map(|(n, p)| (n.clone(), *p * factor)).collect(),
+            entries: self
+                .entries
+                .iter()
+                .map(|(n, p)| (n.clone(), *p * factor))
+                .collect(),
         }
     }
 }
@@ -92,7 +96,11 @@ impl fmt::Display for PowerBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total();
         for (name, p) in &self.entries {
-            let pct = if total.is_zero() { 0.0 } else { *p / total * 100.0 };
+            let pct = if total.is_zero() {
+                0.0
+            } else {
+                *p / total * 100.0
+            };
             writeln!(f, "  {name:<24} {:>12}  {pct:5.1} %", format!("{p}"))?;
         }
         writeln!(f, "  {:<24} {:>12}", "TOTAL", format!("{total}"))

@@ -32,7 +32,12 @@ impl SparedPool {
     pub fn new(k: usize, n: usize, channel_fit: Fit, repair_per_hour: f64) -> Self {
         assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
         assert!(repair_per_hour >= 0.0);
-        SparedPool { k, n, channel_fit, repair_per_hour }
+        SparedPool {
+            k,
+            n,
+            channel_fit,
+            repair_per_hour,
+        }
     }
 
     /// Probability the pool has continuously maintained ≥ k alive channels
@@ -68,7 +73,7 @@ impl SparedPool {
                 let p_rep = rate_repair(f) / big;
                 let stay = 1.0 - p_fail - p_rep;
                 out[f] += v[f] * stay;
-                if f + 1 <= spares {
+                if f < spares {
                     out[f + 1] += v[f] * p_fail;
                 } else {
                     out[down] += v[f] * p_fail;
@@ -90,7 +95,11 @@ impl SparedPool {
         for j in 0..=j_max {
             let ln_w = -lt + j as f64 * lt.max(1e-300).ln() - ln_gamma(j as f64 + 1.0);
             let w = if lt == 0.0 {
-                if j == 0 { 1.0 } else { 0.0 }
+                if j == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
             } else {
                 ln_w.exp()
             };
@@ -157,7 +166,10 @@ mod tests {
         let none = pool(0.0).survival(t);
         let day = pool(1.0 / 24.0).survival(t);
         assert!(day > none, "repair {day} vs none {none}");
-        assert!(day > 0.999_9, "daily repair should make 2 spares ample: {day}");
+        assert!(
+            day > 0.999_9,
+            "daily repair should make 2 spares ample: {day}"
+        );
     }
 
     #[test]

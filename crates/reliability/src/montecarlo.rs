@@ -1,8 +1,14 @@
 //! Monte-Carlo lifetime simulation — the independent cross-check on the
 //! closed-form and Markov models.
 
-use mosaic_sim::rng::DetRng;
+use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
 use mosaic_units::{Duration, Fit};
+
+/// Fixed Monte-Carlo chunk: trials per parallel task. A constant of the
+/// module (never derived from the thread count), so the decomposition —
+/// and therefore the result — is identical at every `MOSAIC_THREADS`
+/// setting.
+pub const POOL_CHUNK_TRIALS: u64 = 4096;
 
 /// Result of a Monte-Carlo pool-lifetime study.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,8 +28,25 @@ impl PoolLifetime {
 
 /// Simulate `trials` independent pools of `n` channels (need `k` alive,
 /// per-channel rate `fit`, no repair) over `horizon`. The pool dies when
-/// the `(n−k+1)`-th channel fails.
+/// the `(n−k+1)`-th channel fails. Runs on the ambient (`MOSAIC_THREADS`)
+/// execution context; see [`simulate_pool_no_repair_with`].
 pub fn simulate_pool_no_repair(
+    k: usize,
+    n: usize,
+    fit: Fit,
+    horizon: Duration,
+    trials: u64,
+    seed: u64,
+) -> PoolLifetime {
+    simulate_pool_no_repair_with(&Exec::from_env(), k, n, fit, horizon, trials, seed)
+}
+
+/// [`simulate_pool_no_repair`] on an explicit execution context. Trials
+/// are split into fixed [`POOL_CHUNK_TRIALS`]-sized tasks, chunk `c`
+/// drawing from stream `(seed, "pool-lifetime", c)`; survivor counts sum
+/// in chunk order, so the result is thread-count invariant.
+pub fn simulate_pool_no_repair_with(
+    exec: &Exec,
     k: usize,
     n: usize,
     fit: Fit,
@@ -33,37 +56,72 @@ pub fn simulate_pool_no_repair(
 ) -> PoolLifetime {
     assert!(k >= 1 && k <= n);
     let lam = fit.per_hour();
-    let mut rng = DetRng::substream(seed, "pool-lifetime");
+    if lam == 0.0 {
+        return PoolLifetime {
+            trials,
+            survived: trials,
+        };
+    }
     let spares = n - k;
-    let horizon_h = horizon.as_hours();
-    let mut survived = 0u64;
-    for _ in 0..trials {
-        if lam == 0.0 {
-            survived += 1;
-            continue;
-        }
-        // Count failures before the horizon; order statistics are not
-        // needed — each channel fails before `t` with p = 1 − e^{−λt}.
-        let p_fail = 1.0 - (-lam * horizon_h).exp();
-        let mut failures = 0usize;
-        for _ in 0..n {
-            if rng.chance(p_fail) {
-                failures += 1;
-                if failures > spares {
-                    break;
+    // Each channel fails before `t` with p = 1 − e^{−λt}; order statistics
+    // are not needed.
+    let p_fail = 1.0 - (-lam * horizon.as_hours()).exp();
+    let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
+    let partial = exec.par_trials(chunks, seed, "pool-lifetime", |c, rng| {
+        let mut survived = 0u64;
+        for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
+            let mut failures = 0usize;
+            for _ in 0..n {
+                if rng.chance(p_fail) {
+                    failures += 1;
+                    if failures > spares {
+                        break;
+                    }
                 }
             }
+            if failures <= spares {
+                survived += 1;
+            }
         }
-        if failures <= spares {
-            survived += 1;
-        }
+        survived
+    });
+    PoolLifetime {
+        trials,
+        survived: partial.iter().sum(),
     }
-    PoolLifetime { trials, survived }
 }
 
 /// Simulate with repair: event-driven per trial. Failures ~ Exp((alive)·λ);
 /// repairs ~ Exp((failed)·µ). The trial fails when alive < k at any time.
+/// Runs on the ambient (`MOSAIC_THREADS`) execution context; see
+/// [`simulate_pool_with_repair_with`].
 pub fn simulate_pool_with_repair(
+    k: usize,
+    n: usize,
+    fit: Fit,
+    repair_per_hour: f64,
+    horizon: Duration,
+    trials: u64,
+    seed: u64,
+) -> PoolLifetime {
+    simulate_pool_with_repair_with(
+        &Exec::from_env(),
+        k,
+        n,
+        fit,
+        repair_per_hour,
+        horizon,
+        trials,
+        seed,
+    )
+}
+
+/// [`simulate_pool_with_repair`] on an explicit execution context, with
+/// the same fixed-chunk decomposition as the no-repair form (streams
+/// labelled `"pool-repair"`).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_pool_with_repair_with(
+    exec: &Exec,
     k: usize,
     n: usize,
     fit: Fit,
@@ -75,37 +133,43 @@ pub fn simulate_pool_with_repair(
     assert!(k >= 1 && k <= n);
     assert!(repair_per_hour >= 0.0);
     let lam = fit.per_hour();
-    let mut rng = DetRng::substream(seed, "pool-repair");
     let horizon_h = horizon.as_hours();
-    let mut survived = 0u64;
-    for _ in 0..trials {
-        let mut t = 0.0f64;
-        let mut failed = 0usize;
-        let ok = loop {
-            let rate_fail = (n - failed) as f64 * lam;
-            let rate_rep = failed as f64 * repair_per_hour;
-            let total = rate_fail + rate_rep;
-            if total == 0.0 {
-                break true;
-            }
-            t += rng.exponential(total);
-            if t >= horizon_h {
-                break true;
-            }
-            if rng.chance(rate_fail / total) {
-                failed += 1;
-                if n - failed < k {
-                    break false;
+    let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
+    let partial = exec.par_trials(chunks, seed, "pool-repair", |c, rng| {
+        let mut survived = 0u64;
+        for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
+            let mut t = 0.0f64;
+            let mut failed = 0usize;
+            let ok = loop {
+                let rate_fail = (n - failed) as f64 * lam;
+                let rate_rep = failed as f64 * repair_per_hour;
+                let total = rate_fail + rate_rep;
+                if total == 0.0 {
+                    break true;
                 }
-            } else {
-                failed -= 1;
+                t += rng.exponential(total);
+                if t >= horizon_h {
+                    break true;
+                }
+                if rng.chance(rate_fail / total) {
+                    failed += 1;
+                    if n - failed < k {
+                        break false;
+                    }
+                } else {
+                    failed -= 1;
+                }
+            };
+            if ok {
+                survived += 1;
             }
-        };
-        if ok {
-            survived += 1;
         }
+        survived
+    });
+    PoolLifetime {
+        trials,
+        survived: partial.iter().sum(),
     }
-    PoolLifetime { trials, survived }
 }
 
 #[cfg(test)]
@@ -151,5 +215,22 @@ mod tests {
         let a = simulate_pool_no_repair(4, 6, Fit::new(10_000.0), t, 10_000, 1);
         let b = simulate_pool_no_repair(4, 6, Fit::new(10_000.0), t, 10_000, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_sims_are_thread_count_invariant() {
+        let t = Duration::from_years(7.0);
+        let (k, n, fit) = (10, 12, Fit::new(100_000.0));
+        // Non-multiple of the chunk size to exercise the short tail chunk.
+        let trials = 3 * POOL_CHUNK_TRIALS + 777;
+        let a1 = simulate_pool_no_repair_with(&Exec::with_threads(1), k, n, fit, t, trials, 21);
+        let a8 = simulate_pool_no_repair_with(&Exec::with_threads(8), k, n, fit, t, trials, 21);
+        assert_eq!(a1, a8);
+        let mu = 1.0 / (90.0 * 24.0);
+        let b1 =
+            simulate_pool_with_repair_with(&Exec::with_threads(1), k, n, fit, mu, t, trials, 21);
+        let b8 =
+            simulate_pool_with_repair_with(&Exec::with_threads(8), k, n, fit, mu, t, trials, 21);
+        assert_eq!(b1, b8);
     }
 }

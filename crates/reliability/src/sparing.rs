@@ -61,7 +61,7 @@ mod tests {
         // architectural half.
         let s = spares_for_target(400, Fit::new(20.0), Duration::from_years(7.0), 0.9999, 32)
             .expect("reachable");
-        assert!(s >= 2 && s <= 8, "got {s}");
+        assert!((2..=8).contains(&s), "got {s}");
     }
 
     #[test]
@@ -78,7 +78,13 @@ mod tests {
     fn unreachable_target_returns_none() {
         // One active channel at a colossal rate: even many spares of the
         // same terrible part cannot reach six nines over 10 years.
-        let s = spares_for_target(1, Fit::new(5_000_000.0), Duration::from_years(10.0), 0.999_999, 3);
+        let s = spares_for_target(
+            1,
+            Fit::new(5_000_000.0),
+            Duration::from_years(10.0),
+            0.999_999,
+            3,
+        );
         assert_eq!(s, None);
     }
 }

@@ -28,7 +28,10 @@ impl SeriesBudget {
 
     /// Itemized view (name, total FIT for that class).
     pub fn breakdown(&self) -> Vec<(String, Fit)> {
-        self.items.iter().map(|(n, f, c)| (n.clone(), *f * *c as f64)).collect()
+        self.items
+            .iter()
+            .map(|(n, f, c)| (n.clone(), *f * *c as f64))
+            .collect()
     }
 
     /// Probability the series system survives to `t`.
@@ -124,7 +127,10 @@ mod tests {
         let t = Duration::from_years(7.0);
         let none = KofN::new(400, 400, Fit::new(20.0));
         let spared = KofN::new(400, 408, Fit::new(20.0));
-        assert!(none.failure_prob(t) > 0.3, "unspared 400-wide link is fragile");
+        assert!(
+            none.failure_prob(t) > 0.3,
+            "unspared 400-wide link is fragile"
+        );
         assert!(
             spared.failure_prob(t) < none.failure_prob(t) / 100.0,
             "8 spares: {} vs {}",

@@ -7,7 +7,9 @@
 //! stay close to k ≈ 1. This module quantifies how much the exponential
 //! simplification under- or over-states pool survival.
 
+use crate::montecarlo::POOL_CHUNK_TRIALS;
 use mosaic_sim::rng::DetRng;
+use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
 use mosaic_units::{Duration, Fit};
 
 /// A Weibull lifetime distribution.
@@ -23,7 +25,10 @@ pub struct Weibull {
 impl Weibull {
     /// Construct with explicit parameters.
     pub fn new(shape: f64, scale_hours: f64) -> Self {
-        assert!(shape > 0.0 && scale_hours > 0.0, "Weibull parameters must be positive");
+        assert!(
+            shape > 0.0 && scale_hours > 0.0,
+            "Weibull parameters must be positive"
+        );
         Weibull { shape, scale_hours }
     }
 
@@ -38,7 +43,10 @@ impl Weibull {
         // 1 − exp(−(t/η)^k) = p ⇒ η = t / (−ln(1−p))^{1/k}
         let t = horizon.as_hours();
         let eta = t / (-(1.0 - p_fail).ln()).powf(1.0 / shape);
-        Weibull { shape, scale_hours: eta }
+        Weibull {
+            shape,
+            scale_hours: eta,
+        }
     }
 
     /// Survival probability at time `t`.
@@ -66,7 +74,8 @@ impl Weibull {
 
 /// Monte-Carlo survival of a k-of-n pool with Weibull channel lifetimes
 /// (no repair): the pool dies when more than `n − k` channels have failed
-/// by the horizon.
+/// by the horizon. Runs on the ambient (`MOSAIC_THREADS`) execution
+/// context; see [`pool_survival_weibull_with`].
 pub fn pool_survival_weibull(
     k: usize,
     n: usize,
@@ -75,26 +84,44 @@ pub fn pool_survival_weibull(
     trials: u64,
     seed: u64,
 ) -> f64 {
+    pool_survival_weibull_with(&Exec::from_env(), k, n, lifetime, horizon, trials, seed)
+}
+
+/// [`pool_survival_weibull`] on an explicit execution context. Trials
+/// are split into fixed [`POOL_CHUNK_TRIALS`]-sized tasks (streams
+/// labelled `"weibull-pool"`), so the result is thread-count invariant.
+pub fn pool_survival_weibull_with(
+    exec: &Exec,
+    k: usize,
+    n: usize,
+    lifetime: Weibull,
+    horizon: Duration,
+    trials: u64,
+    seed: u64,
+) -> f64 {
     assert!(k >= 1 && k <= n);
-    let mut rng = DetRng::substream(seed, "weibull-pool");
     let p_fail = lifetime.failure_prob(horizon);
     let spares = n - k;
-    let mut survived = 0u64;
-    for _ in 0..trials {
-        let mut failures = 0usize;
-        for _ in 0..n {
-            if rng.chance(p_fail) {
-                failures += 1;
-                if failures > spares {
-                    break;
+    let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
+    let partial = exec.par_trials(chunks, seed, "weibull-pool", |c, rng| {
+        let mut survived = 0u64;
+        for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
+            let mut failures = 0usize;
+            for _ in 0..n {
+                if rng.chance(p_fail) {
+                    failures += 1;
+                    if failures > spares {
+                        break;
+                    }
                 }
             }
+            if failures <= spares {
+                survived += 1;
+            }
         }
-        if failures <= spares {
-            survived += 1;
-        }
-    }
-    survived as f64 / trials as f64
+        survived
+    });
+    partial.iter().sum::<u64>() as f64 / trials as f64
 }
 
 #[cfg(test)]
@@ -190,6 +217,16 @@ mod tests {
         // Same failure prob at the horizon ⇒ same pool survival at the
         // horizon (the pool only sees the marginal p_fail there).
         assert!((expo - wear).abs() < 0.01, "expo {expo} wear {wear}");
+    }
+
+    #[test]
+    fn weibull_pool_is_thread_count_invariant() {
+        let horizon = Duration::from_years(7.0);
+        let w = Weibull::matching_fit_at(Fit::new(3000.0), 2.0, horizon);
+        let trials = 2 * POOL_CHUNK_TRIALS + 99;
+        let s1 = pool_survival_weibull_with(&Exec::with_threads(1), 40, 43, w, horizon, trials, 4);
+        let s8 = pool_survival_weibull_with(&Exec::with_threads(8), 40, 43, w, horizon, trials, 4);
+        assert_eq!(s1.to_bits(), s8.to_bits());
     }
 
     proptest! {

@@ -53,7 +53,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_order: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_order: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -67,8 +71,16 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is NaN or in the past.
     pub fn schedule(&mut self, time: f64, event: E) {
         assert!(time.is_finite(), "event time must be finite");
-        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
-        self.heap.push(Entry { time, order: self.next_order, event });
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.heap.push(Entry {
+            time,
+            order: self.next_order,
+            event,
+        });
         self.next_order += 1;
     }
 

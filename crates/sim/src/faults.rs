@@ -45,7 +45,10 @@ impl FaultSchedule {
 
     /// All faults scheduled for `epoch`.
     pub fn faults_at(&self, epoch: usize) -> impl Iterator<Item = &Fault> {
-        self.events.iter().filter(move |(e, _)| *e == epoch).map(|(_, f)| f)
+        self.events
+            .iter()
+            .filter(move |(e, _)| *e == epoch)
+            .map(|(_, f)| f)
     }
 
     /// Total scheduled events.
@@ -68,7 +71,14 @@ mod tests {
         let s = FaultSchedule::new()
             .at(3, Fault::Kill { channel: 1 })
             .at(3, Fault::Kill { channel: 2 })
-            .at(5, Fault::Burst { channel: 0, ber: 1e-2, epochs: 2 });
+            .at(
+                5,
+                Fault::Burst {
+                    channel: 0,
+                    ber: 1e-2,
+                    epochs: 2,
+                },
+            );
         assert_eq!(s.faults_at(3).count(), 2);
         assert_eq!(s.faults_at(4).count(), 0);
         assert_eq!(s.faults_at(5).count(), 1);

@@ -26,7 +26,13 @@ impl BitErrorInjector {
     pub fn new(ber: f64, mut rng: DetRng) -> Self {
         assert!((0.0..=1.0).contains(&ber), "BER out of range: {ber}");
         let gap = rng.geometric(ber);
-        BitErrorInjector { ber, rng, gap, bits: 0, errors: 0 }
+        BitErrorInjector {
+            ber,
+            rng,
+            gap,
+            bits: 0,
+            errors: 0,
+        }
     }
 
     /// Change the BER mid-stream (e.g. a transient SNR dip); resamples the

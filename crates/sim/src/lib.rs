@@ -16,7 +16,11 @@
 //! * [`faults`] — time-scheduled fault scripts (channel kills, error
 //!   bursts) applied to gearbox epochs;
 //! * [`link_sim`] — the end-to-end frame-level link simulation driving the
-//!   real gearbox + FEC code paths.
+//!   real gearbox + FEC code paths;
+//! * [`sweep`] — the deterministic parallel execution engine: Monte-Carlo
+//!   fan-out whose output is bit-identical whether it runs on 1 thread or
+//!   32 (`MOSAIC_THREADS` selects; counter-based seed splitting makes the
+//!   per-task streams scheduling-independent).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +31,10 @@ pub mod inject;
 pub mod link_sim;
 pub mod montecarlo;
 pub mod rng;
+pub mod sweep;
 
 pub use event::EventQueue;
 pub use inject::BitErrorInjector;
 pub use link_sim::{simulate_link, LinkSimConfig, LinkSimReport};
 pub use rng::DetRng;
+pub use sweep::{Exec, RunStats};

@@ -15,6 +15,7 @@
 use crate::faults::{Fault, FaultSchedule};
 use crate::inject::BitErrorInjector;
 use crate::rng::DetRng;
+use crate::sweep::Exec;
 use mosaic_link::gearbox::Gearbox;
 use mosaic_link::lanes::{FailureKind, LaneHealth};
 use mosaic_link::striping::LaneWord;
@@ -111,8 +112,36 @@ impl LinkSimReport {
     }
 }
 
-/// Run the simulation.
+/// Per-physical-channel simulation state: the channel's noise process,
+/// health monitor, and fault status. Channels are physically independent,
+/// which is what lets the medium step fan out across them — each state
+/// owns its own RNG stream (`chan-{c}`), so corrupting channels in
+/// parallel draws exactly the numbers the sequential loop would.
+struct ChannelState {
+    injector: BitErrorInjector,
+    monitor: LaneHealth,
+    dead: bool,
+    burst_left: usize,
+    /// Bits pushed through this channel in the current epoch.
+    epoch_bits: u64,
+    /// Errors injected on this channel in the current epoch.
+    epoch_errors: u64,
+}
+
+/// Run the simulation on the ambient (`MOSAIC_THREADS`) execution
+/// context; see [`simulate_link_with`].
 pub fn simulate_link(cfg: &LinkSimConfig) -> LinkSimReport {
+    simulate_link_with(&Exec::from_env(), cfg)
+}
+
+/// Run the simulation on an explicit execution context.
+///
+/// The per-epoch medium step (error injection) runs one task per
+/// physical channel; everything a task touches is that channel's own
+/// [`ChannelState`], and the epoch counters are folded into the report
+/// in channel order afterwards — so the report is bit-identical at
+/// every thread count.
+pub fn simulate_link_with(exec: &Exec, cfg: &LinkSimConfig) -> LinkSimReport {
     assert_eq!(
         cfg.per_channel_ber.len(),
         cfg.physical_channels,
@@ -121,19 +150,19 @@ pub fn simulate_link(cfg: &LinkSimConfig) -> LinkSimReport {
     let mut tx = Gearbox::new(cfg.logical_lanes, cfg.physical_channels, cfg.am_period);
     let mut rx = Gearbox::new(cfg.logical_lanes, cfg.physical_channels, cfg.am_period);
 
-    let mut injectors: Vec<BitErrorInjector> = (0..cfg.physical_channels)
-        .map(|c| {
-            BitErrorInjector::new(
+    let mut states: Vec<ChannelState> = (0..cfg.physical_channels)
+        .map(|c| ChannelState {
+            injector: BitErrorInjector::new(
                 cfg.per_channel_ber[c],
                 DetRng::substream(cfg.seed, &format!("chan-{c}")),
-            )
+            ),
+            monitor: LaneHealth::new(cfg.monitor_window_bits, 8),
+            dead: false,
+            burst_left: 0,
+            epoch_bits: 0,
+            epoch_errors: 0,
         })
         .collect();
-    let mut monitors: Vec<LaneHealth> = (0..cfg.physical_channels)
-        .map(|_| LaneHealth::new(cfg.monitor_window_bits, 8))
-        .collect();
-    let mut dead = vec![false; cfg.physical_channels];
-    let mut burst_left = vec![0usize; cfg.physical_channels];
 
     let mut payload_rng = DetRng::substream(cfg.seed, "payload");
     let mut report = LinkSimReport {
@@ -155,42 +184,61 @@ pub fn simulate_link(cfg: &LinkSimConfig) -> LinkSimReport {
         for fault in cfg.faults.faults_at(epoch) {
             match *fault {
                 Fault::Kill { channel } => {
-                    dead[channel] = true;
+                    states[channel].dead = true;
                 }
-                Fault::Burst { channel, ber, epochs } => {
-                    injectors[channel].set_ber(ber);
-                    burst_left[channel] = epochs;
+                Fault::Burst {
+                    channel,
+                    ber,
+                    epochs,
+                } => {
+                    states[channel].injector.set_ber(ber);
+                    states[channel].burst_left = epochs;
                 }
             }
         }
 
         // 2. Generate and transmit this epoch's frames.
         let payloads: Vec<Vec<u8>> = (0..cfg.frames_per_epoch)
-            .map(|_| (0..cfg.frame_size).map(|_| payload_rng.next_u64() as u8).collect())
+            .map(|_| {
+                (0..cfg.frame_size)
+                    .map(|_| payload_rng.next_u64() as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
         let mut channels = tx.transmit(&refs);
         report.frames_sent += payloads.len() as u64;
         sent_payloads.extend(payloads.iter().cloned());
 
-        // 3. The medium: per-channel error injection and dead channels.
-        for (c, stream) in channels.iter_mut().enumerate() {
-            if dead[c] {
-                // A dark channel delivers junk words and no markers.
-                let junk_rng_word = 0u64;
-                for w in stream.iter_mut() {
-                    *w = LaneWord::Data(junk_rng_word);
+        // 3. The medium: per-channel error injection and dead channels —
+        //    one parallel task per channel, each confined to its own
+        //    stream and state.
+        {
+            let mut medium: Vec<(&mut Vec<LaneWord>, &mut ChannelState)> =
+                channels.iter_mut().zip(states.iter_mut()).collect();
+            exec.par_map_mut(&mut medium, |_, (stream, st)| {
+                if st.dead {
+                    // A dark channel delivers junk words and no markers.
+                    let junk_rng_word = 0u64;
+                    for w in stream.iter_mut() {
+                        *w = LaneWord::Data(junk_rng_word);
+                    }
+                    st.epoch_bits = 0;
+                    st.epoch_errors = 0;
+                    return;
                 }
-                continue;
-            }
-            let before = injectors[c].errors;
-            let bits_before = injectors[c].bits;
-            injectors[c].corrupt_lane(stream);
-            let errs = injectors[c].errors - before;
-            let bits = injectors[c].bits - bits_before;
-            report.bit_errors_injected += errs;
-            report.bits_transmitted += bits;
-            monitors[c].record(bits, errs);
+                let before = st.injector.errors;
+                let bits_before = st.injector.bits;
+                st.injector.corrupt_lane(stream);
+                st.epoch_errors = st.injector.errors - before;
+                st.epoch_bits = st.injector.bits - bits_before;
+                st.monitor.record(st.epoch_bits, st.epoch_errors);
+            });
+        }
+        // Fold epoch counters into the report in channel order.
+        for st in &states {
+            report.bit_errors_injected += st.epoch_errors;
+            report.bits_transmitted += st.epoch_bits;
         }
 
         // 4. Receive.
@@ -210,45 +258,50 @@ pub fn simulate_link(cfg: &LinkSimConfig) -> LinkSimReport {
 
         // 5. Control plane: retire channels that died or degraded, on both
         //    ends (out-of-band coordination, effective next epoch).
-        for c in 0..cfg.physical_channels {
+        for (c, st) in states.iter_mut().enumerate() {
             let assigned = tx.lane_map().assignment().contains(&c);
             if !assigned {
                 continue;
             }
             let monitor_trip = match cfg.degrade_threshold {
-                Some(th) => monitors[c].degraded(th),
+                Some(th) => st.monitor.degraded(th),
                 None => false,
             };
-            if dead[c] || monitor_trip {
-                let kind = if dead[c] { FailureKind::Dead } else { FailureKind::Degraded };
+            if st.dead || monitor_trip {
+                let kind = if st.dead {
+                    FailureKind::Dead
+                } else {
+                    FailureKind::Degraded
+                };
                 let a = tx.fail_channel(c, kind);
                 let b = rx.fail_channel(c, kind);
                 debug_assert_eq!(a, b);
                 if let Ok(Some(_)) = a {
                     report.remaps += 1;
-                    if !dead[c] {
+                    if !st.dead {
                         report.retired_by_monitor += 1;
                         // The monitor-retired channel keeps its physics but
                         // is out of service; reset its monitor so a later
                         // re-add (not modeled) would start fresh.
-                        monitors[c] = LaneHealth::new(cfg.monitor_window_bits, 8);
+                        st.monitor = LaneHealth::new(cfg.monitor_window_bits, 8);
                     }
                 }
             }
         }
 
         // 6. Burst expiry.
-        for c in 0..cfg.physical_channels {
-            if burst_left[c] > 0 {
-                burst_left[c] -= 1;
-                if burst_left[c] == 0 {
-                    injectors[c].set_ber(cfg.per_channel_ber[c]);
+        for (c, st) in states.iter_mut().enumerate() {
+            if st.burst_left > 0 {
+                st.burst_left -= 1;
+                if st.burst_left == 0 {
+                    st.injector.set_ber(cfg.per_channel_ber[c]);
                 }
             }
         }
     }
 
-    report.frames_lost = report.frames_sent - report.frames_delivered - report.frames_silently_corrupted;
+    report.frames_lost =
+        report.frames_sent - report.frames_delivered - report.frames_silently_corrupted;
     report
 }
 
@@ -275,13 +328,39 @@ mod tests {
     }
 
     #[test]
+    fn report_is_thread_count_invariant() {
+        let mut cfg = LinkSimConfig::small_clean();
+        cfg.per_channel_ber = vec![1e-4; 10];
+        cfg.epochs = 6;
+        cfg.degrade_threshold = Some(5e-4);
+        cfg.faults = FaultSchedule::new()
+            .at(
+                2,
+                Fault::Burst {
+                    channel: 1,
+                    ber: 2e-3,
+                    epochs: 2,
+                },
+            )
+            .at(3, Fault::Kill { channel: 7 });
+        let seq = simulate_link_with(&Exec::with_threads(1), &cfg);
+        for threads in [2, 4, 10] {
+            let par = simulate_link_with(&Exec::with_threads(threads), &cfg);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn noisy_link_loses_frames_but_never_lies() {
         let mut cfg = LinkSimConfig::small_clean();
         cfg.per_channel_ber = vec![1e-4; 10];
         cfg.epochs = 6;
         let r = simulate_link(&cfg);
         assert!(r.frames_delivered < r.frames_sent);
-        assert_eq!(r.frames_silently_corrupted, 0, "CRC must catch all corruption");
+        assert_eq!(
+            r.frames_silently_corrupted, 0,
+            "CRC must catch all corruption"
+        );
         assert!(r.measured_ber() > 0.5e-4 && r.measured_ber() < 2e-4);
     }
 
@@ -310,8 +389,14 @@ mod tests {
     fn burst_elevates_then_recovers() {
         let mut cfg = LinkSimConfig::small_clean();
         cfg.epochs = 8;
-        cfg.faults =
-            FaultSchedule::new().at(1, Fault::Burst { channel: 0, ber: 5e-3, epochs: 2 });
+        cfg.faults = FaultSchedule::new().at(
+            1,
+            Fault::Burst {
+                channel: 0,
+                ber: 5e-3,
+                epochs: 2,
+            },
+        );
         let r = simulate_link(&cfg);
         assert!(r.bit_errors_injected > 0);
         // After the burst the link must go back to perfect delivery: the

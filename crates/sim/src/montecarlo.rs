@@ -11,9 +11,16 @@
 
 use crate::inject::BitErrorInjector;
 use crate::rng::DetRng;
+use crate::sweep::{chunk_count, chunk_len, Exec};
 use mosaic_fec::rs::{DecodeOutcome, ReedSolomon};
 use mosaic_phy::ber::OokReceiver;
 use mosaic_units::Power;
+
+/// Fixed Monte-Carlo chunk: bits per parallel task in the OOK slicer
+/// simulation. A call-site constant (never derived from the thread
+/// count), so the task decomposition — and therefore the output — is
+/// identical at every `MOSAIC_THREADS` setting.
+pub const OOK_CHUNK_BITS: u64 = 65_536;
 
 /// Result of a Monte-Carlo BER measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,32 +49,95 @@ pub fn wilson_ci(errors: u64, trials: u64) -> (f64, f64) {
     ((center - half).max(0.0), (center + half).min(1.0))
 }
 
+/// Decision-circuit operating point for the OOK slicer: rail currents,
+/// rail noises, and the optimum threshold between them.
+#[derive(Debug, Clone, Copy)]
+struct SlicerPoint {
+    i1: f64,
+    i0: f64,
+    s1: f64,
+    s0: f64,
+    threshold: f64,
+}
+
+impl SlicerPoint {
+    fn of(rx: &OokReceiver, avg_power: Power) -> Self {
+        let (p1, p0) = rx.levels(avg_power);
+        let i1 = rx.pd.photocurrent(p1) + rx.pd.dark_current_a;
+        let i0 = rx.pd.photocurrent(p0) + rx.pd.dark_current_a;
+        let s1 = rx.noise.total_a(i1);
+        let s0 = rx.noise.total_a(i0);
+        // Optimum threshold for unequal noises.
+        let threshold = (s0 * i1 + s1 * i0) / (s0 + s1);
+        SlicerPoint {
+            i1,
+            i0,
+            s1,
+            s0,
+            threshold,
+        }
+    }
+
+    /// Slice `bits` noisy samples from `rng`, returning the error count.
+    fn count_errors(&self, bits: u64, rng: &mut DetRng) -> u64 {
+        let mut errors = 0u64;
+        for _ in 0..bits {
+            let (level, sigma, is_one) = if rng.chance(0.5) {
+                (self.i1, self.s1, true)
+            } else {
+                (self.i0, self.s0, false)
+            };
+            let sample = level + sigma * rng.standard_normal();
+            let decided_one = sample > self.threshold;
+            if decided_one != is_one {
+                errors += 1;
+            }
+        }
+        errors
+    }
+}
+
 /// Simulate an OOK slicer: per bit, pick a level (equiprobable 0/1), add
 /// the level-dependent Gaussian noise, and threshold at the optimum point.
 /// This is the physical process the Q-factor formula models; the test
 /// suite checks they agree.
+///
+/// Sequential, single-stream form; the sweep-engine form is
+/// [`simulate_ook_ber_par`].
 pub fn simulate_ook_ber(
     rx: &OokReceiver,
     avg_power: Power,
     bits: u64,
     rng: &mut DetRng,
 ) -> BerMeasurement {
-    let (p1, p0) = rx.levels(avg_power);
-    let i1 = rx.pd.photocurrent(p1) + rx.pd.dark_current_a;
-    let i0 = rx.pd.photocurrent(p0) + rx.pd.dark_current_a;
-    let s1 = rx.noise.total_a(i1);
-    let s0 = rx.noise.total_a(i0);
-    // Optimum threshold for unequal noises.
-    let threshold = (s0 * i1 + s1 * i0) / (s0 + s1);
-    let mut errors = 0u64;
-    for _ in 0..bits {
-        let (level, sigma, is_one) = if rng.chance(0.5) { (i1, s1, true) } else { (i0, s0, false) };
-        let sample = level + sigma * rng.standard_normal();
-        let decided_one = sample > threshold;
-        if decided_one != is_one {
-            errors += 1;
-        }
+    let point = SlicerPoint::of(rx, avg_power);
+    let errors = point.count_errors(bits, rng);
+    BerMeasurement {
+        bits,
+        errors,
+        ber: errors as f64 / bits as f64,
+        ci95: wilson_ci(errors, bits),
     }
+}
+
+/// Parallel OOK slicer simulation: `bits` are split into fixed
+/// [`OOK_CHUNK_BITS`]-sized tasks, chunk `c` drawing from the
+/// counter-derived stream `(seed, "ook-ber", c)`. Error counters
+/// accumulate per chunk and are summed in chunk order, so the result is
+/// bit-identical at every thread count for a given seed.
+pub fn simulate_ook_ber_par(
+    exec: &Exec,
+    rx: &OokReceiver,
+    avg_power: Power,
+    bits: u64,
+    seed: u64,
+) -> BerMeasurement {
+    let point = SlicerPoint::of(rx, avg_power);
+    let chunks = chunk_count(bits, OOK_CHUNK_BITS);
+    let partial = exec.par_trials(chunks, seed, "ook-ber", |c, rng| {
+        point.count_errors(chunk_len(c, bits, OOK_CHUNK_BITS), rng)
+    });
+    let errors: u64 = partial.iter().sum();
     BerMeasurement {
         bits,
         errors,
@@ -109,12 +179,87 @@ impl CodedRun {
 }
 
 /// Push `codewords` random RS codewords through a BER-`ber` channel and
-/// decode them, counting real failures.
+/// decode them, counting real failures. Runs on the ambient
+/// (`MOSAIC_THREADS`) execution context; see [`run_rs_channel_with`].
 pub fn run_rs_channel(rs: &ReedSolomon, ber: f64, codewords: u64, seed: u64) -> CodedRun {
+    run_rs_channel_with(&Exec::from_env(), rs, ber, codewords, seed)
+}
+
+/// [`run_rs_channel`] on an explicit execution context.
+///
+/// Each codeword is an independent task: word `w` generates data from
+/// stream `(seed, "rs-data", w)` and noise from `(seed, "rs-noise", w)`,
+/// and the per-word counters are summed in word order — so the totals
+/// are bit-identical at every thread count. (Restarting the injector's
+/// geometric skip at each word keeps errors i.i.d. Bernoulli(`ber`),
+/// which is all the channel model promises.)
+pub fn run_rs_channel_with(
+    exec: &Exec,
+    rs: &ReedSolomon,
+    ber: f64,
+    codewords: u64,
+    seed: u64,
+) -> CodedRun {
     let m = rs.symbol_bits();
-    let mut data_rng = DetRng::substream(seed, "rs-data");
-    let mut inj = BitErrorInjector::new(ber, DetRng::substream(seed, "rs-noise"));
     let mask = ((1u32 << m) - 1) as u16;
+    let per_word = exec.run_tasks(codewords as usize, |w| {
+        let mut data_rng = DetRng::substream_indexed(seed, "rs-data", w as u64);
+        let mut inj =
+            BitErrorInjector::new(ber, DetRng::substream_indexed(seed, "rs-noise", w as u64));
+        let data: Vec<u16> = (0..rs.k())
+            .map(|_| (data_rng.next_u64() as u16) & mask)
+            .collect();
+        let clean = rs.encode(&data);
+        // Serialize symbols to bits, corrupt, reassemble.
+        let mut bits: Vec<u8> = Vec::with_capacity(rs.n() * m as usize);
+        for &s in &clean {
+            for b in 0..m {
+                bits.push(((s >> b) & 1) as u8);
+            }
+        }
+        let mut one = CodedRun {
+            codewords: 1,
+            decoded: 0,
+            failures: 0,
+            miscorrected: 0,
+            pre_fec_bit_errors: inj.corrupt_bits(&mut bits),
+            bits: bits.len() as u64,
+            residual_symbol_errors: 0,
+        };
+        let mut word: Vec<u16> = bits
+            .chunks(m as usize)
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i))
+            })
+            .collect();
+        match rs.decode(&mut word) {
+            DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
+                if word[..rs.k()] == data[..] {
+                    one.decoded += 1;
+                } else {
+                    // Beyond-capacity miscorrection to a different valid
+                    // codeword — inherent to bounded-distance decoding.
+                    one.miscorrected += 1;
+                    one.residual_symbol_errors += word[..rs.k()]
+                        .iter()
+                        .zip(&data)
+                        .filter(|(a, b)| a != b)
+                        .count() as u64;
+                }
+            }
+            DecodeOutcome::Failure => {
+                one.failures += 1;
+                one.residual_symbol_errors += word[..rs.k()]
+                    .iter()
+                    .zip(&data)
+                    .filter(|(a, b)| a != b)
+                    .count() as u64;
+            }
+        }
+        one
+    });
     let mut out = CodedRun {
         codewords,
         decoded: 0,
@@ -124,46 +269,13 @@ pub fn run_rs_channel(rs: &ReedSolomon, ber: f64, codewords: u64, seed: u64) -> 
         bits: 0,
         residual_symbol_errors: 0,
     };
-    for _ in 0..codewords {
-        let data: Vec<u16> = (0..rs.k()).map(|_| (data_rng.next_u64() as u16) & mask).collect();
-        let clean = rs.encode(&data);
-        // Serialize symbols to bits, corrupt, reassemble.
-        let mut bits: Vec<u8> = Vec::with_capacity(rs.n() * m as usize);
-        for &s in &clean {
-            for b in 0..m {
-                bits.push(((s >> b) & 1) as u8);
-            }
-        }
-        out.pre_fec_bit_errors += inj.corrupt_bits(&mut bits);
-        out.bits += bits.len() as u64;
-        let mut word: Vec<u16> = bits
-            .chunks(m as usize)
-            .map(|c| c.iter().enumerate().fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i)))
-            .collect();
-        match rs.decode(&mut word) {
-            DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
-                if word[..rs.k()] == data[..] {
-                    out.decoded += 1;
-                } else {
-                    // Beyond-capacity miscorrection to a different valid
-                    // codeword — inherent to bounded-distance decoding.
-                    out.miscorrected += 1;
-                    out.residual_symbol_errors += word[..rs.k()]
-                        .iter()
-                        .zip(&data)
-                        .filter(|(a, b)| a != b)
-                        .count() as u64;
-                }
-            }
-            DecodeOutcome::Failure => {
-                out.failures += 1;
-                out.residual_symbol_errors += word[..rs.k()]
-                    .iter()
-                    .zip(&data)
-                    .filter(|(a, b)| a != b)
-                    .count() as u64;
-            }
-        }
+    for w in &per_word {
+        out.decoded += w.decoded;
+        out.failures += w.failures;
+        out.miscorrected += w.miscorrected;
+        out.pre_fec_bit_errors += w.pre_fec_bit_errors;
+        out.bits += w.bits;
+        out.residual_symbol_errors += w.residual_symbol_errors;
     }
     out
 }
@@ -246,5 +358,35 @@ mod tests {
         let a = run_rs_channel(&rs, 1e-2, 300, 5);
         let b = run_rs_channel(&rs, 1e-2, 300, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ook_par_is_thread_count_invariant() {
+        let rx = mosaic_rx();
+        let p = rx.sensitivity(1e-3).unwrap();
+        // Non-multiple of the chunk size to exercise the short tail chunk.
+        let bits = 3 * OOK_CHUNK_BITS + 1234;
+        let seq = simulate_ook_ber_par(&Exec::with_threads(1), &rx, p, bits, 99);
+        for threads in [2, 4, 16] {
+            let par = simulate_ook_ber_par(&Exec::with_threads(threads), &rx, p, bits, 99);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        // And the statistics still agree with the analytic model.
+        let analytic = rx.ber_at(p);
+        assert!(
+            seq.ci95.0 <= analytic && analytic <= seq.ci95.1,
+            "analytic {analytic} outside CI {:?}",
+            seq.ci95
+        );
+    }
+
+    #[test]
+    fn rs_channel_is_thread_count_invariant() {
+        let rs = ReedSolomon::new(8, 31, 23);
+        let seq = run_rs_channel_with(&Exec::with_threads(1), &rs, 2e-2, 401, 13);
+        for threads in [2, 8] {
+            let par = run_rs_channel_with(&Exec::with_threads(threads), &rs, 2e-2, 401, 13);
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 }

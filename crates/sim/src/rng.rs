@@ -10,6 +10,27 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a strong 64→64-bit mixer (bijective, so
+/// distinct inputs can never collide into one child seed).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a label.
+fn label_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// A deterministic RNG handle.
 #[derive(Debug, Clone)]
 pub struct DetRng {
@@ -19,18 +40,36 @@ pub struct DetRng {
 impl DetRng {
     /// Root stream for a master seed.
     pub fn new(seed: u64) -> Self {
-        DetRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+        DetRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent substream from a label. Uses FNV-1a over the
     /// label mixed into the master seed; labels must be unique per parent.
     pub fn substream(seed: u64, label: &str) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        DetRng::new(seed ^ h)
+        DetRng::new(seed ^ label_hash(label))
+    }
+
+    /// Derive the `task_id`-th child stream of a master seed —
+    /// counter-based seed splitting for parallel execution.
+    ///
+    /// The contract that makes parallelism deterministic: trial `i`
+    /// receives exactly this stream whether the run uses 1 thread or 32,
+    /// because the child key is a pure function of `(seed, task_id)` and
+    /// never depends on scheduling order. The mapping is a SplitMix64
+    /// finalizer over the pair, so children of distinct task ids (and of
+    /// distinct seeds) get unrelated ChaCha keys.
+    pub fn stream(seed: u64, task_id: u64) -> Self {
+        DetRng::new(mix64(seed ^ mix64(task_id.wrapping_add(GOLDEN))))
+    }
+
+    /// Labelled counter stream: the `task_id`-th child of `(seed, label)`.
+    /// Used when one simulation needs several *families* of parallel
+    /// streams (e.g. per-codeword data vs per-codeword noise) that must
+    /// not collide.
+    pub fn substream_indexed(seed: u64, label: &str, task_id: u64) -> Self {
+        DetRng::stream(seed ^ label_hash(label), task_id)
     }
 
     /// Uniform f64 in [0, 1).
@@ -67,7 +106,7 @@ impl DetRng {
     /// probability `p` — i.e. the gap to the next bit error at BER `p`.
     /// Saturates at `u64::MAX` for p ≈ 0.
     pub fn geometric(&mut self, p: f64) -> u64 {
-        assert!(p >= 0.0 && p <= 1.0, "probability out of range: {p}");
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         if p <= 0.0 {
             return u64::MAX;
         }
@@ -137,7 +176,10 @@ mod tests {
         let total: f64 = (0..n).map(|_| r.geometric(p) as f64).sum();
         let mean = total / n as f64;
         let expect = (1.0 - p) / p; // 99
-        assert!((mean / expect - 1.0).abs() < 0.05, "mean {mean} expect {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.05,
+            "mean {mean} expect {expect}"
+        );
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Deterministic parallel execution engine for Monte-Carlo trials and
+//! parameter sweeps.
+//!
+//! Every evaluation artifact in this repo is a fan-out of *independent*
+//! work — Monte-Carlo trials, per-channel corruption, per-point sweep
+//! cells. This module runs that fan-out on a pool of scoped threads with
+//! one hard invariant:
+//!
+//! > **Parallel output is bit-identical to sequential output for the
+//! > same seed.**
+//!
+//! Three rules enforce it:
+//!
+//! 1. *Counter-based streams*: task `i` draws from
+//!    [`DetRng::stream`]`(seed, i)` — a pure function of the task index,
+//!    never of scheduling order (see `rng.rs`).
+//! 2. *Fixed decomposition*: work is split into chunks whose size is a
+//!    constant of the call site, never derived from the thread count.
+//! 3. *Index-ordered reassembly*: results are reassembled and reduced in
+//!    task-index order, regardless of completion order.
+//!
+//! The engine is built directly on `std::thread::scope` (the build
+//! environment vendors all dependencies, so rayon is unavailable; a
+//! work-stealing pool would buy nothing here anyway — tasks are coarse
+//! and self-scheduled off an atomic counter).
+//!
+//! Thread count resolves from the `MOSAIC_THREADS` environment variable
+//! (`1` = sequential fallback, no threads spawned), defaulting to the
+//! machine's available parallelism. Tests pin it explicitly with
+//! [`Exec::with_threads`].
+
+use crate::rng::DetRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Environment variable selecting the worker count (`1` = sequential).
+pub const THREADS_ENV: &str = "MOSAIC_THREADS";
+
+/// An execution context: how many workers to fan out over.
+#[derive(Debug, Clone, Copy)]
+pub struct Exec {
+    threads: usize,
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Exec::from_env()
+    }
+}
+
+impl Exec {
+    /// Resolve from `MOSAIC_THREADS`, defaulting to available parallelism.
+    pub fn from_env() -> Self {
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("{THREADS_ENV} must be a positive integer, got {v:?}")),
+            Err(_) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        Exec::with_threads(threads)
+    }
+
+    /// Fixed worker count (used by tests to compare 1 vs N threads).
+    pub fn with_threads(threads: usize) -> Self {
+        Exec {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count this context fans out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `n` independent tasks and return their results in task order.
+    ///
+    /// Tasks self-schedule off an atomic counter (coarse tasks of uneven
+    /// cost still balance), collect `(index, result)` pairs per worker,
+    /// and the results are reassembled by index — so the output is
+    /// independent of which worker ran what.
+    pub fn run_tasks<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                tagged.extend(h.join().expect("sweep worker panicked"));
+            }
+        });
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Monte-Carlo fan-out: `n` trials, trial `i` running against its own
+    /// counter-derived stream `(seed, label, i)`. Results come back in
+    /// trial order.
+    pub fn par_trials<T, F>(&self, n: u64, seed: u64, label: &str, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64, &mut DetRng) -> T + Sync,
+    {
+        self.run_tasks(n as usize, |i| {
+            let mut rng = DetRng::substream_indexed(seed, label, i as u64);
+            f(i as u64, &mut rng)
+        })
+    }
+
+    /// Parameter sweep: map `f` over `points`, in parallel, preserving
+    /// input order in the output.
+    pub fn par_sweep<I, T, F>(&self, points: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.run_tasks(points.len(), |i| f(&points[i]))
+    }
+
+    /// In-place parallel update of independent elements (e.g. one state
+    /// per physical channel). Elements are partitioned into contiguous
+    /// blocks; `f` receives the element's index in `items`.
+    pub fn par_map_mut<I, F>(&self, items: &mut [I], f: F)
+    where
+        I: Send,
+        F: Fn(usize, &mut I) + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(self.threads.min(n));
+        std::thread::scope(|s| {
+            for (ci, block) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (j, item) in block.iter_mut().enumerate() {
+                        f(ci * chunk + j, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Fixed chunking of `total` units into tasks of `chunk` units: returns
+/// the number of tasks. The chunk size is a call-site constant — *never*
+/// derive it from the thread count, or output would depend on it.
+pub fn chunk_count(total: u64, chunk: u64) -> u64 {
+    assert!(chunk > 0, "chunk size must be positive");
+    total.div_ceil(chunk)
+}
+
+/// Length of chunk `idx` when splitting `total` units into `chunk`-sized
+/// tasks (the final chunk may be short).
+pub fn chunk_len(idx: u64, total: u64, chunk: u64) -> u64 {
+    let start = idx * chunk;
+    debug_assert!(start < total || total == 0);
+    chunk.min(total - start)
+}
+
+/// Per-run execution statistics a figure binary reports alongside its
+/// results. Reported on **stderr** so result files stay byte-identical
+/// across thread counts (wall time is the one legitimately
+/// nondeterministic output).
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Independent work units executed (trials, codewords, sweep cells).
+    pub trials: u64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Worker threads the run fanned out over.
+    pub threads: usize,
+}
+
+impl RunStats {
+    /// Throughput in work units per second.
+    pub fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Emit the one-line stats record to stderr.
+    pub fn report(&self, label: &str) {
+        eprintln!(
+            "[stats] {label}: trials={} wall={:.3}s trials/sec={:.0} threads={}",
+            self.trials,
+            self.wall.as_secs_f64(),
+            self.trials_per_sec(),
+            self.threads,
+        );
+    }
+}
+
+/// Run `f`, timing it into a [`RunStats`] with the given trial count and
+/// the ambient thread configuration.
+pub fn measured<T>(trials: u64, f: impl FnOnce() -> T) -> (T, RunStats) {
+    let threads = Exec::from_env().threads();
+    let start = Instant::now();
+    let out = f();
+    (
+        out,
+        RunStats {
+            trials,
+            wall: start.elapsed(),
+            threads,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_tasks_preserves_order() {
+        let exec = Exec::with_threads(4);
+        let out = exec.run_tasks(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_equals_seq_for_run_tasks() {
+        let work = |i: usize| {
+            // Uneven task cost to exercise self-scheduling.
+            let spin = (i * 7919) % 97;
+            (0..spin).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64))
+        };
+        let seq = Exec::with_threads(1).run_tasks(257, work);
+        for threads in [2, 3, 8, 32] {
+            assert_eq!(seq, Exec::with_threads(threads).run_tasks(257, work));
+        }
+    }
+
+    #[test]
+    fn par_trials_streams_are_per_trial() {
+        let exec = Exec::with_threads(4);
+        let draws = exec.par_trials(16, 9, "t", |_i, rng| rng.next_u64());
+        // Distinct trials draw from distinct streams.
+        let mut uniq = draws.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), draws.len());
+        // And trial i's stream matches a direct derivation.
+        let direct = DetRng::substream_indexed(9, "t", 3).next_u64();
+        assert_eq!(draws[3], direct);
+    }
+
+    #[test]
+    fn par_sweep_preserves_order_and_values() {
+        let points: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
+        let seq = Exec::with_threads(1).par_sweep(&points, |p| p * p);
+        let par = Exec::with_threads(8).par_sweep(&points, |p| p * p);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_mut_touches_every_element_once() {
+        for threads in [1, 2, 5, 16] {
+            let mut items: Vec<u64> = vec![0; 103];
+            Exec::with_threads(threads).par_map_mut(&mut items, |i, x| *x += i as u64 + 1);
+            for (i, x) in items.iter().enumerate() {
+                assert_eq!(*x, i as u64 + 1, "threads={threads} idx={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_covers_total_exactly() {
+        for (total, chunk) in [(10u64, 3u64), (12, 4), (1, 5), (65_536, 4096), (100, 1)] {
+            let n = chunk_count(total, chunk);
+            let sum: u64 = (0..n).map(|i| chunk_len(i, total, chunk)).sum();
+            assert_eq!(sum, total, "total={total} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn measured_counts_and_times() {
+        let (v, stats) = measured(42, || 7u32);
+        assert_eq!(v, 7);
+        assert_eq!(stats.trials, 42);
+        assert!(stats.trials_per_sec() > 0.0);
+        stats.report("selftest");
+    }
+}

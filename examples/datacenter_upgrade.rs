@@ -42,14 +42,23 @@ fn main() {
         }
         println!("policy: {name}");
         println!("  interconnect power : {kw:>8.1} kW{saving}");
-        println!("  per server         : {:>8.1} W", fleet.total_power.as_watts() / topo.servers() as f64);
-        println!("  repair tickets     : {:>8} over 5 simulated years", sim.tickets);
-        println!("  link mix           : {}", fleet
-            .links_by_tech
-            .iter()
-            .map(|(k, v)| format!("{k}×{v}"))
-            .collect::<Vec<_>>()
-            .join(", "));
+        println!(
+            "  per server         : {:>8.1} W",
+            fleet.total_power.as_watts() / topo.servers() as f64
+        );
+        println!(
+            "  repair tickets     : {:>8} over 5 simulated years",
+            sim.tickets
+        );
+        println!(
+            "  link mix           : {}",
+            fleet
+                .links_by_tech
+                .iter()
+                .map(|(k, v)| format!("{k}×{v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         println!();
     }
 }

@@ -31,7 +31,11 @@ fn main() {
             p.channel_rate.as_gbps(),
             p.channels,
             p.feasible,
-            if p.feasible { format!("{:.1}", p.worst_margin_db) } else { "-".into() },
+            if p.feasible {
+                format!("{:.1}", p.worst_margin_db)
+            } else {
+                "-".into()
+            },
             p.link_power.as_watts(),
             p.energy_per_bit.as_pj_per_bit(),
             format!("{}", p.array_radius),

@@ -32,7 +32,9 @@ fn main() {
     );
 
     let mut rng = DetRng::new(2025);
-    let data: Vec<u16> = (0..rs.k()).map(|_| (rng.next_u64() & 0x3FF) as u16).collect();
+    let data: Vec<u16> = (0..rs.k())
+        .map(|_| (rng.next_u64() & 0x3FF) as u16)
+        .collect();
     let clean = rs.encode(&data);
 
     // Channel `dead` garbles every symbol it carries; two random blind
@@ -56,7 +58,10 @@ fn main() {
     let mut blind = word.clone();
     match rs.decode(&mut blind) {
         DecodeOutcome::Failure => {
-            println!("blind decode          : FAILURE (as expected — {} > t)", positions.len())
+            println!(
+                "blind decode          : FAILURE (as expected — {} > t)",
+                positions.len()
+            )
         }
         other => println!("blind decode          : {other:?} (lucky pattern)"),
     }

@@ -29,8 +29,14 @@ fn run(label: &str, spares: usize, faults: FaultSchedule) {
     };
     let r = simulate_link(&cfg);
     println!("{label} (spares: {spares})");
-    println!("  frames delivered    : {} / {}", r.frames_delivered, r.frames_sent);
-    println!("  silently corrupted  : {} (must be 0)", r.frames_silently_corrupted);
+    println!(
+        "  frames delivered    : {} / {}",
+        r.frames_delivered, r.frames_sent
+    );
+    println!(
+        "  silently corrupted  : {} (must be 0)",
+        r.frames_silently_corrupted
+    );
     println!("  spare remaps        : {}", r.remaps);
     println!("  epochs fully down   : {}", r.deskew_failed_epochs);
     println!("  monitor retirements : {}", r.retired_by_monitor);
@@ -49,6 +55,17 @@ fn main() {
     run("three channel deaths, hot spares", 4, kills.clone());
     run("three channel deaths, NO spares", 0, kills);
 
-    let burst = FaultSchedule::new().at(6, Fault::Burst { channel: 9, ber: 2e-3, epochs: 3 });
-    run("transient 3-epoch error burst (BER 2e-3) + monitor retirement", 4, burst);
+    let burst = FaultSchedule::new().at(
+        6,
+        Fault::Burst {
+            channel: 9,
+            ber: 2e-3,
+            epochs: 3,
+        },
+    );
+    run(
+        "transient 3-epoch error burst (BER 2e-3) + monitor retirement",
+        4,
+        burst,
+    );
 }

@@ -41,7 +41,11 @@ fn main() {
         let end = cores_in_rings(ring).min(map.len());
         let worst = map[start..end].iter().cloned().fold(0.0, f64::max);
         let bar_len = ((worst.log10() + 60.0) / 60.0 * 40.0).clamp(0.0, 40.0) as usize;
-        let status = if worst < KP4_BER_THRESHOLD { "ok" } else { "FAIL" };
+        let status = if worst < KP4_BER_THRESHOLD {
+            "ok"
+        } else {
+            "FAIL"
+        };
         println!(
             "  ring {ring}: {:>9.2e}  {:<40} {status}",
             worst,
@@ -52,7 +56,10 @@ fn main() {
     }
 
     let passing = map.iter().filter(|&&b| b < KP4_BER_THRESHOLD).count();
-    println!("\n{passing}/{} channels inside the KP4 threshold", map.len());
+    println!(
+        "\n{passing}/{} channels inside the KP4 threshold",
+        map.len()
+    );
 
     if passing == map.len() {
         let report = run_prototype(&cfg, 4, 2025);

@@ -56,13 +56,20 @@ fn cmd_sweep(gbps: f64, metres: f64) {
             p.channel_rate.as_gbps(),
             p.channels,
             p.feasible,
-            if p.feasible { format!("{:.1}", p.worst_margin_db) } else { "-".into() },
+            if p.feasible {
+                format!("{:.1}", p.worst_margin_db)
+            } else {
+                "-".into()
+            },
             p.link_power.as_watts(),
             p.energy_per_bit.as_pj_per_bit(),
         );
     }
     match best_design(&points) {
-        Some(b) => println!("\noptimum: {:.1} Gb/s per channel", b.channel_rate.as_gbps()),
+        Some(b) => println!(
+            "\noptimum: {:.1} Gb/s per channel",
+            b.channel_rate.as_gbps()
+        ),
         None => println!("\nno feasible design"),
     }
 }
@@ -140,7 +147,9 @@ fn cmd_prototype(lateral_um: f64, rotation_mrad: f64) {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(cmd) = args.next() else { return usage() };
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
     match cmd.as_str() {
         "design" => {
             let (Some(g), Some(m)) = (parse_f64(args.next()), parse_f64(args.next())) else {
@@ -155,11 +164,15 @@ fn main() -> ExitCode {
             cmd_sweep(g, m);
         }
         "compare" => {
-            let Some(g) = parse_f64(args.next()) else { return usage() };
+            let Some(g) = parse_f64(args.next()) else {
+                return usage();
+            };
             cmd_compare(g, parse_f64(args.next()));
         }
         "fleet" => {
-            let Some(which) = args.next() else { return usage() };
+            let Some(which) = args.next() else {
+                return usage();
+            };
             if cmd_fleet(&which).is_none() {
                 return usage();
             }

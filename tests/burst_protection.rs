@@ -15,7 +15,9 @@ fn run_burst(rows: usize, burst_len: usize, interleaved: bool) -> usize {
     let mut rng = DetRng::new(404);
     let words: Vec<Vec<u16>> = (0..rows)
         .map(|_| {
-            let data: Vec<u16> = (0..rs.k()).map(|_| (rng.next_u64() & 0xFF) as u16).collect();
+            let data: Vec<u16> = (0..rs.k())
+                .map(|_| (rng.next_u64() & 0xFF) as u16)
+                .collect();
             rs.encode(&data)
         })
         .collect();
@@ -23,7 +25,11 @@ fn run_burst(rows: usize, burst_len: usize, interleaved: bool) -> usize {
     // Flatten row-major, optionally interleave.
     let flat: Vec<u16> = words.iter().flatten().copied().collect();
     let il = BlockInterleaver::new(rows, rs.n());
-    let mut stream = if interleaved { il.interleave(&flat) } else { flat.clone() };
+    let mut stream = if interleaved {
+        il.interleave(&flat)
+    } else {
+        flat.clone()
+    };
 
     // The burst: `burst_len` consecutive transmitted symbols corrupted.
     let start = stream.len() / 3;
@@ -31,7 +37,11 @@ fn run_burst(rows: usize, burst_len: usize, interleaved: bool) -> usize {
         *s ^= 0xA5;
     }
 
-    let restored = if interleaved { il.deinterleave(&stream) } else { stream };
+    let restored = if interleaved {
+        il.deinterleave(&stream)
+    } else {
+        stream
+    };
     let mut decoded = 0;
     for (i, chunk) in restored.chunks(rs.n()).enumerate() {
         let mut w = chunk.to_vec();
@@ -63,7 +73,10 @@ fn interleaving_absorbs_the_same_burst() {
 fn interleaving_has_a_capacity_too() {
     // A burst longer than rows × t must defeat even the interleaver.
     let decoded = run_burst(16, 16 * 16 * 2, true);
-    assert!(decoded < 16, "over-long burst should exceed interleaved capacity");
+    assert!(
+        decoded < 16,
+        "over-long burst should exceed interleaved capacity"
+    );
 }
 
 /// Dead-channel scenario with erasure decoding: a KP4 word striped over
@@ -73,15 +86,23 @@ fn interleaving_has_a_capacity_too() {
 fn dead_channel_is_recoverable_as_erasures() {
     let rs = ReedSolomon::kp4(); // n=544, t=15, 2t=30
     let mut rng = DetRng::new(7);
-    let data: Vec<u16> = (0..rs.k()).map(|_| (rng.next_u64() & 0x3FF) as u16).collect();
+    let data: Vec<u16> = (0..rs.k())
+        .map(|_| (rng.next_u64() & 0x3FF) as u16)
+        .collect();
     let clean = rs.encode(&data);
 
     // Symbols are distributed round-robin over 30 channels; channel 4 dies.
     let channels = 30usize;
     let dead = 4usize;
     let positions: Vec<usize> = (0..rs.n()).filter(|i| i % channels == dead).collect();
-    assert!(positions.len() > rs.t(), "a dead channel exceeds blind capacity");
-    assert!(positions.len() <= rs.n() - rs.k(), "…but fits the erasure budget");
+    assert!(
+        positions.len() > rs.t(),
+        "a dead channel exceeds blind capacity"
+    );
+    assert!(
+        positions.len() <= rs.n() - rs.k(),
+        "…but fits the erasure budget"
+    );
 
     let mut word = clean.clone();
     for &p in &positions {

@@ -30,7 +30,10 @@ fn c2_power_saving_up_to_69_percent() {
     let best_saving = c
         .iter()
         .filter(|x| {
-            matches!(x.kind, TechnologyKind::Sr | TechnologyKind::Dr | TechnologyKind::Lpo)
+            matches!(
+                x.kind,
+                TechnologyKind::Sr | TechnologyKind::Dr | TechnologyKind::Lpo
+            )
         })
         .map(|x| 1.0 - mosaic.link_power / x.link_power)
         .fold(f64::MIN, f64::max);
@@ -65,7 +68,10 @@ fn c4_prototype_all_channels_below_kp4() {
     assert_eq!(cfg.active_channels(), 100);
     assert!((cfg.channel_rate.as_gbps() - 2.0).abs() < 1e-12);
     for (i, ber) in prototype_ber_map(&cfg).iter().enumerate() {
-        assert!(*ber < mosaic_repro::fec::KP4_BER_THRESHOLD, "channel {i}: {ber}");
+        assert!(
+            *ber < mosaic_repro::fec::KP4_BER_THRESHOLD,
+            "channel {i}: {ber}"
+        );
     }
     // And actual frames flow end to end, error-free after FEC.
     let r = run_prototype(&cfg, 2, 5);

@@ -5,10 +5,10 @@ use mosaic_repro::fec::analysis::rs_performance;
 use mosaic_repro::fec::rs::ReedSolomon;
 use mosaic_repro::mosaic::budget::BudgetEngine;
 use mosaic_repro::mosaic::MosaicConfig;
+use mosaic_repro::sim::faults::FaultSchedule;
 use mosaic_repro::sim::link_sim::{simulate_link, LinkSimConfig};
 use mosaic_repro::sim::montecarlo::{run_rs_channel, simulate_ook_ber};
 use mosaic_repro::sim::rng::DetRng;
-use mosaic_repro::sim::faults::FaultSchedule;
 use mosaic_repro::units::{BitRate, Length};
 
 /// The analytic Gaussian receiver model and the Monte-Carlo slicer agree

@@ -1,0 +1,346 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the subset of the
+//! criterion API the workspace benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::{benchmark_group, bench_function}`,
+//! group `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! and `Bencher::{iter, iter_with_setup}`.
+//!
+//! It measures median-of-samples wall time (no outlier analysis, no
+//! HTML reports) and prints one line per benchmark:
+//! `name  time: <median>  thrpt: <rate>`. Good enough for smoke + trend
+//! benches; not a statistics lab.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures and measures them.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    /// Median nanoseconds per iteration, filled by `iter*`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm caches/branch predictors before calibrating.
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        // Calibrate: how many iterations fit in one sample slot.
+        let budget = self.measurement.as_secs_f64() / self.samples as f64;
+        let mut n = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt >= budget.min(0.05) || n >= 1 << 24 {
+                break;
+            }
+            n *= 4;
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            times.push(t0.elapsed().as_secs_f64() / n as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.result_ns = times[times.len() / 2] * 1e9;
+    }
+
+    /// Measure `routine`, excluding per-iteration `setup` time. The shim
+    /// times setup+routine and setup alone, reporting the difference —
+    /// adequate for setups that are cheap relative to the routine.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let mut holder: Vec<I> = Vec::new();
+        // Time setup alone.
+        let t0 = Instant::now();
+        for _ in 0..8 {
+            holder.push(setup());
+        }
+        let setup_ns = t0.elapsed().as_secs_f64() * 1e9 / 8.0;
+        holder.clear();
+        self.iter(|| {
+            let input = setup();
+            routine(input)
+        });
+        self.result_ns = (self.result_ns - setup_ns).max(0.0);
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_throughput(t: Throughput, ns: f64) -> String {
+    let per_sec = 1e9 / ns;
+    match t {
+        Throughput::Bytes(b) => {
+            let bps = b as f64 * per_sec;
+            if bps >= 1e9 {
+                format!("{:.2} GiB/s", bps / (1u64 << 30) as f64)
+            } else {
+                format!("{:.2} MiB/s", bps / (1u64 << 20) as f64)
+            }
+        }
+        Throughput::Elements(e) => format!("{:.3} Melem/s", e as f64 * per_sec / 1e6),
+    }
+}
+
+/// Top-level harness state and builder-style configuration.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Bench a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let ns = run_one(self.sample_size, self.measurement, self.warm_up, f);
+        println!("{:<40} time: {:>12}", id.id, fmt_time(ns));
+        self
+    }
+}
+
+fn run_one(
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) -> f64 {
+    let mut b = Bencher {
+        samples,
+        measurement,
+        warm_up,
+        result_ns: f64::NAN,
+    };
+    f(&mut b);
+    b.result_ns
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let ns = run_one(samples, self.parent.measurement, self.parent.warm_up, f);
+        let mut line = format!("{}/{:<32} time: {:>12}", self.name, id.id, fmt_time(ns));
+        if let Some(t) = self.throughput {
+            line.push_str(&format!("  thrpt: {}", fmt_throughput(t, ns)));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`) that the shim
+            // accepts and ignores.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(50))
+            .sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_with_setup_subtracts_setup() {
+        let mut b = Bencher {
+            samples: 3,
+            measurement: Duration::from_millis(30),
+            warm_up: Duration::from_millis(5),
+            result_ns: f64::NAN,
+        };
+        b.iter_with_setup(|| vec![0u8; 16], |v| v.len());
+        assert!(b.result_ns.is_finite());
+    }
+}

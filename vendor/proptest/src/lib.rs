@@ -1,0 +1,466 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!` with optional `#![proptest_config(...)]`, parameters in
+//! both `name in strategy` and `name: Type` forms, range strategies,
+//! `any::<T>()`, `Just`, `prop_oneof!`, `proptest::collection::vec`,
+//! `.prop_map`, `prop_assume!` and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   printed, but is not minimized;
+//! * cases are generated from a fixed per-test seed, so every run (and
+//!   every thread count) sees the same inputs — which is exactly the
+//!   determinism contract the rest of this workspace enforces.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG handed to strategies while generating a case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-(test, case) generator.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Access the inner generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Generation-time configuration (`with_cases` is the only knob used).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Internal control-flow signal for `prop_assume!`.
+#[derive(Debug)]
+pub struct CaseRejected;
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy yielding exactly one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the macro's collected options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        let i = rng.rng().gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy produced by [`any`].
+pub struct ArbitraryStrategy<T> {
+    sample: fn(&mut TestRng) -> T,
+}
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy {
+                    sample: |rng| {
+                        use rand::Rng;
+                        rng.rng().gen::<$t>()
+                    },
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, length within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.rng().gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `prop::` module alias matching the upstream prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test module conventionally imports.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run one property over `cases` generated inputs. Used by `proptest!`;
+/// not part of the public upstream API.
+pub fn run_property(
+    test_name: &str,
+    config: ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), CaseRejected>,
+) {
+    let mut ran = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(1000);
+    while ran < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "{test_name}: too many prop_assume! rejections ({attempts} attempts for {ran} cases)"
+        );
+        let mut rng = TestRng::for_case(test_name, attempts as u64);
+        attempts += 1;
+        if case(&mut rng).is_ok() {
+            ran += 1;
+        }
+    }
+}
+
+/// Assert inside a property (no shrinking: behaves like `assert!` with
+/// the case inputs already printed by the harness on panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseRejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::CaseRejected);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Parameter-binding helper for [`proptest!`] — munches one parameter at
+/// a time, supporting `name in strategy` and `name: Type` forms.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::sample(&($strategy), $rng);
+    };
+    ($rng:ident; $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strategy), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = $crate::Strategy::sample(&$crate::any::<$ty>(), $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// The `proptest!` macro: wraps each `fn` into a `#[test]` that runs the
+/// body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                $config,
+                |__proptest_rng: &mut $crate::TestRng| {
+                    $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_samples_all_options() {
+        let s = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut seen = [false; 4];
+        for i in 0..200 {
+            let mut rng = crate::TestRng::for_case("union", i);
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in -2i32..9, f in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2..9).contains(&b));
+            prop_assert!((0.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn typed_params_generate(x: u64, flag: bool) {
+            let _ = flag;
+            prop_assert_eq!(x, x);
+        }
+
+        #[test]
+        fn mixed_params_and_assume(x: u8, y in 0u8..10) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert!(y < 10);
+            prop_assert!(x.is_multiple_of(2));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in collection::vec(0u64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0u32..4).prop_map(|x| x * 10)) {
+            prop_assert!(s % 10 == 0 && s < 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_cases_apply(_x in 0u8..255) {
+            // Just exercising the config path.
+        }
+    }
+}

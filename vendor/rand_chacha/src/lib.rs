@@ -1,0 +1,204 @@
+//! Offline shim for `rand_chacha`: a genuine ChaCha8 keystream generator
+//! (RFC 8439 quarter-round schedule, 8 rounds, 64-bit block counter)
+//! exposed through the vendored `rand` traits.
+//!
+//! The keystream is the real ChaCha8 function of (key, counter), so it
+//! inherits ChaCha's statistical quality and its O(1) stream independence
+//! for distinct keys. As with the `rand` shim, the contract is internal
+//! reproducibility, not word-for-word parity with the upstream crate
+//! (upstream interleaves the keystream differently when buffering).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+#[inline]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// A deterministic ChaCha generator with `R/2` double-rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word in `buf`; `BLOCK_WORDS` means "refill".
+    pos: usize,
+}
+
+/// ChaCha with 8 rounds — the variant this workspace standardizes on.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        // "expand 32-byte k"
+        let mut s: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let init = s;
+        for _ in 0..R / 2 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (w, i) in s.iter_mut().zip(init) {
+            *w = w.wrapping_add(i);
+        }
+        self.buf = s;
+        self.pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.pos >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Position the generator at an absolute block in its keystream.
+    /// Distinct blocks never overlap, which gives O(1) derivation of
+    /// non-overlapping substreams from one key.
+    pub fn set_block_pos(&mut self, block: u64) {
+        self.counter = block;
+        self.pos = BLOCK_WORDS;
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, w) in key.iter_mut().enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            *w = u32::from_le_bytes(b);
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            buf: [0; BLOCK_WORDS],
+            pos: BLOCK_WORDS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector (ChaCha20 block function). The vector
+    /// uses a 32-bit counter with a 96-bit nonce; with nonce = 0 that
+    /// layout coincides with our 64-bit-counter layout, so the first
+    /// block of ChaCha20 keystream for counter=1 must match exactly.
+    #[test]
+    fn chacha20_block_matches_rfc8439() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let mut rng = ChaCha20Rng::from_seed(key);
+        // Zero nonce in the RFC vector differs from ours (it sets nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00), so instead check the
+        // all-zero key/counter=0 vector from the original ChaCha spec:
+        let zero = [0u8; 32];
+        let mut z = ChaCha20Rng::from_seed(zero);
+        let first: [u32; 4] = core::array::from_fn(|_| z.next_u32());
+        // First 16 keystream bytes of ChaCha20 with zero key, zero nonce,
+        // counter 0: 76 b8 e0 ad a0 f1 3d 90 40 5d 6a e5 53 86 bd 28
+        assert_eq!(first[0].to_le_bytes(), [0x76, 0xb8, 0xe0, 0xad]);
+        assert_eq!(first[1].to_le_bytes(), [0xa0, 0xf1, 0x3d, 0x90]);
+        assert_eq!(first[2].to_le_bytes(), [0x40, 0x5d, 0x6a, 0xe5]);
+        assert_eq!(first[3].to_le_bytes(), [0x53, 0x86, 0xbd, 0x28]);
+        let _ = rng.next_u64();
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn block_positioning_is_seekable() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        // Consume two blocks then reposition to block 1.
+        let _: Vec<u32> = (0..BLOCK_WORDS).map(|_| a.next_u32()).collect();
+        let second: Vec<u32> = (0..BLOCK_WORDS).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        b.set_block_pos(1);
+        let again: Vec<u32> = (0..BLOCK_WORDS).map(|_| b.next_u32()).collect();
+        assert_eq!(second, again);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let _ = a.next_u32(); // mid-block
+        let mut c = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), c.next_u64());
+        }
+    }
+}
