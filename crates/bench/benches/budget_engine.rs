@@ -8,7 +8,11 @@ use mosaic_units::{BitRate, Length};
 fn bench_budget(c: &mut Criterion) {
     let mut g = c.benchmark_group("budget");
     g.sample_size(20);
-    let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let cfg = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     g.bench_function("engine_build_428ch", |b| b.iter(|| BudgetEngine::new(&cfg)));
     let engine = BudgetEngine::new(&cfg);
     g.bench_function("all_channels_428", |b| {

@@ -20,7 +20,7 @@ fn bench_gearbox(c: &mut Criterion) {
             || (Gearbox::new(100, 108, 32), Gearbox::new(100, 108, 32)),
             |(mut tx, mut rx)| {
                 let ch = tx.transmit(&refs);
-                rx.receive(&ch)
+                rx.receive(&ch).unwrap()
             },
         )
     });

@@ -1,0 +1,189 @@
+//! Inspect and compare `run_all` manifests.
+//!
+//! ```sh
+//! bench-report check   <manifest.json>                 # schema validation
+//! bench-report summary <manifest.json>                 # per-figure table
+//! bench-report diff    <old.json> <new.json> [flags]   # regression report
+//! ```
+//!
+//! `diff` always compares the thread-count-invariant *values* (counters,
+//! histograms, series, output digests); any difference is a determinism or
+//! result regression and fails the command. Unless `--values-only` is
+//! given, it also compares per-figure wall times and flags figures slower
+//! than `--max-slowdown` (default 1.5×, ignored below 100 ms).
+//!
+//! Exit codes: 0 = clean, 1 = regression found, 2 = usage/parse error.
+
+use mosaic_bench::manifest;
+use mosaic_sim::json::Json;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let errs = manifest::schema_check(&doc);
+    if !errs.is_empty() {
+        eprintln!("{path} is not a valid {}:", manifest::SCHEMA);
+        for e in &errs {
+            eprintln!("  {e}");
+        }
+        std::process::exit(2);
+    }
+    doc
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-report check <manifest.json>\n       \
+         bench-report summary <manifest.json>\n       \
+         bench-report diff <old.json> <new.json> [--values-only] [--max-slowdown X]"
+    );
+    std::process::exit(2);
+}
+
+fn figure_wall_ns(fig: &Json) -> Option<(String, u64)> {
+    let id = fig.get("id")?.as_str()?.to_string();
+    let wall = fig.get("timings")?.get("wall_ns")?.as_u64()?;
+    Some((id, wall))
+}
+
+fn cmd_check(path: &str) {
+    load(path); // exits on any violation
+    println!("{path}: valid {}", manifest::SCHEMA);
+}
+
+fn cmd_summary(path: &str) {
+    let doc = load(path);
+    let run = doc.get("run").expect("schema-checked");
+    println!(
+        "{path}: mode={} threads={} config_hash={}",
+        run.get("mode").and_then(|v| v.as_str()).unwrap_or("?"),
+        run.get("threads").and_then(|v| v.as_u64()).unwrap_or(0),
+        run.get("config_hash")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?"),
+    );
+    println!(
+        "{:>5} {:>10} {:>10} {:>9} {:>7}",
+        "id", "wall ms", "trials", "counters", "series"
+    );
+    for fig in doc.get("figures").and_then(|f| f.as_arr()).unwrap_or(&[]) {
+        let id = fig.get("id").and_then(|v| v.as_str()).unwrap_or("?");
+        let wall_ms = fig
+            .get("timings")
+            .and_then(|t| t.get("wall_ns"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0) as f64
+            / 1e6;
+        let values = fig.get("values");
+        let counters = values
+            .and_then(|v| v.get("counters"))
+            .and_then(|c| c.as_obj())
+            .map(|o| o.len())
+            .unwrap_or(0);
+        let series = values
+            .and_then(|v| v.get("series"))
+            .and_then(|c| c.as_obj())
+            .map(|o| o.len())
+            .unwrap_or(0);
+        let trials: u64 = values
+            .and_then(|v| v.get("counters"))
+            .and_then(|c| c.as_obj())
+            .map(|o| {
+                o.iter()
+                    .filter(|(k, _)| k.starts_with("trials."))
+                    .filter_map(|(_, v)| v.as_u64())
+                    .sum()
+            })
+            .unwrap_or(0);
+        println!("{id:>5} {wall_ms:>10.1} {trials:>10} {counters:>9} {series:>7}");
+    }
+}
+
+fn cmd_diff(old_path: &str, new_path: &str, values_only: bool, max_slowdown: f64) {
+    let old = load(old_path);
+    let new = load(new_path);
+    let mut failed = false;
+
+    let value_diffs = manifest::diff(&old, &new, true);
+    if value_diffs.is_empty() {
+        println!("values: identical ({old_path} vs {new_path})");
+    } else {
+        failed = true;
+        println!("values: {} difference(s)", value_diffs.len());
+        for d in &value_diffs {
+            println!("  {}: {} -> {}", d.path, d.left, d.right);
+        }
+    }
+
+    if !values_only {
+        let olds: Vec<_> = old
+            .get("figures")
+            .and_then(|f| f.as_arr())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(figure_wall_ns)
+            .collect();
+        let news: Vec<_> = new
+            .get("figures")
+            .and_then(|f| f.as_arr())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(figure_wall_ns)
+            .collect();
+        for (id, old_ns) in &olds {
+            let Some((_, new_ns)) = news.iter().find(|(nid, _)| nid == id) else {
+                continue;
+            };
+            let ratio = if *old_ns == 0 {
+                1.0
+            } else {
+                *new_ns as f64 / *old_ns as f64
+            };
+            // Sub-100 ms figures are all jitter; don't flag them.
+            if ratio > max_slowdown && *new_ns > 100_000_000 {
+                failed = true;
+                println!(
+                    "timing: {id} regressed {ratio:.2}x ({:.1} ms -> {:.1} ms)",
+                    *old_ns as f64 / 1e6,
+                    *new_ns as f64 / 1e6
+                );
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("no regressions");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() == 2 => cmd_check(&args[1]),
+        Some("summary") if args.len() == 2 => cmd_summary(&args[1]),
+        Some("diff") if args.len() >= 3 => {
+            let mut values_only = false;
+            let mut max_slowdown = 1.5f64;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--values-only" => values_only = true,
+                    "--max-slowdown" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(x) => max_slowdown = x,
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            cmd_diff(&args[1], &args[2], values_only, max_slowdown);
+        }
+        _ => usage(),
+    }
+}

@@ -5,15 +5,33 @@
 //! seconds, used by CI. Thread count comes from `MOSAIC_THREADS`
 //! (default: all cores); per-experiment `[stats]` lines go to stderr so
 //! the result files stay byte-identical across thread counts.
+//!
+//! Every run also emits a machine-readable manifest (JSON, schema
+//! `mosaic-run-manifest/v1`) with per-figure telemetry and timings —
+//! default path `results/manifests/run_all-<mode>.json`, overridable with
+//! `--manifest-out <path>`. Inspect or compare manifests with the
+//! `bench-report` binary.
+
+use mosaic_bench::manifest::{FigureRecord, RunManifest};
+use mosaic_sim::telemetry;
 use std::fs;
 use std::time::Instant;
 
 fn main() {
-    for arg in std::env::args().skip(1) {
+    let mut manifest_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => std::env::set_var(mosaic_bench::runcfg::QUICK_ENV, "1"),
+            "--manifest-out" => match args.next() {
+                Some(path) => manifest_out = Some(path),
+                None => {
+                    eprintln!("--manifest-out requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument: {other} (supported: --quick)");
+                eprintln!("unknown argument: {other} (supported: --quick, --manifest-out <path>)");
                 std::process::exit(2);
             }
         }
@@ -26,15 +44,42 @@ fn main() {
     let threads = mosaic_sim::sweep::Exec::from_env().threads();
     eprintln!("[run_all] mode={mode} threads={threads}");
     fs::create_dir_all("results").expect("create results/");
+
+    let run_start = Instant::now();
+    let cpu_start = telemetry::process_cpu_ns();
+    let mut figures = Vec::new();
     for (id, title, runner) in mosaic_bench::all_experiments() {
+        telemetry::reset();
         let start = Instant::now();
         let output = runner();
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let snapshot = telemetry::take();
         let path = format!("results/{}.txt", id.to_lowercase());
         fs::write(&path, &output).expect("write result");
-        println!(
-            "[{id}] {title} -> {path} ({:.1}s)",
-            start.elapsed().as_secs_f64()
-        );
+        println!("[{id}] {title} -> {path} ({:.1}s)", wall_ns as f64 / 1e9);
+        figures.push(FigureRecord {
+            id: id.to_string(),
+            title: title.to_string(),
+            output,
+            telemetry: snapshot,
+            wall_ns,
+        });
     }
+
+    let manifest = RunManifest {
+        mode: mode.to_string(),
+        threads,
+        figures,
+        total_wall_ns: run_start.elapsed().as_nanos() as u64,
+        total_cpu_ns: telemetry::process_cpu_ns().saturating_sub(cpu_start),
+    };
+    let path = manifest_out.unwrap_or_else(|| format!("results/manifests/run_all-{mode}.json"));
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).expect("create manifest directory");
+        }
+    }
+    fs::write(&path, manifest.to_pretty_string()).expect("write manifest");
+    println!("manifest -> {path}");
     println!("\nall experiments regenerated; see EXPERIMENTS.md for the paper-vs-measured index");
 }

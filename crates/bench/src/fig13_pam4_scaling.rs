@@ -14,7 +14,11 @@ fn eval(
     modulation: Modulation,
     ch_gbps: f64,
 ) -> (MosaicConfig, mosaic::LinkReport) {
-    let mut cfg = MosaicConfig::new(BitRate::from_gbps(aggregate), Length::from_m(10.0));
+    let mut cfg = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(aggregate))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     cfg.set_modulation(modulation);
     cfg.set_channel_rate(BitRate::from_gbps(ch_gbps));
     let report = cfg.evaluate();

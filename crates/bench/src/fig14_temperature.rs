@@ -19,13 +19,19 @@ pub fn run() -> String {
         "feasible",
         "reach limit",
     ]);
-    let base = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let base = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     let i = base.drive_current();
     let p25 = base.led.optical_power(i).as_watts();
+    let mut rel_light_db = Vec::new();
     for &celsius in &[25.0, 45.0, 65.0, 85.0, 105.0, 125.0] {
         let mut cfg = base.clone();
         cfg.led = base.led.at_temperature(celsius);
         let rel_db = 10.0 * (cfg.led.optical_power(i).as_watts() / p25).log10();
+        rel_light_db.push(rel_db);
         let engine = BudgetEngine::new(&cfg);
         let (margin, feasible) = match engine.worst_margin(&cfg.led) {
             Some(m) => (format!("{:.2}", m.as_db()), m.as_db() >= 0.0),
@@ -47,6 +53,7 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&t.render());
+    mosaic_sim::telemetry::record_series("f14.rel_light_db", &rel_light_db);
     out.push_str("\nshape: graceful margin erosion through the 85 °C class limit; no cliff\nuntil well past datacenter conditions — uncooled operation holds.\n");
     out
 }

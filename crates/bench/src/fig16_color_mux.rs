@@ -13,7 +13,11 @@ use mosaic_units::{BitRate, Length};
 /// Budget an 800G link whose LEDs are `color`, returning the worst margin
 /// in dB (None = infeasible), before the color-leak penalty.
 fn margin_for_color(color: Color, metres: f64) -> Option<f64> {
-    let mut cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(metres));
+    let mut cfg = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(metres))
+        .build()
+        .unwrap();
     cfg.led.wavelength_m = color.wavelength_m;
     cfg.led.extraction_eff *= color.efficiency_vs_blue;
     let engine = BudgetEngine::new(&cfg);
@@ -46,7 +50,11 @@ pub fn run() -> String {
         "net worst margin dB",
         "feasible",
     ]);
-    let base = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let base = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     for plan in [ColorPlan::single(), ColorPlan::rgb()] {
         let cores = base.total_channels().div_ceil(plan.channels_per_core());
         let lattice = mosaic_fiber::geometry::CoreLattice::spiral(cores, base.core_pitch);

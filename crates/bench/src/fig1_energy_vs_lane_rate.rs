@@ -48,7 +48,8 @@ pub fn run() -> String {
         BitRate::from_gbps(800.0),
         Length::from_m(10.0),
         &default_rate_grid(),
-    );
+    )
+    .expect("sweep inputs are valid");
     let mut t = Table::new(&[
         "ch Gb/s",
         "channels",
@@ -74,6 +75,13 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&t.render());
+    mosaic_sim::telemetry::record_series(
+        "f1.mosaic_pj_per_bit",
+        &points
+            .iter()
+            .map(|p| p.energy_per_bit.as_pj_per_bit())
+            .collect::<Vec<_>>(),
+    );
     if let Some(best) = best_design(&points) {
         out.push_str(&format!(
             "\nsweet spot: {:.1} Gb/s per channel ({} channels, {:.2} pJ/bit)\n",

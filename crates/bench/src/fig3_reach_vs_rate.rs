@@ -28,14 +28,22 @@ pub fn run() -> String {
 
     out.push_str("\nF3b: Mosaic reach vs per-channel rate (800G aggregate)\n");
     let mut t = Table::new(&["ch Gb/s", "channels", "reach limit"]);
+    let mut reach_m = Vec::new();
     for &g in &[0.5, 1.0, 2.0, 3.0, 4.0] {
-        let mut cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(5.0));
+        let mut cfg = MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(5.0))
+            .build()
+            .unwrap();
         cfg.channel_rate = BitRate::from_gbps(g);
-        let reach = mosaic_reach(&cfg)
+        let limit = mosaic_reach(&cfg);
+        reach_m.push(limit.map(|r| r.as_m()).unwrap_or(-1.0));
+        let reach = limit
             .map(|r| format!("{r}"))
             .unwrap_or_else(|| "infeasible".into());
         t.row(cells![format!("{g:.1}"), cfg.active_channels(), reach]);
     }
+    mosaic_sim::telemetry::record_series("f3.mosaic_reach_m", &reach_m);
     out.push_str(&t.render());
     out.push_str("\nreference: SR8 optics 50 m (OM4), DR8 optics 500 m (SMF)\n");
     out

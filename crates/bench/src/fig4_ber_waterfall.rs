@@ -45,15 +45,19 @@ pub fn run() -> String {
     let exec = Exec::from_env();
     let bits = runcfg::trials(4_000_000, 250_000);
     let mut mc_bits = 0u64;
+    let mut analytic_2g = Vec::new();
+    let mut mc_2g = Vec::new();
     let start = Instant::now();
     for (idx, dbm_tenths) in (-300..=-210).step_by(10).enumerate() {
         let dbm = dbm_tenths as f64 / 10.0;
         let p = Power::from_dbm(dbm);
+        analytic_2g.push(rx2.ber_at(p));
         let mc = if rx2.ber_at(p) > 5e-7 {
             // One independent root seed per sweep point; within a point,
             // the bits fan out over fixed chunks (thread-count invariant).
             let m = simulate_ook_ber_par(&exec, &rx2, p, bits, 404_000 + idx as u64);
             mc_bits += bits;
+            mc_2g.push(m.ber);
             format!("{:.2e} [{:.1e},{:.1e}]", m.ber, m.ci95.0, m.ci95.1)
         } else {
             "below MC resolution".into()
@@ -72,6 +76,8 @@ pub fn run() -> String {
         threads: exec.threads(),
     }
     .report("F4");
+    mosaic_sim::telemetry::record_series("f4.analytic_2g_ber", &analytic_2g);
+    mosaic_sim::telemetry::record_series("f4.mc_2g_ber", &mc_2g);
     out.push_str(&t.render());
     for (g, rx) in [(1.0, &rx1), (2.0, &rx2), (4.0, &rx4)] {
         if let Some(s) = rx.sensitivity(KP4_BER_THRESHOLD) {

@@ -54,7 +54,11 @@ pub fn run() -> String {
         (0.0, 40.0),
         (3.0, 10.0),
     ] {
-        let mut cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+        let mut cfg = MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(10.0))
+            .build()
+            .unwrap();
         cfg.misalignment = Misalignment {
             lateral: Length::from_um(lat_um),
             rotation_rad: rot_mrad / 1000.0,

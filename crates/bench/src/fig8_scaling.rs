@@ -19,9 +19,15 @@ pub fn run() -> String {
         "reach",
         "7yr survival",
     ]);
+    let mut pj_per_bit = Vec::new();
     for &g in &[200.0, 400.0, 800.0, 1600.0] {
-        let cfg = MosaicConfig::new(BitRate::from_gbps(g), Length::from_m(10.0));
+        let cfg = MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(g))
+            .reach(Length::from_m(10.0))
+            .build()
+            .unwrap();
         let r = cfg.evaluate();
+        pj_per_bit.push(r.energy_per_bit.as_pj_per_bit());
         t.row(cells![
             format!("{g:.0}G"),
             format!("{}(+{})", cfg.active_channels(), cfg.spares),
@@ -35,6 +41,7 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&t.render());
+    mosaic_sim::telemetry::record_series("f8.link_pj_per_bit", &pj_per_bit);
 
     out.push_str("\nnarrow-and-fast reference modules:\n");
     for m in [

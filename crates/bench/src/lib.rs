@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manifest;
 pub mod runcfg;
 pub mod table;
 

@@ -24,7 +24,11 @@ pub fn run() -> String {
         ));
     }
 
-    let cfg = MosaicConfig::new(rate, Length::from_m(10.0));
+    let cfg = MosaicConfig::builder()
+        .bit_rate(rate)
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     let b = power_model::module_breakdown(&cfg);
     out.push_str(&format!(
         "800G-Mosaic ({} ch × {} + {} spares):\n{}",

@@ -268,7 +268,11 @@ mod tests {
     use mosaic_units::BitRate;
 
     fn cfg_800g(m: f64) -> MosaicConfig {
-        MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(m))
+        MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(m))
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -132,7 +132,11 @@ pub fn candidates(aggregate: BitRate) -> Vec<LinkCandidate> {
     });
 
     // Mosaic, evaluated at its own reach limit.
-    let cfg = MosaicConfig::new(aggregate, Length::from_m(10.0));
+    let cfg = MosaicConfig::builder()
+        .bit_rate(aggregate)
+        .reach(Length::from_m(10.0))
+        .build()
+        .expect("production preset at a positive rate is valid");
     let reach = crate::budget::max_reach(&cfg).unwrap_or(Length::ZERO);
     let power = power_model::link_power(&cfg);
     let rel = reliability_model::evaluate(&cfg, Duration::from_years(7.0));

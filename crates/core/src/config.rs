@@ -52,7 +52,13 @@ impl FecChoice {
 }
 
 /// Full configuration of a Mosaic link.
+///
+/// Construct via [`MosaicConfig::builder`]; fields stay public for
+/// tuning an existing configuration, but the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream code.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct MosaicConfig {
     /// Payload rate the link must deliver (one direction).
     pub aggregate: BitRate,
@@ -85,27 +91,24 @@ pub struct MosaicConfig {
 }
 
 impl MosaicConfig {
+    /// Start building a configuration from the production preset:
+    /// 2 Gb/s channels, KP4, 2 % sparing, 20 µm pitch, well-aligned
+    /// optics. `bit_rate` and `reach` are required.
+    pub fn builder() -> crate::builder::MosaicConfigBuilder {
+        crate::builder::MosaicConfigBuilder::production()
+    }
+
     /// A production-shaped link: 2 Gb/s channels, KP4, 2 % sparing,
     /// 20 µm pitch, well-aligned optics.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (e.g. a non-positive rate or span).
+    #[deprecated(note = "use MosaicConfig::builder().bit_rate(..).reach(..).build()")]
     pub fn new(aggregate: BitRate, length: Length) -> Self {
-        let channel_rate = BitRate::from_gbps(2.0);
-        let mut cfg = MosaicConfig {
-            aggregate,
-            channel_rate,
-            spares: 0,
-            length,
-            core_pitch: Length::from_um(20.0),
-            misalignment: Misalignment::NONE,
-            coupling: CouplingBudget::mosaic_default(),
-            led: MicroLed::default(),
-            drive_density_a_per_cm2: Self::default_drive_density(channel_rate),
-            extinction_ratio: 6.0,
-            modulation: Modulation::Nrz,
-            fec: FecChoice::Kp4,
-            framing_overhead: 1.01,
-        };
-        cfg.spares = (cfg.active_channels() / 50).max(4);
-        cfg
+        match Self::builder().bit_rate(aggregate).reach(length).build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The engineering rule for drive density versus channel rate: the LED
@@ -163,9 +166,67 @@ impl MosaicConfig {
         self.led.current_for_density(self.drive_density_a_per_cm2)
     }
 
+    /// Check every parameter for physical plausibility. Configurations
+    /// from [`MosaicConfig::builder`] have already passed this; call it
+    /// again after mutating fields by hand.
+    pub fn validate(&self) -> mosaic_units::Result<()> {
+        fn positive(field: &'static str, v: f64) -> mosaic_units::Result<()> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(mosaic_units::MosaicError::invalid_config(
+                    field,
+                    format!("must be positive and finite, got {v}"),
+                ))
+            }
+        }
+        positive("bit_rate", self.aggregate.as_bps())?;
+        positive("channel_rate", self.channel_rate.as_bps())?;
+        positive("reach", self.length.as_m())?;
+        positive("core_pitch", self.core_pitch.as_m())?;
+        positive("drive_density_a_per_cm2", self.drive_density_a_per_cm2)?;
+        if !(self.extinction_ratio.is_finite() && self.extinction_ratio > 1.0) {
+            return Err(mosaic_units::MosaicError::invalid_config(
+                "extinction_ratio",
+                format!("must exceed 1 (linear), got {}", self.extinction_ratio),
+            ));
+        }
+        if !(self.framing_overhead.is_finite() && self.framing_overhead >= 1.0) {
+            return Err(mosaic_units::MosaicError::invalid_config(
+                "framing_overhead",
+                format!("must be at least 1, got {}", self.framing_overhead),
+            ));
+        }
+        if let FecChoice::Bch { t } = self.fec {
+            if t == 0 || 10 * t >= 1023 {
+                return Err(mosaic_units::MosaicError::invalid_config(
+                    "fec",
+                    format!("BCH(1023) needs 1 ≤ t ≤ 102, got t={t}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate the full link report, validating first. An *infeasible*
+    /// link (budgets that do not close) is a successful evaluation — see
+    /// [`LinkReport::is_feasible`](crate::report::LinkReport::is_feasible);
+    /// `Err` means the configuration itself is malformed.
+    pub fn try_evaluate(&self) -> mosaic_units::Result<crate::report::LinkReport> {
+        self.validate()?;
+        Ok(crate::report::LinkReport::evaluate(self))
+    }
+
     /// Evaluate the full link report.
+    ///
+    /// # Panics
+    /// Panics if the configuration is malformed; use
+    /// [`MosaicConfig::try_evaluate`] to handle the error instead.
     pub fn evaluate(&self) -> crate::report::LinkReport {
-        crate::report::LinkReport::evaluate(self)
+        match self.try_evaluate() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -175,7 +236,11 @@ mod tests {
 
     #[test]
     fn channel_math_800g() {
-        let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+        let cfg = MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(10.0))
+            .build()
+            .unwrap();
         // 800 G × 544/514 × 1.01 ≈ 855 G → 428 channels at 2 G.
         assert_eq!(cfg.active_channels(), 428);
         assert!(cfg.spares >= 4);

@@ -30,19 +30,24 @@ pub struct DesignPoint {
     pub array_radius: Length,
 }
 
-/// Sweep per-channel rates for a target (aggregate, length).
+/// Sweep per-channel rates for a target (aggregate, length). Errors on a
+/// malformed target or grid (e.g. a non-positive rate) rather than
+/// evaluating nonsense.
 pub fn sweep_channel_rate(
     aggregate: BitRate,
     length: Length,
     rates_gbps: &[f64],
-) -> Vec<DesignPoint> {
+) -> mosaic_units::Result<Vec<DesignPoint>> {
     rates_gbps
         .iter()
         .map(|&r| {
-            let mut cfg = MosaicConfig::new(aggregate, length);
+            let mut cfg = MosaicConfig::builder()
+                .bit_rate(aggregate)
+                .reach(length)
+                .build()?;
             cfg.set_channel_rate(BitRate::from_gbps(r));
-            let report = cfg.evaluate();
-            DesignPoint {
+            let report = cfg.try_evaluate()?;
+            Ok(DesignPoint {
                 channel_rate: cfg.channel_rate,
                 channels: cfg.active_channels(),
                 feasible: report.is_feasible(),
@@ -53,7 +58,7 @@ pub fn sweep_channel_rate(
                 link_power: report.link_power,
                 energy_per_bit: report.energy_per_bit,
                 array_radius: report.array_radius,
-            }
+            })
         })
         .collect()
 }
@@ -81,6 +86,17 @@ mod tests {
             Length::from_m(10.0),
             &default_rate_grid(),
         )
+        .unwrap()
+    }
+
+    #[test]
+    fn bad_grid_entries_are_errors() {
+        let out = sweep_channel_rate(
+            BitRate::from_gbps(800.0),
+            Length::from_m(10.0),
+            &[2.0, -1.0],
+        );
+        assert!(out.is_err());
     }
 
     #[test]
@@ -128,12 +144,14 @@ mod tests {
             BitRate::from_gbps(800.0),
             Length::from_m(5.0),
             &default_rate_grid(),
-        );
+        )
+        .unwrap();
         let far = sweep_channel_rate(
             BitRate::from_gbps(800.0),
             Length::from_m(50.0),
             &default_rate_grid(),
-        );
+        )
+        .unwrap();
         let best_near = best_design(&near).unwrap().channel_rate.as_gbps();
         let best_far = best_design(&far).unwrap().channel_rate.as_gbps();
         assert!(best_far <= best_near, "far {best_far} vs near {best_near}");

@@ -13,11 +13,15 @@
 //! use mosaic_units::{BitRate, Length};
 //!
 //! // An 800G Mosaic link over 10 m of imaging fiber.
-//! let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
-//! let report: LinkReport = cfg.evaluate();
+//! let cfg = MosaicConfig::builder()
+//!     .bit_rate(BitRate::from_gbps(800.0))
+//!     .reach(Length::from_m(10.0))
+//!     .build()?;
+//! let report: LinkReport = cfg.try_evaluate()?;
 //! assert!(report.is_feasible(), "healthy margin at 10 m");
 //! assert!(report.module_power.total().as_watts() < 8.0);
 //! println!("{report}");
+//! # Ok::<(), mosaic::MosaicError>(())
 //! ```
 //!
 //! ## Structure
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod builder;
 pub mod compare;
 pub mod config;
 pub mod cost;
@@ -53,6 +58,10 @@ pub mod prototype;
 pub mod reliability_model;
 pub mod report;
 
+pub use builder::MosaicConfigBuilder;
 pub use compare::{LinkCandidate, TechnologyKind};
-pub use config::MosaicConfig;
+pub use config::{FecChoice, MosaicConfig};
 pub use report::LinkReport;
+
+/// The workspace error type, re-exported as the crate's canonical path.
+pub use mosaic_units::{MosaicError, Result};

@@ -69,7 +69,11 @@ mod tests {
     use mosaic_units::{BitRate, Length};
 
     fn cfg() -> MosaicConfig {
-        MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0))
+        MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(10.0))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -102,10 +106,13 @@ mod tests {
     #[test]
     fn power_scales_with_aggregate() {
         let p800 = link_power(&cfg());
-        let p200 = link_power(&MosaicConfig::new(
-            BitRate::from_gbps(200.0),
-            Length::from_m(10.0),
-        ));
+        let p200 = link_power(
+            &MosaicConfig::builder()
+                .bit_rate(BitRate::from_gbps(200.0))
+                .reach(Length::from_m(10.0))
+                .build()
+                .unwrap(),
+        );
         assert!(p800.as_watts() > 2.5 * p200.as_watts());
         assert!(p800.as_watts() < 4.5 * p200.as_watts());
     }

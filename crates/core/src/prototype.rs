@@ -10,29 +10,24 @@
 //!   verifying 200 Gb/s of aggregate payload arrives intact.
 
 use crate::budget::BudgetEngine;
+use crate::builder::MosaicConfigBuilder;
 use crate::config::{FecChoice, MosaicConfig};
 use mosaic_sim::faults::FaultSchedule;
 use mosaic_sim::link_sim::{simulate_link, LinkSimConfig, LinkSimReport};
-use mosaic_units::{BitRate, Length};
 
 /// The prototype configuration: 100 active channels × 2 Gb/s over 10 m,
 /// no sparing (the paper's demo array is fully utilized).
+///
+/// 188 G payload × KP4 (544/514) × 1.0045 framing ≈ 200 G line rate →
+/// exactly 100 × 2 G channels carrying ~200 Gb/s on the wire, with
+/// demo-grade optics (first-spin lens stack, two mated connectors)
+/// leaving roughly 1 dB of margin — the channels run near the KP4
+/// threshold just like the paper's testbed plots. See
+/// [`MosaicConfigBuilder::prototype`] for the preset itself.
 pub fn prototype_config() -> MosaicConfig {
-    let mut cfg = MosaicConfig::new(BitRate::from_gbps(188.0), Length::from_m(10.0));
-    // 188 G payload × KP4 (544/514) × 1.01 framing ≈ 200 G line rate
-    // → exactly 100 × 2 G channels carrying ~200 Gb/s on the wire.
-    cfg.fec = FecChoice::Kp4;
-    cfg.spares = 0;
-    assert_eq!(cfg.active_channels(), 101); // ceil() lands at 101
-                                            // Trim framing overhead so the demo is exactly 100 channels.
-    cfg.framing_overhead = 1.0045;
-    assert_eq!(cfg.active_channels(), 100);
-    // Demo-grade optics: a first-spin lens stack (lower capture) and two
-    // mated connectors, leaving roughly 1 dB of margin — the channels run
-    // near the KP4 threshold just like the paper's testbed plots.
-    cfg.coupling.tx_capture = 0.17;
-    cfg.coupling.connectors = 2;
-    cfg
+    MosaicConfigBuilder::prototype()
+        .build()
+        .expect("the prototype preset is a valid configuration")
 }
 
 /// Per-channel expected pre-FEC BER map of the prototype.

@@ -78,7 +78,11 @@ mod tests {
     use mosaic_units::{BitRate, Length};
 
     fn cfg() -> MosaicConfig {
-        MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0))
+        MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(10.0))
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::fmt;
 
 /// Everything a link designer asks of one configuration.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct LinkReport {
     /// The evaluated configuration.
     pub config: MosaicConfig,
@@ -114,8 +115,12 @@ mod tests {
 
     #[test]
     fn report_is_consistent() {
-        let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
-        let r = cfg.evaluate();
+        let cfg = MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(10.0))
+            .build()
+            .unwrap();
+        let r = cfg.try_evaluate().unwrap();
         assert!(r.is_feasible());
         assert_eq!(r.channels.len(), cfg.total_channels());
         assert!((r.link_power.as_watts() - r.module_power.total().as_watts() * 2.0).abs() < 1e-9);
@@ -128,9 +133,13 @@ mod tests {
 
     #[test]
     fn infeasible_configuration_reports_cleanly() {
-        let mut cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(500.0));
-        cfg.channel_rate = BitRate::from_gbps(8.0); // hopeless at 500 m
-        let r = cfg.evaluate();
+        let cfg = MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(800.0))
+            .reach(Length::from_m(500.0))
+            .channel_rate(BitRate::from_gbps(8.0)) // hopeless at 500 m
+            .build()
+            .unwrap();
+        let r = cfg.try_evaluate().unwrap();
         assert!(!r.is_feasible());
         assert!(format!("{r}").contains("INFEASIBLE"));
     }

@@ -9,6 +9,7 @@
 //! bits, no magnitudes needed).
 
 use crate::gf::GaloisField;
+use mosaic_units::{MosaicError, Result};
 
 /// Outcome of a BCH decode attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,11 +41,29 @@ impl Bch {
     /// generator degree.
     ///
     /// # Panics
-    /// Panics if the generator leaves no room for data at length `n`.
+    /// Panics on invalid parameters; use [`Bch::try_new`] to handle the
+    /// error instead.
     pub fn new(m: u32, n: usize, t: usize) -> Self {
-        let field = GaloisField::new(m);
-        assert!(n <= field.order(), "n={n} exceeds 2^m−1={}", field.order());
-        assert!(t >= 1, "t must be at least 1");
+        match Self::try_new(m, n, t) {
+            Ok(code) => code,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Bch::new`]: errors when `n > 2^m − 1`, `t < 1`, or the
+    /// generator polynomial leaves no room for data at length `n` (an
+    /// oversubscribed code).
+    pub fn try_new(m: u32, n: usize, t: usize) -> Result<Self> {
+        let field = GaloisField::try_new(m)?;
+        if n > field.order() {
+            return Err(MosaicError::invalid_code(format!(
+                "n={n} exceeds 2^m−1={}",
+                field.order()
+            )));
+        }
+        if t < 1 {
+            return Err(MosaicError::invalid_code("BCH t must be at least 1"));
+        }
 
         // Generator = lcm of minimal polynomials of α^1 .. α^{2t}.
         // Collect cyclotomic cosets of the exponents and multiply the
@@ -91,15 +110,19 @@ impl Bch {
             generator = next;
         }
         let parity = generator.len() - 1;
-        assert!(n > parity, "length {n} cannot fit {parity} parity bits");
+        if n <= parity {
+            return Err(MosaicError::invalid_code(format!(
+                "oversubscribed BCH: length {n} cannot fit {parity} parity bits (t={t})"
+            )));
+        }
         let k = n - parity;
-        Bch {
+        Ok(Bch {
             field,
             n,
             k,
             t,
             generator,
-        }
+        })
     }
 
     /// The common BCH(1023, ·, t) family over GF(2¹⁰), full length.
@@ -129,8 +152,26 @@ impl Bch {
 
     /// Systematic encode: `data` (k bits as 0/1 bytes) → n-bit codeword,
     /// data first, parity appended.
+    ///
+    /// # Panics
+    /// Panics on malformed input; use [`Bch::try_encode`] to handle the
+    /// error instead.
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
-        assert_eq!(data.len(), self.k, "expected {} data bits", self.k);
+        match self.try_encode(data) {
+            Ok(word) => word,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Bch::encode`]: errors unless `data` is exactly k bits.
+    pub fn try_encode(&self, data: &[u8]) -> Result<Vec<u8>> {
+        if data.len() != self.k {
+            return Err(MosaicError::LengthMismatch {
+                what: "BCH data block",
+                expected: self.k,
+                got: data.len(),
+            });
+        }
         let parity_len = self.n - self.k;
         let mut word = Vec::with_capacity(self.n);
         word.extend_from_slice(data);
@@ -149,7 +190,7 @@ impl Bch {
             }
         }
         word[self.k..].copy_from_slice(&rem);
-        word
+        Ok(word)
     }
 
     /// Syndromes S_1..S_{2t} in GF(2^m).
@@ -167,11 +208,21 @@ impl Bch {
     }
 
     /// Decode in place: locate and flip up to t bit errors.
-    pub fn decode(&self, word: &mut [u8]) -> BchOutcome {
-        assert_eq!(word.len(), self.n, "expected {}-bit word", self.n);
+    ///
+    /// Errors only on malformed input (wrong word length); an
+    /// uncorrectable pattern is the `Ok(`[`BchOutcome::Failure`]`)` case,
+    /// not an `Err`.
+    pub fn decode(&self, word: &mut [u8]) -> Result<BchOutcome> {
+        if word.len() != self.n {
+            return Err(MosaicError::LengthMismatch {
+                what: "BCH codeword",
+                expected: self.n,
+                got: word.len(),
+            });
+        }
         let synd = self.syndromes(word);
         if synd.iter().all(|&s| s == 0) {
-            return BchOutcome::Clean;
+            return Ok(BchOutcome::Clean);
         }
         let two_t = 2 * self.t;
 
@@ -215,7 +266,7 @@ impl Bch {
         }
         let deg = lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
         if deg == 0 || deg > self.t {
-            return BchOutcome::Failure;
+            return Ok(BchOutcome::Failure);
         }
 
         // Chien search restricted to the transmitted length.
@@ -228,7 +279,7 @@ impl Bch {
             }
         }
         if flips.len() != deg {
-            return BchOutcome::Failure;
+            return Ok(BchOutcome::Failure);
         }
         for &idx in &flips {
             word[idx] ^= 1;
@@ -238,9 +289,9 @@ impl Bch {
             for &idx in &flips {
                 word[idx] ^= 1;
             }
-            return BchOutcome::Failure;
+            return Ok(BchOutcome::Failure);
         }
-        BchOutcome::Corrected(flips.len())
+        Ok(BchOutcome::Corrected(flips.len()))
     }
 }
 
@@ -250,6 +301,19 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn oversubscribed_code_is_an_error() {
+        // Shortened BCH(10, t=3) over GF(2^4) needs 10 parity bits — the
+        // whole block — leaving no room for data.
+        assert!(Bch::try_new(4, 10, 3).is_err());
+        assert!(Bch::try_new(4, 16, 2).is_err()); // n > 2^4 − 1
+        assert!(Bch::try_new(4, 15, 0).is_err());
+        let code = Bch::new(4, 15, 2);
+        assert!(code.try_encode(&[0u8; 3]).is_err());
+        let mut short = vec![0u8; 3];
+        assert!(code.decode(&mut short).is_err());
+    }
 
     #[test]
     fn bch_15_7_2_parameters() {
@@ -289,7 +353,7 @@ mod tests {
                 word[pos[i]] ^= 1;
             }
             assert_eq!(
-                code.decode(&mut word),
+                code.decode(&mut word).unwrap(),
                 BchOutcome::Corrected(nerr),
                 "nerr={nerr}"
             );
@@ -307,7 +371,7 @@ mod tests {
         word[3] ^= 1;
         word[77] ^= 1;
         word[119] ^= 1;
-        assert_eq!(code.decode(&mut word), BchOutcome::Corrected(3));
+        assert_eq!(code.decode(&mut word).unwrap(), BchOutcome::Corrected(3));
         assert_eq!(word, clean);
     }
 
@@ -330,7 +394,7 @@ mod tests {
                         }
                         let snapshot = word.clone();
                         tried += 1;
-                        match code.decode(&mut word) {
+                        match code.decode(&mut word).unwrap() {
                             BchOutcome::Failure => {
                                 detected += 1;
                                 assert_eq!(word, snapshot);
@@ -362,7 +426,7 @@ mod tests {
                 pos.swap(i, j);
                 word[pos[i]] ^= 1;
             }
-            let out = code.decode(&mut word);
+            let out = code.decode(&mut word).unwrap();
             prop_assert_eq!(word, clean);
             if nerr == 0 {
                 prop_assert_eq!(out, BchOutcome::Clean);

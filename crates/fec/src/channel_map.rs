@@ -15,6 +15,7 @@
 //! or can ride a sick channel.
 
 use crate::rs::{DecodeOutcome, ReedSolomon};
+use mosaic_units::{MosaicError, Result};
 
 /// Round-robin assignment of an n-symbol codeword across C channels:
 /// symbol `i` rides channel `i mod C`.
@@ -26,9 +27,26 @@ pub struct ChannelMap {
 
 impl ChannelMap {
     /// Map an `n`-symbol codeword over `channels` channels.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; use [`ChannelMap::try_new`] to
+    /// handle the error instead.
     pub fn new(n: usize, channels: usize) -> Self {
-        assert!(channels >= 1 && channels <= n, "need 1 ≤ channels ≤ n");
-        ChannelMap { n, channels }
+        match Self::try_new(n, channels) {
+            Ok(map) => map,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ChannelMap::new`]: errors unless `1 ≤ channels ≤ n`.
+    pub fn try_new(n: usize, channels: usize) -> Result<Self> {
+        if channels < 1 || channels > n {
+            return Err(MosaicError::invalid_config(
+                "channels",
+                format!("need 1 ≤ channels ≤ n={n}, got {channels}"),
+            ));
+        }
+        Ok(ChannelMap { n, channels })
     }
 
     /// Number of channels.
@@ -48,14 +66,33 @@ impl ChannelMap {
     }
 
     /// The erasure list implied by a set of suspect channels.
+    ///
+    /// # Panics
+    /// Panics on out-of-range channels; use
+    /// [`ChannelMap::try_erasures_for`] to handle the error instead.
     pub fn erasures_for(&self, suspect_channels: &[usize]) -> Vec<usize> {
-        let mut out: Vec<usize> = suspect_channels
-            .iter()
-            .flat_map(|&c| self.positions_of(c))
-            .collect();
+        match self.try_erasures_for(suspect_channels) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ChannelMap::erasures_for`].
+    pub fn try_erasures_for(&self, suspect_channels: &[usize]) -> Result<Vec<usize>> {
+        let mut out = Vec::new();
+        for &c in suspect_channels {
+            if c >= self.channels {
+                return Err(MosaicError::IndexOutOfRange {
+                    what: "channel",
+                    index: c,
+                    limit: self.channels,
+                });
+            }
+            out.extend((c..self.n).step_by(self.channels));
+        }
         out.sort_unstable();
         out.dedup();
-        out
+        Ok(out)
     }
 
     /// How many whole channels the code can lose to erasure decoding while
@@ -69,14 +106,15 @@ impl ChannelMap {
     }
 
     /// Decode a word whose `suspect_channels` are flagged by the lane
-    /// monitors: their symbols become erasures.
+    /// monitors: their symbols become erasures. Errors only on malformed
+    /// input (out-of-range channels, wrong word length).
     pub fn decode_with_suspects(
         &self,
         rs: &ReedSolomon,
         word: &mut [u16],
         suspect_channels: &[usize],
-    ) -> DecodeOutcome {
-        let erasures = self.erasures_for(suspect_channels);
+    ) -> Result<DecodeOutcome> {
+        let erasures = self.try_erasures_for(suspect_channels)?;
         rs.decode_with_erasures(word, &erasures)
     }
 }
@@ -118,7 +156,7 @@ mod tests {
             word[p] ^= 0x155; // channel 7 goes bad
         }
         word[0] ^= 0x2AA; // plus one blind error on channel 0
-        let out = map.decode_with_suspects(&rs, &mut word, &[7]);
+        let out = map.decode_with_suspects(&rs, &mut word, &[7]).unwrap();
         assert!(matches!(out, DecodeOutcome::Corrected(_)), "got {out:?}");
         assert_eq!(word, clean);
     }
@@ -133,7 +171,8 @@ mod tests {
         for &p in &map.positions_of(7) {
             word[p] ^= 0x155;
         }
-        assert_eq!(rs.decode(&mut word), DecodeOutcome::Failure);
+        assert_eq!(rs.decode(&mut word).unwrap(), DecodeOutcome::Failure);
+        assert!(map.decode_with_suspects(&rs, &mut word, &[99]).is_err());
     }
 
     proptest! {

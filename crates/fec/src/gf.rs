@@ -4,6 +4,8 @@
 //! m = 12 cover every code in this workspace: GF(256) for classic RS,
 //! GF(1024) for KP4/KR4, GF(2^m) for BCH locator fields).
 
+use mosaic_units::{MosaicError, Result};
+
 /// A binary extension field GF(2^m), 2 ≤ m ≤ 12.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GaloisField {
@@ -16,8 +18,8 @@ pub struct GaloisField {
 }
 
 /// Default primitive polynomials (x^m + … + 1), low bits only.
-fn default_poly(m: u32) -> u32 {
-    match m {
+fn default_poly(m: u32) -> Option<u32> {
+    Some(match m {
         2 => 0b111,
         3 => 0b1011,
         4 => 0b1_0011,
@@ -29,20 +31,51 @@ fn default_poly(m: u32) -> u32 {
         10 => 0b100_0000_1001, // 0x409 = x^10 + x^3 + 1, the KP4 field
         11 => 0b1000_0000_0101,
         12 => 0b1_0000_0101_0011,
-        _ => panic!("unsupported field order m={m}"),
-    }
+        _ => return None,
+    })
 }
 
 impl GaloisField {
     /// Construct GF(2^m) with the standard primitive polynomial.
+    ///
+    /// # Panics
+    /// Panics on invalid `m`; use [`GaloisField::try_new`] to handle the
+    /// error instead.
     pub fn new(m: u32) -> Self {
-        Self::with_poly(m, default_poly(m))
+        match Self::try_new(m) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`GaloisField::new`]: errors unless 2 ≤ m ≤ 12.
+    pub fn try_new(m: u32) -> Result<Self> {
+        let poly = default_poly(m).ok_or_else(|| {
+            MosaicError::invalid_code(format!("unsupported field order m={m} (need 2..=12)"))
+        })?;
+        Self::try_with_poly(m, poly)
     }
 
     /// Construct GF(2^m) with an explicit primitive polynomial (including
     /// the x^m term).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; see [`GaloisField::try_with_poly`].
     pub fn with_poly(m: u32, poly: u32) -> Self {
-        assert!((2..=12).contains(&m), "supported field orders are m=2..=12");
+        match Self::try_with_poly(m, poly) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`GaloisField::with_poly`]: errors unless 2 ≤ m ≤ 12 and
+    /// `poly` is primitive for GF(2^m).
+    pub fn try_with_poly(m: u32, poly: u32) -> Result<Self> {
+        if !(2..=12).contains(&m) {
+            return Err(MosaicError::invalid_code(format!(
+                "supported field orders are m=2..=12, got m={m}"
+            )));
+        }
         let size = 1usize << m;
         let mut exp = vec![0u16; 2 * (size - 1)];
         let mut log = vec![0u16; size];
@@ -55,11 +88,15 @@ impl GaloisField {
                 x ^= poly;
             }
         }
-        assert_eq!(x, 1, "polynomial {poly:#x} is not primitive for m={m}");
+        if x != 1 {
+            return Err(MosaicError::invalid_code(format!(
+                "polynomial {poly:#x} is not primitive for m={m}"
+            )));
+        }
         for i in 0..(size - 1) {
             exp[size - 1 + i] = exp[i];
         }
-        GaloisField { m, poly, exp, log }
+        Ok(GaloisField { m, poly, exp, log })
     }
 
     /// Field order exponent m.

@@ -6,6 +6,8 @@
 //! word within its correction budget. A classic rows×cols block
 //! interleaver suffices and is what hardware would implement.
 
+use mosaic_units::{MosaicError, Result};
+
 /// A rows×cols block interleaver: write row-major, read column-major.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockInterleaver {
@@ -17,12 +19,26 @@ pub struct BlockInterleaver {
 
 impl BlockInterleaver {
     /// Construct; both dimensions must be non-zero.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions; use [`BlockInterleaver::try_new`] to
+    /// handle the error instead.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(
-            rows > 0 && cols > 0,
-            "interleaver dimensions must be non-zero"
-        );
-        BlockInterleaver { rows, cols }
+        match Self::try_new(rows, cols) {
+            Ok(il) => il,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`BlockInterleaver::new`]: errors on zero dimensions.
+    pub fn try_new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(MosaicError::invalid_config(
+                "interleaver",
+                format!("dimensions must be non-zero, got {rows}×{cols}"),
+            ));
+        }
+        Ok(BlockInterleaver { rows, cols })
     }
 
     /// Total block size.
@@ -37,28 +53,62 @@ impl BlockInterleaver {
 
     /// Interleave one block: output index `c·rows + r` takes input
     /// `r·cols + c`.
+    ///
+    /// # Panics
+    /// Panics on a block-size mismatch; use
+    /// [`BlockInterleaver::try_interleave`] to handle the error instead.
     pub fn interleave<T: Copy>(&self, input: &[T]) -> Vec<T> {
-        assert_eq!(input.len(), self.len(), "block size mismatch");
+        match self.try_interleave(input) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`BlockInterleaver::interleave`].
+    pub fn try_interleave<T: Copy>(&self, input: &[T]) -> Result<Vec<T>> {
+        if input.len() != self.len() {
+            return Err(MosaicError::LengthMismatch {
+                what: "interleaver block",
+                expected: self.len(),
+                got: input.len(),
+            });
+        }
         let mut out = Vec::with_capacity(input.len());
         for c in 0..self.cols {
             for r in 0..self.rows {
                 out.push(input[r * self.cols + c]);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Invert [`BlockInterleaver::interleave`].
+    ///
+    /// # Panics
+    /// Panics on a block-size mismatch; use
+    /// [`BlockInterleaver::try_deinterleave`] to handle the error instead.
     pub fn deinterleave<T: Copy + Default>(&self, input: &[T]) -> Vec<T> {
-        assert_eq!(input.len(), self.len(), "block size mismatch");
-        let mut out = vec![T::default(); input.len()];
-        let mut it = input.iter();
-        for c in 0..self.cols {
-            for r in 0..self.rows {
-                out[r * self.cols + c] = *it.next().unwrap();
-            }
+        match self.try_deinterleave(input) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
         }
-        out
+    }
+
+    /// Fallible [`BlockInterleaver::deinterleave`].
+    pub fn try_deinterleave<T: Copy + Default>(&self, input: &[T]) -> Result<Vec<T>> {
+        if input.len() != self.len() {
+            return Err(MosaicError::LengthMismatch {
+                what: "interleaver block",
+                expected: self.len(),
+                got: input.len(),
+            });
+        }
+        let mut out = vec![T::default(); input.len()];
+        for (i, &v) in input.iter().enumerate() {
+            let (c, r) = (i / self.rows, i % self.rows);
+            out[r * self.cols + c] = v;
+        }
+        Ok(out)
     }
 
     /// The longest error burst (in transmitted positions) that lands at

@@ -31,10 +31,15 @@ pub mod hamming;
 pub mod interleave;
 pub mod rs;
 
-pub use bch::Bch;
+pub use bch::{Bch, BchOutcome};
+pub use channel_map::ChannelMap;
 pub use gf::GaloisField;
 pub use hamming::Hamming7264;
+pub use interleave::BlockInterleaver;
 pub use rs::{DecodeOutcome, ReedSolomon};
+
+/// The workspace error type, re-exported for FEC callers.
+pub use mosaic_units::{MosaicError, Result};
 
 /// The pre-FEC BER threshold conventionally quoted for KP4 RS(544,514):
 /// random errors at this rate decode to better than 1e-15 post-FEC.

@@ -8,6 +8,7 @@
 //! the natural word with leading zero data symbols never transmitted.
 
 use crate::gf::GaloisField;
+use mosaic_units::{MosaicError, Result};
 
 /// Outcome of a decode attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,15 +36,29 @@ impl ReedSolomon {
     /// Construct RS(n, k) over GF(2^m).
     ///
     /// # Panics
-    /// Panics unless `k < n ≤ 2^m − 1` and `n − k` is even.
+    /// Panics on invalid parameters; use [`ReedSolomon::try_new`] to
+    /// handle the error instead.
     pub fn new(m: u32, n: usize, k: usize) -> Self {
-        let field = GaloisField::new(m);
-        assert!(k >= 1 && k < n, "need 1 ≤ k < n, got n={n} k={k}");
-        assert!(
-            n <= field.order(),
-            "n={n} exceeds field order {}",
-            field.order()
-        );
+        match Self::try_new(m, n, k) {
+            Ok(rs) => rs,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ReedSolomon::new`]: errors unless `1 ≤ k < n ≤ 2^m − 1`.
+    pub fn try_new(m: u32, n: usize, k: usize) -> Result<Self> {
+        let field = GaloisField::try_new(m)?;
+        if k < 1 || k >= n {
+            return Err(MosaicError::invalid_code(format!(
+                "need 1 ≤ k < n, got n={n} k={k}"
+            )));
+        }
+        if n > field.order() {
+            return Err(MosaicError::invalid_code(format!(
+                "n={n} exceeds field order {} (oversubscribed block)",
+                field.order()
+            )));
+        }
         let two_t = n - k;
         // Generator g(x) = Π_{i=0}^{2t−1} (x − α^i), built lowest-first.
         let mut generator = vec![1u16];
@@ -52,12 +67,12 @@ impl ReedSolomon {
             // Multiply by (x + root) — characteristic 2, so minus is plus.
             generator = field.poly_mul(&generator, &[root, 1]);
         }
-        ReedSolomon {
+        Ok(ReedSolomon {
             field,
             n,
             k,
             generator,
-        }
+        })
     }
 
     /// IEEE 802.3 "KP4" RS(544,514) over GF(2¹⁰): t = 15.
@@ -109,10 +124,25 @@ impl ReedSolomon {
     /// n-symbol codeword: data first, parity appended.
     ///
     /// # Panics
-    /// Panics if `data` is not exactly k symbols or contains out-of-field
-    /// values.
+    /// Panics on malformed input; use [`ReedSolomon::try_encode`] to
+    /// handle the error instead.
     pub fn encode(&self, data: &[u16]) -> Vec<u16> {
-        assert_eq!(data.len(), self.k, "expected {} data symbols", self.k);
+        match self.try_encode(data) {
+            Ok(word) => word,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ReedSolomon::encode`]: errors if `data` is not exactly
+    /// k symbols or contains out-of-field values.
+    pub fn try_encode(&self, data: &[u16]) -> Result<Vec<u16>> {
+        if data.len() != self.k {
+            return Err(MosaicError::LengthMismatch {
+                what: "RS data block",
+                expected: self.k,
+                got: data.len(),
+            });
+        }
         let mask = (self.field.size() - 1) as u16;
         let two_t = self.n - self.k;
         let mut word = Vec::with_capacity(self.n);
@@ -122,11 +152,12 @@ impl ReedSolomon {
         // `word[0..k]` are the running dividend coefficients (highest first).
         let mut rem = vec![0u16; two_t];
         for &d in data {
-            assert!(
-                d <= mask,
-                "data symbol {d:#x} outside GF(2^{})",
-                self.field.m()
-            );
+            if d > mask {
+                return Err(MosaicError::invalid_code(format!(
+                    "data symbol {d:#x} outside GF(2^{})",
+                    self.field.m()
+                )));
+            }
             let factor = self.field.add(d, rem[0]);
             // Shift remainder left by one, feed in zero.
             rem.rotate_left(1);
@@ -141,12 +172,21 @@ impl ReedSolomon {
             }
         }
         word[self.k..].copy_from_slice(&rem);
-        word
+        Ok(word)
     }
 
     /// Compute the 2t syndromes of a word. All-zero means "is a codeword".
+    ///
+    /// # Panics
+    /// Panics unless `word` is exactly n symbols.
     pub fn syndromes(&self, word: &[u16]) -> Vec<u16> {
         assert_eq!(word.len(), self.n, "expected {}-symbol word", self.n);
+        self.syndromes_unchecked(word)
+    }
+
+    /// [`ReedSolomon::syndromes`] on a length-validated word (the decode
+    /// paths validate once up front and must stay panic-free).
+    fn syndromes_unchecked(&self, word: &[u16]) -> Vec<u16> {
         let two_t = self.n - self.k;
         (0..two_t)
             .map(|i| {
@@ -162,7 +202,11 @@ impl ReedSolomon {
     }
 
     /// Decode in place: detect, locate and correct up to t symbol errors.
-    pub fn decode(&self, word: &mut [u16]) -> DecodeOutcome {
+    ///
+    /// Errors only on malformed input (wrong word length); an
+    /// uncorrectable word is the `Ok(`[`DecodeOutcome::Failure`]`)` case,
+    /// not an `Err`.
+    pub fn decode(&self, word: &mut [u16]) -> Result<DecodeOutcome> {
         self.decode_with_erasures(word, &[])
     }
 
@@ -176,17 +220,34 @@ impl ReedSolomon {
     /// — build the erasure locator Γ(x) from the known positions, run
     /// Berlekamp-Massey on the Γ-modified syndromes to find the *error*
     /// locator Λ(x), then correct with the combined locator Ψ = Λ·Γ.
-    pub fn decode_with_erasures(&self, word: &mut [u16], erasures: &[usize]) -> DecodeOutcome {
+    pub fn decode_with_erasures(
+        &self,
+        word: &mut [u16],
+        erasures: &[usize],
+    ) -> Result<DecodeOutcome> {
+        if word.len() != self.n {
+            return Err(MosaicError::LengthMismatch {
+                what: "RS codeword",
+                expected: self.n,
+                got: word.len(),
+            });
+        }
         let two_t = self.n - self.k;
         if erasures.len() > two_t {
-            return DecodeOutcome::Failure;
+            return Ok(DecodeOutcome::Failure);
         }
         for &e in erasures {
-            assert!(e < self.n, "erasure index {e} out of range");
+            if e >= self.n {
+                return Err(MosaicError::IndexOutOfRange {
+                    what: "erasure",
+                    index: e,
+                    limit: self.n,
+                });
+            }
         }
-        let synd = self.syndromes(word);
+        let synd = self.syndromes_unchecked(word);
         if synd.iter().all(|&s| s == 0) {
-            return DecodeOutcome::Clean;
+            return Ok(DecodeOutcome::Clean);
         }
 
         // Erasure locator Γ(x) = Π (1 + X_j x), X_j = α^{n−1−index}
@@ -196,7 +257,7 @@ impl ReedSolomon {
             let x = self.field.alpha_pow(self.n - 1 - idx);
             gamma = self.field.poly_mul(&gamma, &[1, x]);
         }
-        self.finish_decode(word, &synd, &gamma, erasures.len())
+        Ok(self.finish_decode(word, &synd, &gamma, erasures.len()))
     }
 
     /// Shared tail of error / errors-and-erasures decoding: Γ-initialized
@@ -305,7 +366,7 @@ impl ReedSolomon {
         }
 
         // Guard against miscorrection: the result must be a codeword.
-        if self.syndromes(word).iter().any(|&s| s != 0) {
+        if self.syndromes_unchecked(word).iter().any(|&s| s != 0) {
             return DecodeOutcome::Failure;
         }
         DecodeOutcome::Corrected(corrected)
@@ -338,6 +399,21 @@ mod tests {
     }
 
     #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        assert!(ReedSolomon::try_new(8, 300, 10).is_err()); // n > 2^8 − 1
+        assert!(ReedSolomon::try_new(8, 31, 0).is_err());
+        assert!(ReedSolomon::try_new(8, 31, 31).is_err());
+        assert!(ReedSolomon::try_new(99, 31, 23).is_err());
+        let rs = ReedSolomon::new(8, 31, 23);
+        assert!(rs.try_encode(&[0u16; 5]).is_err());
+        assert!(rs.try_encode(&[0x100u16; 23]).is_err());
+        let mut short = vec![0u16; 10];
+        assert!(rs.decode(&mut short).is_err());
+        let mut word = rs.encode(&[0u16; 23]);
+        assert!(rs.decode_with_erasures(&mut word, &[31]).is_err());
+    }
+
+    #[test]
     fn kp4_parameters() {
         let rs = ReedSolomon::kp4();
         assert_eq!((rs.n(), rs.k(), rs.t()), (544, 514, 15));
@@ -360,7 +436,7 @@ mod tests {
     fn clean_word_decodes_clean() {
         let rs = ReedSolomon::new(8, 15, 11);
         let mut word = rs.encode(&(1..=11).collect::<Vec<_>>());
-        assert_eq!(rs.decode(&mut word), DecodeOutcome::Clean);
+        assert_eq!(rs.decode(&mut word).unwrap(), DecodeOutcome::Clean);
     }
 
     #[test]
@@ -371,7 +447,10 @@ mod tests {
         let clean = rs.encode(&data);
         let mut word = clean.clone();
         inject_errors(&rs, &mut word, rs.t(), &mut rng);
-        assert_eq!(rs.decode(&mut word), DecodeOutcome::Corrected(rs.t()));
+        assert_eq!(
+            rs.decode(&mut word).unwrap(),
+            DecodeOutcome::Corrected(rs.t())
+        );
         assert_eq!(word, clean);
     }
 
@@ -383,7 +462,7 @@ mod tests {
         let clean = rs.encode(&data);
         let mut word = clean.clone();
         inject_errors(&rs, &mut word, 15, &mut rng);
-        assert_eq!(rs.decode(&mut word), DecodeOutcome::Corrected(15));
+        assert_eq!(rs.decode(&mut word).unwrap(), DecodeOutcome::Corrected(15));
         assert_eq!(word, clean);
     }
 
@@ -401,7 +480,7 @@ mod tests {
             let clean = rs.encode(&data);
             let mut word = clean.clone();
             inject_errors(&rs, &mut word, rs.t() + 3, &mut rng);
-            match rs.decode(&mut word) {
+            match rs.decode(&mut word).unwrap() {
                 DecodeOutcome::Failure => failures += 1,
                 DecodeOutcome::Corrected(_) => {
                     // If it "corrected", it must at least be a codeword —
@@ -423,7 +502,7 @@ mod tests {
         let clean = rs.encode(&data);
         let mut word = clean.clone();
         inject_errors(&rs, &mut word, 7, &mut rng);
-        assert_eq!(rs.decode(&mut word), DecodeOutcome::Corrected(7));
+        assert_eq!(rs.decode(&mut word).unwrap(), DecodeOutcome::Corrected(7));
         assert_eq!(word, clean);
     }
 
@@ -440,7 +519,7 @@ mod tests {
         for &p in &positions {
             word[p] ^= 0xA5;
         }
-        let out = rs.decode_with_erasures(&mut word, &positions);
+        let out = rs.decode_with_erasures(&mut word, &positions).unwrap();
         assert_eq!(out, DecodeOutcome::Corrected(8));
         assert_eq!(word, clean);
     }
@@ -460,7 +539,7 @@ mod tests {
         }
         word[7] ^= 0x81;
         word[19] ^= 0x42;
-        let out = rs.decode_with_erasures(&mut word, &erased);
+        let out = rs.decode_with_erasures(&mut word, &erased).unwrap();
         assert_eq!(out, DecodeOutcome::Corrected(5));
         assert_eq!(word, clean);
     }
@@ -474,7 +553,7 @@ mod tests {
         let mut word = clean.clone();
         word[4] ^= 0xFF; // one real error
         let erased = [10usize, 20]; // two false alarms
-        let out = rs.decode_with_erasures(&mut word, &erased);
+        let out = rs.decode_with_erasures(&mut word, &erased).unwrap();
         assert!(matches!(out, DecodeOutcome::Corrected(_)));
         assert_eq!(word, clean);
     }
@@ -487,7 +566,7 @@ mod tests {
         let erased: Vec<usize> = (0..9).collect(); // 9 > 2t = 8
         word[0] ^= 1;
         assert_eq!(
-            rs.decode_with_erasures(&mut word, &erased),
+            rs.decode_with_erasures(&mut word, &erased).unwrap(),
             DecodeOutcome::Failure
         );
     }
@@ -509,7 +588,7 @@ mod tests {
         for i in 0..6 {
             word[7 + i * 90] ^= 0x155;
         }
-        let out = rs.decode_with_erasures(&mut word, &erased);
+        let out = rs.decode_with_erasures(&mut word, &erased).unwrap();
         assert_eq!(out, DecodeOutcome::Corrected(24));
         assert_eq!(word, clean);
     }
@@ -543,7 +622,7 @@ mod tests {
                 let flip = (rng.gen::<u16>() & 0xFF).max(1);
                 word[p] ^= flip;
             }
-            let out = rs.decode_with_erasures(&mut word, erased);
+            let out = rs.decode_with_erasures(&mut word, erased).unwrap();
             prop_assert_eq!(word, clean);
             if n_erase + n_err == 0 {
                 prop_assert_eq!(out, DecodeOutcome::Clean);
@@ -561,7 +640,7 @@ mod tests {
             let clean = rs.encode(&data);
             let mut word = clean.clone();
             inject_errors(&rs, &mut word, nerr, &mut rng);
-            let out = rs.decode(&mut word);
+            let out = rs.decode(&mut word).unwrap();
             prop_assert_eq!(word, clean);
             if nerr == 0 {
                 prop_assert_eq!(out, DecodeOutcome::Clean);
@@ -579,7 +658,7 @@ mod tests {
             let clean = rs.encode(&data);
             let mut word = clean.clone();
             inject_errors(&rs, &mut word, 4, &mut rng);
-            prop_assert_eq!(rs.decode(&mut word), DecodeOutcome::Corrected(4));
+            prop_assert_eq!(rs.decode(&mut word).unwrap(), DecodeOutcome::Corrected(4));
             prop_assert_eq!(word, clean);
         }
     }

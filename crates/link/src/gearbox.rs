@@ -53,17 +53,34 @@ impl Gearbox {
     /// Build a gearbox striping over `logical` lanes drawn from
     /// `physical` channels (surplus = spares), with alignment markers
     /// every `am_period` words per lane.
+    ///
+    /// # Panics
+    /// Panics on invalid geometry; use [`Gearbox::try_new`] to handle
+    /// the error instead.
     pub fn new(logical: usize, physical: usize, am_period: usize) -> Self {
-        let cfg = StripeConfig::new(logical, am_period);
-        Gearbox {
+        match Self::try_new(logical, physical, am_period) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Gearbox::new`]: errors on zero lanes, zero marker
+    /// period, or fewer physical channels than logical lanes.
+    pub fn try_new(
+        logical: usize,
+        physical: usize,
+        am_period: usize,
+    ) -> mosaic_units::Result<Self> {
+        let cfg = StripeConfig::try_new(logical, am_period)?;
+        Ok(Gearbox {
             cfg,
-            map: LaneMap::new(logical, physical),
+            map: LaneMap::try_new(logical, physical)?,
             physical,
             dist: Distributor::new(cfg),
             tx_scrambler: Scrambler::new(),
             rx_scrambler: Scrambler::new(),
             next_tx_seq: 0,
-        }
+        })
     }
 
     /// The lane map (assignments, spares, retirements).
@@ -136,13 +153,19 @@ impl Gearbox {
     }
 
     /// Receive one epoch of physical channel streams.
-    pub fn receive(&mut self, channels: &[Vec<LaneWord>]) -> RxReport {
-        assert_eq!(
-            channels.len(),
-            self.physical,
-            "expected {} channel streams",
-            self.physical
-        );
+    ///
+    /// A failed deskew is *not* an error — it is a measured link outcome,
+    /// reported via [`RxReport::deskew_failed`]. `Err` means the input is
+    /// malformed: the number of streams does not match the gearbox's
+    /// physical channel count.
+    pub fn receive(&mut self, channels: &[Vec<LaneWord>]) -> mosaic_units::Result<RxReport> {
+        if channels.len() != self.physical {
+            return Err(mosaic_units::MosaicError::LengthMismatch {
+                what: "channel streams",
+                expected: self.physical,
+                got: channels.len(),
+            });
+        }
         // Gather the assigned channels in logical order.
         let lanes: Vec<Vec<LaneWord>> = (0..self.cfg.lanes)
             .map(|l| channels[self.map.physical_for(l)].clone())
@@ -150,12 +173,12 @@ impl Gearbox {
         let words = match Deskewer::new(self.cfg).reassemble(&lanes) {
             Ok(w) => w,
             Err(_) => {
-                return RxReport {
+                return Ok(RxReport {
                     frames: vec![],
                     corrupt_frames: 0,
                     payload_bytes: 0,
                     deskew_failed: true,
-                }
+                })
             }
         };
         // Descramble and flatten to bytes.
@@ -165,12 +188,12 @@ impl Gearbox {
         }
         let (frames, corrupt) = scan_frames(&bytes);
         let payload_bytes = frames.iter().map(|f| f.payload.len()).sum();
-        RxReport {
+        Ok(RxReport {
             frames,
             corrupt_frames: corrupt,
             payload_bytes,
             deskew_failed: false,
-        }
+        })
     }
 }
 
@@ -234,7 +257,7 @@ mod tests {
         let data = payloads(20, 200);
         let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
         let channels = tx.transmit(&refs);
-        let report = rx.receive(&channels);
+        let report = rx.receive(&channels).unwrap();
         assert!(!report.deskew_failed);
         assert_eq!(report.frames.len(), 20);
         assert_eq!(report.corrupt_frames, 0);
@@ -256,7 +279,7 @@ mod tests {
             .enumerate()
             .map(|(i, s)| crate::striping::apply_skew(s, i * 5, 0xBAD))
             .collect();
-        let report = rx.receive(&skewed);
+        let report = rx.receive(&skewed).unwrap();
         assert_eq!(report.frames.len(), 5);
     }
 
@@ -278,7 +301,7 @@ mod tests {
                 }
             }
         }
-        let report = rx.receive(&channels);
+        let report = rx.receive(&channels).unwrap();
         assert!(!report.deskew_failed);
         assert!(
             report.frames.len() >= 24,
@@ -301,7 +324,7 @@ mod tests {
         let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
 
         // Epoch 1: clean.
-        let r1 = rx.receive(&tx.transmit(&refs));
+        let r1 = rx.receive(&tx.transmit(&refs)).unwrap();
         assert_eq!(r1.frames.len(), 10);
 
         // Channel 1 dies; both ends remap (control plane coordination).
@@ -309,7 +332,7 @@ mod tests {
         assert_eq!(rx.fail_channel(1, FailureKind::Dead).unwrap(), Some(1));
 
         // Epoch 2: full service on the spare.
-        let r2 = rx.receive(&tx.transmit(&refs));
+        let r2 = rx.receive(&tx.transmit(&refs)).unwrap();
         assert_eq!(r2.frames.len(), 10);
         assert_eq!(tx.lane_map().spares_left(), 1);
     }
@@ -323,9 +346,20 @@ mod tests {
         let mut channels = tx.transmit(&refs);
         // Channel 3 goes dark mid-epoch: its stream is junk.
         channels[3] = vec![LaneWord::Data(0); channels[3].len()];
-        let report = rx.receive(&channels);
+        let report = rx.receive(&channels).unwrap();
         assert!(report.deskew_failed);
         assert!(report.frames.is_empty());
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        assert!(Gearbox::try_new(0, 4, 8).is_err());
+        assert!(Gearbox::try_new(4, 2, 8).is_err());
+        assert!(Gearbox::try_new(4, 4, 0).is_err());
+        let mut rx = Gearbox::new(4, 4, 8);
+        // Wrong number of channel streams is malformed input, not a
+        // measured deskew failure.
+        assert!(rx.receive(&[vec![], vec![]]).is_err());
     }
 
     #[test]

@@ -21,20 +21,40 @@ pub struct LaneHealth {
 impl LaneHealth {
     /// Monitor with a given window size in bits, keeping `max_windows`
     /// completed windows of history.
+    ///
+    /// # Panics
+    /// Panics on zero parameters; use [`LaneHealth::try_new`] to handle
+    /// the error instead.
     pub fn new(window_bits: u64, max_windows: usize) -> Self {
-        assert!(window_bits > 0 && max_windows > 0);
-        LaneHealth {
+        match Self::try_new(window_bits, max_windows) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`LaneHealth::new`]: errors on zero window size or count.
+    pub fn try_new(window_bits: u64, max_windows: usize) -> mosaic_units::Result<Self> {
+        if window_bits == 0 || max_windows == 0 {
+            return Err(mosaic_units::MosaicError::invalid_config(
+                "lane_monitor",
+                "window size and history depth must be non-zero",
+            ));
+        }
+        Ok(LaneHealth {
             window_bits,
             history: vec![],
             cur_bits: 0,
             cur_errors: 0,
             max_windows,
-        }
+        })
     }
 
-    /// Record `bits` observed with `errors` mismatches.
+    /// Record `bits` observed with `errors` mismatches. An error count
+    /// exceeding the bit count is clamped — counters fed from hardware
+    /// telemetry can glitch, and a saturated window is the conservative
+    /// reading.
     pub fn record(&mut self, bits: u64, errors: u64) {
-        assert!(errors <= bits, "cannot have more errors than bits");
+        let errors = errors.min(bits);
         self.cur_bits += bits;
         self.cur_errors += errors;
         while self.cur_bits >= self.window_bits {
@@ -98,17 +118,28 @@ impl LaneMap {
     /// channels; the surplus becomes the spare pool.
     ///
     /// # Panics
-    /// Panics if there are fewer physical channels than logical lanes.
+    /// Panics if there are fewer physical channels than logical lanes;
+    /// use [`LaneMap::try_new`] to handle the error instead.
     pub fn new(logical: usize, physical: usize) -> Self {
-        assert!(
-            physical >= logical,
-            "need at least {logical} channels, have {physical}"
-        );
-        LaneMap {
+        match Self::try_new(logical, physical) {
+            Ok(map) => map,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`LaneMap::new`]: errors when `physical < logical`.
+    pub fn try_new(logical: usize, physical: usize) -> mosaic_units::Result<Self> {
+        if physical < logical {
+            return Err(mosaic_units::MosaicError::invalid_config(
+                "physical_channels",
+                format!("need at least {logical} channels, have {physical}"),
+            ));
+        }
+        Ok(LaneMap {
             assignment: (0..logical).collect(),
             spares: (logical..physical).collect(),
             retired: vec![],
-        }
+        })
     }
 
     /// Number of logical lanes.
@@ -169,6 +200,20 @@ impl LaneMap {
 pub struct NoSpares {
     /// The logical lane left without a physical channel.
     pub logical: usize,
+}
+
+impl std::fmt::Display for NoSpares {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no spare channel left for logical lane {}", self.logical)
+    }
+}
+
+impl std::error::Error for NoSpares {}
+
+impl From<NoSpares> for mosaic_units::MosaicError {
+    fn from(e: NoSpares) -> Self {
+        mosaic_units::MosaicError::infeasible(e.to_string())
+    }
 }
 
 #[cfg(test)]

@@ -31,5 +31,8 @@ pub mod scrambler;
 pub mod striping;
 
 pub use gearbox::{Gearbox, RxReport};
-pub use lanes::{LaneHealth, LaneMap};
-pub use striping::{Deskewer, Distributor, LaneWord, StripeConfig};
+pub use lanes::{FailureKind, LaneHealth, LaneMap, NoSpares};
+pub use striping::{DeskewError, Deskewer, Distributor, LaneWord, StripeConfig};
+
+/// The workspace error type, re-exported for link-layer callers.
+pub use mosaic_units::{MosaicError, Result};

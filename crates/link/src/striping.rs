@@ -23,10 +23,32 @@ pub struct StripeConfig {
 
 impl StripeConfig {
     /// Construct; both fields must be non-zero.
+    ///
+    /// # Panics
+    /// Panics on zero fields; use [`StripeConfig::try_new`] to handle the
+    /// error instead.
     pub fn new(lanes: usize, am_period: usize) -> Self {
-        assert!(lanes > 0, "need at least one lane");
-        assert!(am_period > 0, "marker period must be non-zero");
-        StripeConfig { lanes, am_period }
+        match Self::try_new(lanes, am_period) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`StripeConfig::new`]: errors on zero lanes or period.
+    pub fn try_new(lanes: usize, am_period: usize) -> mosaic_units::Result<Self> {
+        if lanes == 0 {
+            return Err(mosaic_units::MosaicError::invalid_config(
+                "lanes",
+                "need at least one lane",
+            ));
+        }
+        if am_period == 0 {
+            return Err(mosaic_units::MosaicError::invalid_config(
+                "am_period",
+                "marker period must be non-zero",
+            ));
+        }
+        Ok(StripeConfig { lanes, am_period })
     }
 
     /// Payload words consumed per marker block across all lanes.
@@ -106,6 +128,25 @@ pub enum DeskewError {
     LaneCount,
 }
 
+impl std::fmt::Display for DeskewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeskewError::NoMarker { lane } => write!(f, "lane {lane} carried no marker"),
+            DeskewError::NoCommonMarker => write!(f, "no common marker across lanes"),
+            DeskewError::Misaligned { lane } => write!(f, "lane {lane} misaligned"),
+            DeskewError::LaneCount => write!(f, "wrong number of lane streams"),
+        }
+    }
+}
+
+impl std::error::Error for DeskewError {}
+
+impl From<DeskewError> for mosaic_units::MosaicError {
+    fn from(e: DeskewError) -> Self {
+        mosaic_units::MosaicError::infeasible(format!("deskew failed: {e}"))
+    }
+}
+
 /// The receive-side deskewer.
 #[derive(Debug, Clone)]
 pub struct Deskewer {
@@ -134,13 +175,17 @@ impl Deskewer {
                 .position(|w| matches!(w, LaneWord::Marker(_)))
                 .ok_or(DeskewError::NoMarker { lane: i })?;
             let LaneWord::Marker(seq) = lane[p] else {
-                unreachable!()
+                // `position` just matched a marker here.
+                return Err(DeskewError::Misaligned { lane: i });
             };
             first_seq.push(seq);
             pos.push(p);
         }
         // Align every lane to the largest first-marker sequence number.
-        let target = *first_seq.iter().max().unwrap();
+        let Some(&target) = first_seq.iter().max() else {
+            // Zero configured lanes: nothing to reassemble.
+            return Ok(Vec::new());
+        };
         for (i, lane) in lanes.iter().enumerate() {
             while {
                 let LaneWord::Marker(seq) = lane[pos[i]] else {

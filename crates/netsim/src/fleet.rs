@@ -54,6 +54,10 @@ pub fn rollup_with(exec: &Exec, assignments: &[Assignment]) -> FleetReport {
         *power_by_tech.entry(name.clone()).or_insert(Power::ZERO) += p;
         *links_by_tech.entry(name).or_insert(0) += count;
     }
+    // Telemetry rollup: derived from the already-folded totals (not from
+    // inside the sweep), so the values are thread-count invariant.
+    mosaic_sim::telemetry::counter_add("fleet.rollups", 1);
+    mosaic_sim::telemetry::counter_add("fleet.links", links as u64);
     FleetReport {
         total_power,
         links,

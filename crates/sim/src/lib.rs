@@ -20,7 +20,12 @@
 //! * [`sweep`] — the deterministic parallel execution engine: Monte-Carlo
 //!   fan-out whose output is bit-identical whether it runs on 1 thread or
 //!   32 (`MOSAIC_THREADS` selects; counter-based seed splitting makes the
-//!   per-task streams scheduling-independent).
+//!   per-task streams scheduling-independent);
+//! * [`telemetry`] — the run-metrics layer (counters, fixed-edge
+//!   histograms, series, per-stage wall/CPU timers) whose metric values
+//!   are thread-count invariant by construction;
+//! * [`json`] — a dependency-free JSON writer/parser with deterministic
+//!   output, backing the run manifests in `crates/bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,13 +33,16 @@
 pub mod event;
 pub mod faults;
 pub mod inject;
+pub mod json;
 pub mod link_sim;
 pub mod montecarlo;
 pub mod rng;
 pub mod sweep;
+pub mod telemetry;
 
 pub use event::EventQueue;
 pub use inject::BitErrorInjector;
+pub use json::Json;
 pub use link_sim::{simulate_link, LinkSimConfig, LinkSimReport};
 pub use rng::DetRng;
 pub use sweep::{Exec, RunStats};

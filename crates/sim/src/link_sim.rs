@@ -242,7 +242,9 @@ pub fn simulate_link_with(exec: &Exec, cfg: &LinkSimConfig) -> LinkSimReport {
         }
 
         // 4. Receive.
-        let r = rx.receive(&channels);
+        let r = rx
+            .receive(&channels)
+            .expect("channel stream count matches the gearbox by construction");
         if r.deskew_failed {
             report.deskew_failed_epochs += 1;
         }
@@ -302,6 +304,16 @@ pub fn simulate_link_with(exec: &Exec, cfg: &LinkSimConfig) -> LinkSimReport {
 
     report.frames_lost =
         report.frames_sent - report.frames_delivered - report.frames_silently_corrupted;
+    // Telemetry rollup: commutative counter adds only, so totals are
+    // thread-count invariant even when whole simulations run inside a
+    // parallel sweep.
+    crate::telemetry::counter_add("link_sim.runs", 1);
+    crate::telemetry::counter_add("link_sim.frames_sent", report.frames_sent);
+    crate::telemetry::counter_add("link_sim.frames_delivered", report.frames_delivered);
+    crate::telemetry::counter_add("link_sim.frames_lost", report.frames_lost);
+    crate::telemetry::counter_add("link_sim.deskew_failed_epochs", report.deskew_failed_epochs);
+    crate::telemetry::counter_add("link_sim.remaps", report.remaps);
+    crate::telemetry::counter_add("link_sim.bit_errors_injected", report.bit_errors_injected);
     report
 }
 

@@ -234,7 +234,10 @@ pub fn run_rs_channel_with(
                     .fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i))
             })
             .collect();
-        match rs.decode(&mut word) {
+        let outcome = rs
+            .decode(&mut word)
+            .expect("simulated codeword has the code's exact length");
+        match outcome {
             DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
                 if word[..rs.k()] == data[..] {
                     one.decoded += 1;

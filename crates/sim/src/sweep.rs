@@ -119,14 +119,21 @@ impl Exec {
     /// Monte-Carlo fan-out: `n` trials, trial `i` running against its own
     /// counter-derived stream `(seed, label, i)`. Results come back in
     /// trial order.
+    ///
+    /// Telemetry: bumps the `trials.{label}` counter and records a timed
+    /// `par_trials.{label}` stage — counter values are pure integer adds,
+    /// so they stay thread-count invariant.
     pub fn par_trials<T, F>(&self, n: u64, seed: u64, label: &str, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(u64, &mut DetRng) -> T + Sync,
     {
-        self.run_tasks(n as usize, |i| {
-            let mut rng = DetRng::substream_indexed(seed, label, i as u64);
-            f(i as u64, &mut rng)
+        crate::telemetry::counter_add(&format!("trials.{label}"), n);
+        crate::telemetry::stage(&format!("par_trials.{label}"), n, || {
+            self.run_tasks(n as usize, |i| {
+                let mut rng = DetRng::substream_indexed(seed, label, i as u64);
+                f(i as u64, &mut rng)
+            })
         })
     }
 
@@ -219,11 +226,17 @@ impl RunStats {
 }
 
 /// Run `f`, timing it into a [`RunStats`] with the given trial count and
-/// the ambient thread configuration.
+/// the ambient thread configuration. Also records a `measured` telemetry
+/// stage so manifest timings cover figure-level work.
 pub fn measured<T>(trials: u64, f: impl FnOnce() -> T) -> (T, RunStats) {
+    measured_as("measured", trials, f)
+}
+
+/// [`measured`] with an explicit telemetry stage label.
+pub fn measured_as<T>(label: &str, trials: u64, f: impl FnOnce() -> T) -> (T, RunStats) {
     let threads = Exec::from_env().threads();
     let start = Instant::now();
-    let out = f();
+    let out = crate::telemetry::stage(label, trials, f);
     (
         out,
         RunStats {

@@ -1,0 +1,363 @@
+//! Deterministic run telemetry: counters, histograms, series, and
+//! per-stage timers.
+//!
+//! Every figure pipeline and Monte-Carlo driver records what it did into
+//! a process-global collector; `run_all` snapshots the collector per
+//! experiment and folds the snapshots into the run manifest. Two design
+//! rules keep the data trustworthy:
+//!
+//! 1. **Metric values are thread-count invariant.** Counters only ever
+//!    accumulate integers (addition is commutative, so parallel workers
+//!    cannot perturb them), and histograms/series are recorded from
+//!    sequential code after the sweep engine's index-ordered reassembly.
+//!    The CI determinism gate diffs these values across
+//!    `MOSAIC_THREADS=1` and the machine default.
+//! 2. **Timings are segregated.** Wall/CPU time lives in stage records,
+//!    which the manifest diff treats as advisory (ratio checks), never as
+//!    determinism failures.
+//!
+//! The collector is a plain `Mutex` around BTreeMaps — telemetry calls
+//! are coarse (per stage, per figure, per sweep) so contention is nil,
+//! and BTreeMap keeps key order stable for byte-stable JSON output.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A histogram with caller-fixed bucket edges.
+///
+/// A value `v` lands in bucket `i` where `i` is the first edge with
+/// `v <= edges[i]`, or in the overflow bucket when `v` exceeds every
+/// edge. Edges are part of the histogram's identity: re-registering the
+/// same name with different edges is a caller bug and panics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket edges (inclusive), strictly increasing.
+    pub edges: Vec<f64>,
+    /// `edges.len() + 1` counts; the last is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+}
+
+impl Histogram {
+    fn new(edges: &[f64]) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| v <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("edges", Json::from(self.edges.as_slice()))
+            .with(
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::from(c)).collect()),
+            )
+            .with("total", self.total)
+    }
+}
+
+/// One completed stage: a labelled, timed unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage label (e.g. `"fig4.waterfall"`, `"par_trials.pool"`).
+    pub name: String,
+    /// Work units the stage executed (trials, codewords, sweep cells).
+    pub trials: u64,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// CPU nanoseconds across all threads (0 when unavailable).
+    pub cpu_ns: u64,
+}
+
+impl StageRecord {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", self.name.as_str())
+            .with("trials", self.trials)
+            .with("wall_ns", self.wall_ns)
+            .with("cpu_ns", self.cpu_ns)
+    }
+}
+
+/// An immutable snapshot of the collector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic integer counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms, by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Numeric series (a figure's plotted values), by name.
+    pub series: BTreeMap<String, Vec<f64>>,
+    /// Completed stages, in completion order.
+    pub stages: Vec<StageRecord>,
+}
+
+impl Snapshot {
+    /// The deterministic (thread-count invariant) part as JSON: counters,
+    /// histograms, series, and per-stage trial counts — no timings.
+    pub fn values_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (k, v) in &self.counters {
+            counters.set(k, *v);
+        }
+        let mut histograms = Json::object();
+        for (k, h) in &self.histograms {
+            histograms.set(k, h.to_json());
+        }
+        let mut series = Json::object();
+        for (k, xs) in &self.series {
+            series.set(k, Json::from(xs.as_slice()));
+        }
+        Json::object()
+            .with("counters", counters)
+            .with("histograms", histograms)
+            .with("series", series)
+    }
+
+    /// The timing part as JSON: one record per stage.
+    pub fn timings_json(&self) -> Json {
+        Json::Arr(self.stages.iter().map(|s| s.to_json()).collect())
+    }
+
+    /// Total trials across all stages.
+    pub fn total_trials(&self) -> u64 {
+        self.stages.iter().map(|s| s.trials).sum()
+    }
+
+    /// Total wall nanoseconds across all stages (stages may overlap only
+    /// if nested; figure pipelines run them sequentially).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_ns).sum()
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    snap: Snapshot,
+}
+
+fn collector() -> &'static Mutex<Collector> {
+    static COLLECTOR: Mutex<Collector> = Mutex::new(Collector {
+        snap: Snapshot {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            series: BTreeMap::new(),
+            stages: Vec::new(),
+        },
+    });
+    &COLLECTOR
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Collector> {
+    // A poisoned collector only means a panicking thread held the lock;
+    // the telemetry maps are still structurally sound.
+    match collector().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Add `delta` to the named counter (creating it at zero).
+///
+/// Integer addition commutes, so this is safe to call from parallel
+/// workers without breaking thread-count invariance.
+pub fn counter_add(name: &str, delta: u64) {
+    let mut g = lock();
+    *g.snap.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Observe one value in the named histogram, creating it with `edges` on
+/// first use.
+///
+/// # Panics
+/// Panics if the histogram exists with different edges — bucket edges
+/// are fixed at first registration by design.
+pub fn observe(name: &str, edges: &[f64], v: f64) {
+    let mut g = lock();
+    let h = g
+        .snap
+        .histograms
+        .entry(name.to_string())
+        .or_insert_with(|| Histogram::new(edges));
+    assert_eq!(
+        h.edges, edges,
+        "histogram {name:?} re-registered with different edges"
+    );
+    h.observe(v);
+}
+
+/// Append values to the named series. Call from sequential code only
+/// (series order is part of the deterministic output).
+pub fn record_series(name: &str, values: &[f64]) {
+    let mut g = lock();
+    g.snap
+        .series
+        .entry(name.to_string())
+        .or_default()
+        .extend_from_slice(values);
+}
+
+/// Thread CPU time consumed by this process, in nanoseconds, summed over
+/// all live threads. Reads `/proc/self/task/*/schedstat` (first field is
+/// on-CPU time in ns); returns 0 where that interface is unavailable, so
+/// callers must treat 0 as "unknown", not "free".
+pub fn process_cpu_ns() -> u64 {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for entry in tasks.flatten() {
+        let path = entry.path().join("schedstat");
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Some(first) = text.split_whitespace().next() {
+                total += first.parse::<u64>().unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
+/// Run `f`, recording a [`StageRecord`] with the given label and trial
+/// count. Nested stages each get their own record.
+pub fn stage<T>(name: &str, trials: u64, f: impl FnOnce() -> T) -> T {
+    let cpu0 = process_cpu_ns();
+    let t0 = Instant::now();
+    let out = f();
+    let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let cpu1 = process_cpu_ns();
+    let mut g = lock();
+    g.snap.stages.push(StageRecord {
+        name: name.to_string(),
+        trials,
+        wall_ns,
+        cpu_ns: cpu1.saturating_sub(cpu0),
+    });
+    out
+}
+
+/// Snapshot the collector's current contents.
+pub fn snapshot() -> Snapshot {
+    lock().snap.clone()
+}
+
+/// Clear the collector (between figures, and at test boundaries).
+pub fn reset() {
+    let mut g = lock();
+    g.snap = Snapshot::default();
+}
+
+/// Snapshot and clear in one locked step — what `run_all` uses at each
+/// figure boundary.
+pub fn take() -> Snapshot {
+    let mut g = lock();
+    std::mem::take(&mut g.snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The collector is process-global; tests serialize on this lock so
+    // `cargo test`'s parallel runner can't interleave them.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        match TEST_GUARD.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _x = exclusive();
+        reset();
+        counter_add("trials.test", 5);
+        counter_add("trials.test", 7);
+        let snap = take();
+        assert_eq!(snap.counters["trials.test"], 12);
+        assert!(snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let _x = exclusive();
+        reset();
+        for v in [0.5, 1.0, 1.5, 99.0] {
+            observe("h", &[1.0, 2.0], v);
+        }
+        let snap = take();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.total, 4);
+    }
+
+    #[test]
+    fn series_and_stage_record() {
+        let _x = exclusive();
+        reset();
+        record_series("fig.x", &[1.0, 2.0]);
+        record_series("fig.x", &[3.0]);
+        let out = stage("unit", 10, || 42);
+        assert_eq!(out, 42);
+        let snap = take();
+        assert_eq!(snap.series["fig.x"], vec![1.0, 2.0, 3.0]);
+        assert_eq!(snap.stages.len(), 1);
+        assert_eq!(snap.stages[0].trials, 10);
+        assert_eq!(snap.total_trials(), 10);
+        assert!(snap.stages[0].wall_ns > 0);
+    }
+
+    #[test]
+    fn values_json_excludes_timings() {
+        let _x = exclusive();
+        reset();
+        counter_add("c", 1);
+        observe("h", &[1.0], 0.5);
+        record_series("s", &[2.5]);
+        stage("timed", 3, || ());
+        let snap = take();
+        let values = snap.values_json().to_string_pretty();
+        assert!(values.contains("\"c\": 1"));
+        assert!(!values.contains("wall_ns"));
+        let timings = snap.timings_json().to_string_pretty();
+        assert!(timings.contains("wall_ns"));
+        assert!(timings.contains("\"trials\": 3"));
+    }
+
+    #[test]
+    fn counter_adds_commute_across_threads() {
+        let _x = exclusive();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        counter_add("par", 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(take().counters["par"], 800);
+    }
+}

@@ -1,0 +1,132 @@
+//! The workspace-wide error type and `Result` alias.
+//!
+//! Every fallible public API in the Mosaic workspace (`try_*`
+//! constructors, `MosaicConfig::try_evaluate`, FEC decode) returns
+//! [`Result<T>`] with this crate's [`MosaicError`]. The variants are
+//! deliberately coarse — callers branch on *kind*, humans read the
+//! embedded context — and the enum is `#[non_exhaustive]` so new failure
+//! modes can be added without a breaking release.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, MosaicError>;
+
+/// Any error produced by the Mosaic workspace's fallible APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MosaicError {
+    /// A configuration field failed validation.
+    InvalidConfig {
+        /// The offending field or parameter name.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A code construction (FEC, striping, interleaver) is internally
+    /// inconsistent — e.g. an oversubscribed Reed-Solomon code whose
+    /// parity does not fit the block, or a non-primitive field polynomial.
+    InvalidCode {
+        /// Why the code parameters were rejected.
+        reason: String,
+    },
+    /// A buffer or block had the wrong length for the operation.
+    LengthMismatch {
+        /// What was being measured (e.g. `"codeword"`, `"data block"`).
+        what: &'static str,
+        /// The required length.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+    /// An index (channel, erasure position, lane) was out of range.
+    IndexOutOfRange {
+        /// What the index addresses.
+        what: &'static str,
+        /// The supplied index.
+        index: usize,
+        /// The exclusive upper bound.
+        limit: usize,
+    },
+    /// The requested operation is valid but the link/model cannot satisfy
+    /// it (e.g. no spare channels left, no feasible design point).
+    Infeasible {
+        /// Why the request cannot be satisfied.
+        reason: String,
+    },
+}
+
+impl MosaicError {
+    /// Shorthand for an [`MosaicError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        MosaicError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`MosaicError::InvalidCode`].
+    pub fn invalid_code(reason: impl Into<String>) -> Self {
+        MosaicError::InvalidCode {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`MosaicError::Infeasible`].
+    pub fn infeasible(reason: impl Into<String>) -> Self {
+        MosaicError::Infeasible {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MosaicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosaicError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field}: {reason}")
+            }
+            MosaicError::InvalidCode { reason } => write!(f, "invalid code: {reason}"),
+            MosaicError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "length mismatch: {what} must be {expected}, got {got}"),
+            MosaicError::IndexOutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} out of range (limit {limit})")
+            }
+            MosaicError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MosaicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MosaicError::invalid_config("reach", "must be positive");
+        assert_eq!(e.to_string(), "invalid config: reach: must be positive");
+        let e = MosaicError::LengthMismatch {
+            what: "codeword",
+            expected: 544,
+            got: 10,
+        };
+        assert!(e.to_string().contains("544"));
+        let e = MosaicError::IndexOutOfRange {
+            what: "channel",
+            index: 9,
+            limit: 8,
+        };
+        assert!(e.to_string().contains("channel index 9"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(MosaicError::invalid_code("n < k"));
+        assert!(e.to_string().contains("n < k"));
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod decibel;
 pub mod energy;
+pub mod error;
 pub mod fit;
 pub mod frequency;
 pub mod length;
@@ -32,6 +33,7 @@ pub mod time;
 
 pub use decibel::Db;
 pub use energy::EnergyPerBit;
+pub use error::{MosaicError, Result};
 pub use fit::Fit;
 pub use frequency::Frequency;
 pub use length::Length;

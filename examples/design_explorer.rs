@@ -24,7 +24,8 @@ fn main() {
         "{:>8} {:>9} {:>9} {:>10} {:>9} {:>10} {:>12}",
         "Gb/s/ch", "channels", "feasible", "margin dB", "link W", "pJ/bit", "array"
     );
-    let points = sweep_channel_rate(aggregate, length, &default_rate_grid());
+    let points = sweep_channel_rate(aggregate, length, &default_rate_grid())
+        .expect("sweep inputs are valid");
     for p in &points {
         println!(
             "{:>8.2} {:>9} {:>9} {:>10} {:>9.2} {:>10.2} {:>12}",

@@ -56,7 +56,7 @@ fn main() {
     );
 
     let mut blind = word.clone();
-    match rs.decode(&mut blind) {
+    match rs.decode(&mut blind).expect("codeword length is exact") {
         DecodeOutcome::Failure => {
             println!(
                 "blind decode          : FAILURE (as expected — {} > t)",
@@ -67,7 +67,10 @@ fn main() {
     }
 
     let mut aware = word.clone();
-    match map.decode_with_suspects(&rs, &mut aware, &[dead.min(channels - 1)]) {
+    let outcome = map
+        .decode_with_suspects(&rs, &mut aware, &[dead.min(channels - 1)])
+        .expect("suspect channel index is in range");
+    match outcome {
         DecodeOutcome::Corrected(n) => {
             let ok = aware == clean;
             println!("erasure-aware decode  : corrected {n} symbols, payload intact: {ok}");

@@ -15,7 +15,11 @@ use mosaic_repro::units::{BitRate, Length};
 fn main() {
     // The one-liner: aggregate rate + span length; everything else has
     // production defaults (2 Gb/s channels, KP4 FEC, 2 % sparing).
-    let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let cfg = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     let report = cfg.evaluate();
     println!("{report}");
 

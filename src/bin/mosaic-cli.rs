@@ -36,7 +36,11 @@ fn parse_f64(s: Option<String>) -> Option<f64> {
 }
 
 fn cmd_design(gbps: f64, metres: f64) {
-    let cfg = MosaicConfig::new(BitRate::from_gbps(gbps), Length::from_m(metres));
+    let cfg = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(gbps))
+        .reach(Length::from_m(metres))
+        .build()
+        .unwrap();
     println!("{}", cfg.evaluate());
 }
 
@@ -45,7 +49,8 @@ fn cmd_sweep(gbps: f64, metres: f64) {
         BitRate::from_gbps(gbps),
         Length::from_m(metres),
         &default_rate_grid(),
-    );
+    )
+    .expect("sweep inputs are valid");
     println!(
         "{:>8} {:>9} {:>9} {:>10} {:>9} {:>9}",
         "Gb/s/ch", "channels", "feasible", "margin dB", "link W", "pJ/bit"

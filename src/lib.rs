@@ -6,6 +6,11 @@
 
 pub use mosaic;
 pub use mosaic_copper as copper;
+// The front-door types, at the crate root: one canonical path for the
+// config/report API and the shared error type.
+pub use mosaic::{FecChoice, LinkReport, MosaicConfig, MosaicConfigBuilder};
+pub use mosaic_units::{MosaicError, Result};
+
 pub use mosaic_fec as fec;
 pub use mosaic_fiber as fiber;
 pub use mosaic_link as link;

@@ -45,7 +45,7 @@ fn run_burst(rows: usize, burst_len: usize, interleaved: bool) -> usize {
     let mut decoded = 0;
     for (i, chunk) in restored.chunks(rs.n()).enumerate() {
         let mut w = chunk.to_vec();
-        match rs.decode(&mut w) {
+        match rs.decode(&mut w).unwrap() {
             DecodeOutcome::Clean | DecodeOutcome::Corrected(_) if w == words[i] => decoded += 1,
             _ => {}
         }
@@ -111,10 +111,10 @@ fn dead_channel_is_recoverable_as_erasures() {
 
     // Blind decode: beyond capacity.
     let mut blind = word.clone();
-    assert_eq!(rs.decode(&mut blind), DecodeOutcome::Failure);
+    assert_eq!(rs.decode(&mut blind).unwrap(), DecodeOutcome::Failure);
 
     // Erasure decode with the lane monitor's knowledge: full recovery.
-    let out = rs.decode_with_erasures(&mut word, &positions);
+    let out = rs.decode_with_erasures(&mut word, &positions).unwrap();
     assert!(matches!(out, DecodeOutcome::Corrected(_)), "got {out:?}");
     assert_eq!(word, clean);
 }

@@ -82,7 +82,11 @@ fn c4_prototype_all_channels_below_kp4() {
 #[test]
 fn c5_scales_to_800g_and_beyond_at_50m() {
     for gbps in [800.0, 1600.0] {
-        let cfg = MosaicConfig::new(BitRate::from_gbps(gbps), Length::from_m(50.0));
+        let cfg = MosaicConfig::builder()
+            .bit_rate(BitRate::from_gbps(gbps))
+            .reach(Length::from_m(50.0))
+            .build()
+            .unwrap();
         let report = cfg.evaluate();
         assert!(report.is_feasible(), "{gbps}G at 50 m must close");
         assert!(
@@ -108,7 +112,7 @@ fn c6_protocol_agnostic_gearbox_delivers_bit_exact_frames() {
         .enumerate()
         .map(|(i, s)| mosaic_repro::link::striping::apply_skew(s, (i * 7) % 23, 0xBAD))
         .collect();
-    let report = rx.receive(&skewed);
+    let report = rx.receive(&skewed).unwrap();
     assert_eq!(report.frames.len(), 12);
     for (i, f) in report.frames.iter().enumerate() {
         assert_eq!(f.payload, frames[i], "frame {i} corrupted");
@@ -138,9 +142,17 @@ fn seven_year_fleet_reliability_story_holds() {
     // when its channel pool is stressed to zero spares (common electronics
     // dominate), and sparing pushes it far lower.
     let horizon = Duration::from_years(7.0);
-    let mut none = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let mut none = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     none.spares = 0;
-    let spared = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let spared = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     let r_none = mosaic_repro::mosaic::reliability_model::evaluate(&none, horizon);
     let r_spared = mosaic_repro::mosaic::reliability_model::evaluate(&spared, horizon);
     assert!(r_spared.link_survival > r_none.link_survival);

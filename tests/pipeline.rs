@@ -15,7 +15,11 @@ use mosaic_repro::units::{BitRate, Length};
 /// at the exact operating point the budget engine computes for a channel.
 #[test]
 fn budget_ber_matches_monte_carlo() {
-    let cfg = MosaicConfig::new(BitRate::from_gbps(800.0), Length::from_m(10.0));
+    let cfg = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(800.0))
+        .reach(Length::from_m(10.0))
+        .build()
+        .unwrap();
     let engine = BudgetEngine::new(&cfg);
     let rx = engine.receiver().as_ook().expect("NRZ config");
 
@@ -96,7 +100,11 @@ fn frame_loss_tracks_channel_ber() {
 /// delivers frames when simulated at its own predicted BERs.
 #[test]
 fn budget_and_simulation_agree_on_feasibility() {
-    let cfg = MosaicConfig::new(BitRate::from_gbps(200.0), Length::from_m(30.0));
+    let cfg = MosaicConfig::builder()
+        .bit_rate(BitRate::from_gbps(200.0))
+        .reach(Length::from_m(30.0))
+        .build()
+        .unwrap();
     let report = cfg.evaluate();
     assert!(report.is_feasible());
     // Simulate at the budget's post-FEC residual BERs.
