@@ -1,0 +1,113 @@
+//! Criterion benches: the allocation-free Monte-Carlo kernels against
+//! their allocating predecessors.
+//!
+//! Three comparisons, one per rewritten kernel:
+//!   * RS decode through a reused [`DecodeScratch`] vs the
+//!     allocate-per-word `decode` wrapper (corrected and clean words —
+//!     the clean case isolates the fused Horner syndrome early exit);
+//!   * symbol-domain error injection (`corrupt_symbols`) vs the
+//!     serialize → `corrupt_bits` → reassemble round trip;
+//!   * the end-to-end coded-channel step (`run_rs_channel_with`), whose
+//!     wall time is what the manifest perf gate tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mosaic_fec::{DecodeScratch, ReedSolomon};
+use mosaic_sim::inject::BitErrorInjector;
+use mosaic_sim::montecarlo::run_rs_channel_with;
+use mosaic_sim::rng::DetRng;
+use mosaic_sim::sweep::Exec;
+
+fn bench_scratch_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_scratch_decode");
+    g.sample_size(20);
+    let rs = ReedSolomon::kp4();
+    let data: Vec<u16> = (0..rs.k() as u16).map(|v| v & 0x3FF).collect();
+    let clean = rs.encode(&data);
+    let mut corrupted = clean.clone();
+    for i in 0..rs.t() / 2 {
+        corrupted[i * 37 % rs.n()] ^= 0x155;
+    }
+    g.throughput(Throughput::Elements((rs.k() as u64) * 10));
+    for (case, word) in [("t_half", &corrupted), ("clean", &clean)] {
+        g.bench_with_input(BenchmarkId::new("alloc_per_word", case), word, |b, w| {
+            b.iter(|| {
+                let mut word = w.clone();
+                rs.decode(&mut word)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("scratch", case), word, |b, w| {
+            let mut scratch = DecodeScratch::new();
+            let mut word = w.clone();
+            b.iter(|| {
+                word.copy_from_slice(w);
+                rs.decode_scratch(&mut word, &mut scratch)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_corrupt_symbols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("error_injection_symbols");
+    g.sample_size(20);
+    let rs = ReedSolomon::kp4();
+    let m = rs.symbol_bits();
+    let data: Vec<u16> = (0..rs.k() as u16).map(|v| v & 0x3FF).collect();
+    let clean = rs.encode(&data);
+    let ber = 1e-3;
+    g.throughput(Throughput::Elements(rs.n() as u64 * m as u64));
+    g.bench_function("serialize_round_trip", |b| {
+        let mut inj = BitErrorInjector::new(ber, DetRng::new(7));
+        b.iter(|| {
+            let mut bits: Vec<u8> = Vec::with_capacity(rs.n() * m as usize);
+            for &s in &clean {
+                for bit in 0..m {
+                    bits.push(((s >> bit) & 1) as u8);
+                }
+            }
+            inj.corrupt_bits(&mut bits);
+            let word: Vec<u16> = bits
+                .chunks(m as usize)
+                .map(|chunk| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i))
+                })
+                .collect();
+            word
+        });
+    });
+    g.bench_function("corrupt_symbols", |b| {
+        let mut inj = BitErrorInjector::new(ber, DetRng::new(7));
+        let mut word = clean.clone();
+        b.iter(|| {
+            word.copy_from_slice(&clean);
+            inj.corrupt_symbols(&mut word, m)
+        });
+    });
+    g.finish();
+}
+
+fn bench_rs_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_channel");
+    g.sample_size(10);
+    let rs = ReedSolomon::new(8, 31, 23);
+    let exec = Exec::with_threads(1);
+    g.throughput(Throughput::Elements(200));
+    g.bench_function("run_rs_channel_200w", |b| {
+        b.iter(|| run_rs_channel_with(&exec, &rs, 2e-2, 200, 11));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these are smoke/regression benches, not a tuning lab.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_scratch_decode, bench_corrupt_symbols, bench_rs_channel
+}
+criterion_main!(benches);

@@ -10,7 +10,9 @@
 //! histograms, series, output digests); any difference is a determinism or
 //! result regression and fails the command. Unless `--values-only` is
 //! given, it also compares per-figure wall times and flags figures slower
-//! than `--max-slowdown` (default 1.5×, ignored below 100 ms).
+//! than `--max-slowdown` (default 1.5×); figures whose new wall time is
+//! under `--min-wall-ms` (default 100) are treated as jitter and never
+//! flagged.
 //!
 //! Exit codes: 0 = clean, 1 = regression found, 2 = usage/parse error.
 
@@ -41,7 +43,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench-report check <manifest.json>\n       \
          bench-report summary <manifest.json>\n       \
-         bench-report diff <old.json> <new.json> [--values-only] [--max-slowdown X]"
+         bench-report diff <old.json> <new.json> \
+         [--values-only] [--max-slowdown X] [--min-wall-ms MS]\n\
+         \n\
+         diff flags:\n  \
+         --values-only      compare only deterministic values, skip timings\n  \
+         --max-slowdown X   flag figures slower than X times the old wall time\n                     \
+         (default 1.5)\n  \
+         --min-wall-ms MS   ignore figures whose new wall time is below MS\n                     \
+         milliseconds — sub-threshold figures are jitter (default 100)\n\
+         \n\
+         exit codes:\n  \
+         0  clean: schema valid, values identical, no timing regression\n  \
+         1  regression: value drift or a figure beyond --max-slowdown\n  \
+         2  usage error, unreadable file, or schema violation"
     );
     std::process::exit(2);
 }
@@ -105,7 +120,13 @@ fn cmd_summary(path: &str) {
     }
 }
 
-fn cmd_diff(old_path: &str, new_path: &str, values_only: bool, max_slowdown: f64) {
+fn cmd_diff(
+    old_path: &str,
+    new_path: &str,
+    values_only: bool,
+    max_slowdown: f64,
+    min_wall_ms: f64,
+) {
     let old = load(old_path);
     let new = load(new_path);
     let mut failed = false;
@@ -145,8 +166,8 @@ fn cmd_diff(old_path: &str, new_path: &str, values_only: bool, max_slowdown: f64
             } else {
                 *new_ns as f64 / *old_ns as f64
             };
-            // Sub-100 ms figures are all jitter; don't flag them.
-            if ratio > max_slowdown && *new_ns > 100_000_000 {
+            // Sub-threshold figures are all jitter; don't flag them.
+            if ratio > max_slowdown && *new_ns as f64 > min_wall_ms * 1e6 {
                 failed = true;
                 println!(
                     "timing: {id} regressed {ratio:.2}x ({:.1} ms -> {:.1} ms)",
@@ -171,6 +192,7 @@ fn main() {
         Some("diff") if args.len() >= 3 => {
             let mut values_only = false;
             let mut max_slowdown = 1.5f64;
+            let mut min_wall_ms = 100.0f64;
             let mut rest = args[3..].iter();
             while let Some(flag) = rest.next() {
                 match flag.as_str() {
@@ -179,10 +201,14 @@ fn main() {
                         Some(x) => max_slowdown = x,
                         None => usage(),
                     },
+                    "--min-wall-ms" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(x) => min_wall_ms = x,
+                        None => usage(),
+                    },
                     _ => usage(),
                 }
             }
-            cmd_diff(&args[1], &args[2], values_only, max_slowdown);
+            cmd_diff(&args[1], &args[2], values_only, max_slowdown, min_wall_ms);
         }
         _ => usage(),
     }

@@ -9,6 +9,7 @@
 //! bits, no magnitudes needed).
 
 use crate::gf::GaloisField;
+use crate::scratch::DecodeScratch;
 use mosaic_units::{MosaicError, Result};
 
 /// Outcome of a BCH decode attempt.
@@ -193,7 +194,9 @@ impl Bch {
         Ok(word)
     }
 
-    /// Syndromes S_1..S_{2t} in GF(2^m).
+    /// Syndromes S_1..S_{2t} in GF(2^m). Retained as the per-syndrome
+    /// reference for the fused kernel (used by the differential tests).
+    #[cfg(test)]
     fn syndromes(&self, word: &[u8]) -> Vec<u16> {
         (1..=(2 * self.t))
             .map(|i| {
@@ -207,12 +210,35 @@ impl Bch {
             .collect()
     }
 
+    /// Fused Horner syndrome kernel into `s.synd`; returns true when the
+    /// word is already a codeword. Same exact GF operations per
+    /// accumulator as [`Bch::syndromes`], one pass over the word.
+    fn syndromes_into(&self, word: &[u8], s: &mut DecodeScratch) -> bool {
+        let two_t = 2 * self.t;
+        s.roots.clear();
+        s.roots.extend((1..=two_t).map(|i| self.field.alpha_pow(i)));
+        s.synd.clear();
+        s.synd.resize(two_t, 0);
+        for &c in word {
+            for (acc, &x) in s.synd.iter_mut().zip(&s.roots) {
+                *acc = self.field.add(self.field.mul(*acc, x), c as u16);
+            }
+        }
+        s.synd.iter().all(|&v| v == 0)
+    }
+
     /// Decode in place: locate and flip up to t bit errors.
     ///
     /// Errors only on malformed input (wrong word length); an
     /// uncorrectable pattern is the `Ok(`[`BchOutcome::Failure`]`)` case,
     /// not an `Err`.
     pub fn decode(&self, word: &mut [u8]) -> Result<BchOutcome> {
+        self.decode_scratch(word, &mut DecodeScratch::new())
+    }
+
+    /// [`Bch::decode`] with caller-owned working storage: zero heap
+    /// allocation per word once the scratch buffers are sized.
+    pub fn decode_scratch(&self, word: &mut [u8], s: &mut DecodeScratch) -> Result<BchOutcome> {
         if word.len() != self.n {
             return Err(MosaicError::LengthMismatch {
                 what: "BCH codeword",
@@ -220,13 +246,105 @@ impl Bch {
                 got: word.len(),
             });
         }
-        let synd = self.syndromes(word);
-        if synd.iter().all(|&s| s == 0) {
+        if self.syndromes_into(word, s) {
             return Ok(BchOutcome::Clean);
         }
         let two_t = 2 * self.t;
 
-        // Berlekamp-Massey (same structure as the RS decoder).
+        // Berlekamp-Massey (same structure as the RS decoder), on scratch
+        // buffers with swaps replacing the reference path's clone-and-move.
+        s.lambda.clear();
+        s.lambda.resize(two_t + 1, 0);
+        s.prev.clear();
+        s.prev.resize(two_t + 1, 0);
+        s.cand.clear();
+        s.cand.resize(two_t + 1, 0);
+        s.lambda[0] = 1;
+        s.prev[0] = 1;
+        let mut l = 0usize;
+        let mut shift = 1usize;
+        let mut b = 1u16;
+        for r in 0..two_t {
+            let mut delta = 0u16;
+            for i in 0..=l.min(r) {
+                delta = self
+                    .field
+                    .add(delta, self.field.mul(s.lambda[i], s.synd[r - i]));
+            }
+            if delta == 0 {
+                shift += 1;
+                continue;
+            }
+            let coeff = self.field.div(delta, b);
+            s.cand.copy_from_slice(&s.lambda);
+            for i in shift..=two_t {
+                if s.prev[i - shift] != 0 {
+                    s.cand[i] = self
+                        .field
+                        .add(s.cand[i], self.field.mul(coeff, s.prev[i - shift]));
+                }
+            }
+            if 2 * l <= r {
+                std::mem::swap(&mut s.prev, &mut s.lambda);
+                b = delta;
+                l = r + 1 - l;
+                shift = 1;
+            } else {
+                shift += 1;
+            }
+            std::mem::swap(&mut s.lambda, &mut s.cand);
+        }
+        let deg = s.lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
+        if deg == 0 || deg > self.t {
+            return Ok(BchOutcome::Failure);
+        }
+
+        // Chien search restricted to the transmitted length.
+        let order = self.field.order();
+        s.positions.clear();
+        for p in 0..self.n {
+            let x_inv = self.field.alpha_pow((order - p % order) % order);
+            if self.field.poly_eval(&s.lambda, x_inv) == 0 {
+                s.positions.push(self.n - 1 - p);
+            }
+        }
+        if s.positions.len() != deg {
+            return Ok(BchOutcome::Failure);
+        }
+        for &idx in &s.positions {
+            word[idx] ^= 1;
+        }
+        if !self.syndromes_into(word, s) {
+            // Undo and report failure rather than hand back garbage.
+            for &idx in &s.positions {
+                word[idx] ^= 1;
+            }
+            return Ok(BchOutcome::Failure);
+        }
+        Ok(BchOutcome::Corrected(s.positions.len()))
+    }
+}
+
+/// The PR-2-era allocating decoder, retained verbatim as the differential
+/// oracle for the scratch-based path.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Allocating BCH decode, pre-scratch implementation.
+    pub fn decode(code: &Bch, word: &mut [u8]) -> Result<BchOutcome> {
+        if word.len() != code.n {
+            return Err(MosaicError::LengthMismatch {
+                what: "BCH codeword",
+                expected: code.n,
+                got: word.len(),
+            });
+        }
+        let synd = code.syndromes(word);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(BchOutcome::Clean);
+        }
+        let two_t = 2 * code.t;
         let mut lambda = vec![0u16; two_t + 1];
         let mut prev = vec![0u16; two_t + 1];
         lambda[0] = 1;
@@ -237,21 +355,21 @@ impl Bch {
         for r in 0..two_t {
             let mut delta = 0u16;
             for i in 0..=l.min(r) {
-                delta = self
+                delta = code
                     .field
-                    .add(delta, self.field.mul(lambda[i], synd[r - i]));
+                    .add(delta, code.field.mul(lambda[i], synd[r - i]));
             }
             if delta == 0 {
                 shift += 1;
                 continue;
             }
-            let coeff = self.field.div(delta, b);
+            let coeff = code.field.div(delta, b);
             let mut cand = lambda.clone();
             for i in shift..=two_t {
                 if prev[i - shift] != 0 {
-                    cand[i] = self
+                    cand[i] = code
                         .field
-                        .add(cand[i], self.field.mul(coeff, prev[i - shift]));
+                        .add(cand[i], code.field.mul(coeff, prev[i - shift]));
                 }
             }
             if 2 * l <= r {
@@ -265,17 +383,15 @@ impl Bch {
             lambda = cand;
         }
         let deg = lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
-        if deg == 0 || deg > self.t {
+        if deg == 0 || deg > code.t {
             return Ok(BchOutcome::Failure);
         }
-
-        // Chien search restricted to the transmitted length.
-        let order = self.field.order();
+        let order = code.field.order();
         let mut flips = Vec::with_capacity(deg);
-        for p in 0..self.n {
-            let x_inv = self.field.alpha_pow((order - p % order) % order);
-            if self.field.poly_eval(&lambda, x_inv) == 0 {
-                flips.push(self.n - 1 - p);
+        for p in 0..code.n {
+            let x_inv = code.field.alpha_pow((order - p % order) % order);
+            if code.field.poly_eval(&lambda, x_inv) == 0 {
+                flips.push(code.n - 1 - p);
             }
         }
         if flips.len() != deg {
@@ -284,8 +400,7 @@ impl Bch {
         for &idx in &flips {
             word[idx] ^= 1;
         }
-        if self.syndromes(word).iter().any(|&s| s != 0) {
-            // Undo and report failure rather than hand back garbage.
+        if code.syndromes(word).iter().any(|&s| s != 0) {
             for &idx in &flips {
                 word[idx] ^= 1;
             }
@@ -413,6 +528,41 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn scratch_matches_reference(seed in 0u64..2000, nerr in 0usize..=6) {
+            // Differential oracle over clean, correctable and overloaded
+            // patterns (t = 3): outcome and word must match bit-for-bit.
+            let code = Bch::new(8, 63, 3);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..2u8)).collect();
+            let mut word = code.encode(&data);
+            let mut pos: Vec<usize> = (0..code.n()).collect();
+            for i in 0..nerr {
+                let j = rng.gen_range(i..pos.len());
+                pos.swap(i, j);
+                word[pos[i]] ^= 1;
+            }
+            let mut word_ref = word.clone();
+            let mut word_new = word.clone();
+            let mut scratch = crate::scratch::DecodeScratch::new();
+            let out_ref = reference::decode(&code, &mut word_ref).unwrap();
+            let out_new = code.decode_scratch(&mut word_new, &mut scratch).unwrap();
+            prop_assert_eq!(out_new, out_ref);
+            prop_assert_eq!(word_new, word_ref);
+        }
+
+        #[test]
+        fn fused_syndromes_match_reference(seed in 0u64..1000) {
+            let code = Bch::new(8, 63, 3);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let word: Vec<u8> = (0..code.n()).map(|_| rng.gen_range(0..2u8)).collect();
+            let mut scratch = crate::scratch::DecodeScratch::new();
+            let all_zero = code.syndromes_into(&word, &mut scratch);
+            let reference = code.syndromes(&word);
+            prop_assert_eq!(&scratch.synd, &reference);
+            prop_assert_eq!(all_zero, reference.iter().all(|&s| s == 0));
+        }
+
         #[test]
         fn random_roundtrip(seed in 0u64..500, nerr in 0usize..=3) {
             let code = Bch::new(8, 63, 3);

@@ -120,6 +120,7 @@ impl GaloisField {
     }
 
     /// α^i (i may exceed the group order; it is reduced).
+    #[inline]
     pub fn alpha_pow(&self, i: usize) -> u16 {
         self.exp[i % self.order()]
     }
@@ -128,6 +129,7 @@ impl GaloisField {
     ///
     /// # Panics
     /// Panics on zero, which has no logarithm.
+    #[inline]
     pub fn log(&self, x: u16) -> u16 {
         assert!(x != 0, "log of zero");
         self.log[x as usize]
@@ -153,12 +155,14 @@ impl GaloisField {
     ///
     /// # Panics
     /// Panics on zero.
+    #[inline]
     pub fn inv(&self, a: u16) -> u16 {
         assert!(a != 0, "inverse of zero");
         self.exp[self.order() - self.log[a as usize] as usize]
     }
 
     /// Division `a / b`.
+    #[inline]
     pub fn div(&self, a: u16, b: u16) -> u16 {
         assert!(b != 0, "division by zero");
         if a == 0 {
@@ -170,6 +174,7 @@ impl GaloisField {
     }
 
     /// Exponentiation `a^k`.
+    #[inline]
     pub fn pow(&self, a: u16, k: usize) -> u16 {
         if a == 0 {
             return if k == 0 { 1 } else { 0 };
@@ -180,6 +185,7 @@ impl GaloisField {
 
     /// Evaluate a polynomial (coefficients `poly[i]` for x^i) at `x`
     /// by Horner's rule.
+    #[inline]
     pub fn poly_eval(&self, poly: &[u16], x: u16) -> u16 {
         let mut acc = 0u16;
         for &c in poly.iter().rev() {

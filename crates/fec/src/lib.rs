@@ -16,6 +16,8 @@
 //! * [`interleave`] — block interleaving to spread burst errors;
 //! * [`channel_map`] — codeword↔channel position arithmetic: turns lane
 //!   monitors' "channel X is sick" into erasure lists for the decoder;
+//! * [`scratch`] — caller-owned buffers making the RS/BCH decode paths
+//!   allocation-free in Monte-Carlo loops;
 //! * [`analysis`] — analytic post-FEC error rates from pre-FEC BER
 //!   (binomial tails, evaluated in the log domain), used to cross-check
 //!   Monte-Carlo results and to run sweeps far below simulable BERs.
@@ -30,6 +32,7 @@ pub mod gf;
 pub mod hamming;
 pub mod interleave;
 pub mod rs;
+pub mod scratch;
 
 pub use bch::{Bch, BchOutcome};
 pub use channel_map::ChannelMap;
@@ -37,6 +40,7 @@ pub use gf::GaloisField;
 pub use hamming::Hamming7264;
 pub use interleave::BlockInterleaver;
 pub use rs::{DecodeOutcome, ReedSolomon};
+pub use scratch::DecodeScratch;
 
 /// The workspace error type, re-exported for FEC callers.
 pub use mosaic_units::{MosaicError, Result};

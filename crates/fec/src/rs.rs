@@ -8,6 +8,7 @@
 //! the natural word with leading zero data symbols never transmitted.
 
 use crate::gf::GaloisField;
+use crate::scratch::DecodeScratch;
 use mosaic_units::{MosaicError, Result};
 
 /// Outcome of a decode attempt.
@@ -136,6 +137,16 @@ impl ReedSolomon {
     /// Fallible [`ReedSolomon::encode`]: errors if `data` is not exactly
     /// k symbols or contains out-of-field values.
     pub fn try_encode(&self, data: &[u16]) -> Result<Vec<u16>> {
+        let mut word = Vec::new();
+        self.try_encode_into(data, &mut word)?;
+        Ok(word)
+    }
+
+    /// [`ReedSolomon::try_encode`] into a caller-owned buffer: `word` is
+    /// cleared and refilled with the n-symbol codeword, allocating nothing
+    /// once the buffer has reached capacity. On error the buffer contents
+    /// are unspecified.
+    pub fn try_encode_into(&self, data: &[u16], word: &mut Vec<u16>) -> Result<()> {
         if data.len() != self.k {
             return Err(MosaicError::LengthMismatch {
                 what: "RS data block",
@@ -145,13 +156,13 @@ impl ReedSolomon {
         }
         let mask = (self.field.size() - 1) as u16;
         let two_t = self.n - self.k;
-        let mut word = Vec::with_capacity(self.n);
+        word.clear();
         word.extend_from_slice(data);
         word.resize(self.n, 0);
         // Long division of data·x^{2t} by g(x); remainder becomes parity.
-        // `word[0..k]` are the running dividend coefficients (highest first).
-        let mut rem = vec![0u16; two_t];
-        for &d in data {
+        // The parity region `word[k..]` doubles as the running remainder.
+        let (data_part, rem) = word.split_at_mut(self.k);
+        for &d in data_part.iter() {
             if d > mask {
                 return Err(MosaicError::invalid_code(format!(
                     "data symbol {d:#x} outside GF(2^{})",
@@ -171,8 +182,7 @@ impl ReedSolomon {
                 }
             }
         }
-        word[self.k..].copy_from_slice(&rem);
-        Ok(word)
+        Ok(())
     }
 
     /// Compute the 2t syndromes of a word. All-zero means "is a codeword".
@@ -185,7 +195,9 @@ impl ReedSolomon {
     }
 
     /// [`ReedSolomon::syndromes`] on a length-validated word (the decode
-    /// paths validate once up front and must stay panic-free).
+    /// paths validate once up front and must stay panic-free). Kept as
+    /// the per-syndrome reference for the fused kernel below; the public
+    /// [`ReedSolomon::syndromes`] still routes through it.
     fn syndromes_unchecked(&self, word: &[u16]) -> Vec<u16> {
         let two_t = self.n - self.k;
         (0..two_t)
@@ -201,13 +213,44 @@ impl ReedSolomon {
             .collect()
     }
 
+    /// Fused Horner syndrome kernel into `s.synd`; returns true when the
+    /// word is already a codeword (all syndromes zero).
+    ///
+    /// One pass over the word updates all 2t accumulators — the loop
+    /// interchange versus [`ReedSolomon::syndromes_unchecked`] performs the
+    /// same exact GF(2^m) operations per accumulator, so the results are
+    /// bit-identical while the word streams through cache once.
+    fn syndromes_into(&self, word: &[u16], s: &mut DecodeScratch) -> bool {
+        let two_t = self.n - self.k;
+        s.roots.clear();
+        s.roots.extend((0..two_t).map(|i| self.field.alpha_pow(i)));
+        s.synd.clear();
+        s.synd.resize(two_t, 0);
+        for &c in word {
+            for (acc, &x) in s.synd.iter_mut().zip(&s.roots) {
+                *acc = self.field.add(self.field.mul(*acc, x), c);
+            }
+        }
+        s.synd.iter().all(|&v| v == 0)
+    }
+
     /// Decode in place: detect, locate and correct up to t symbol errors.
     ///
     /// Errors only on malformed input (wrong word length); an
     /// uncorrectable word is the `Ok(`[`DecodeOutcome::Failure`]`)` case,
     /// not an `Err`.
     pub fn decode(&self, word: &mut [u16]) -> Result<DecodeOutcome> {
-        self.decode_with_erasures(word, &[])
+        self.decode_scratch(word, &mut DecodeScratch::new())
+    }
+
+    /// [`ReedSolomon::decode`] with caller-owned working storage: zero
+    /// heap allocation per word once the scratch buffers are sized.
+    pub fn decode_scratch(
+        &self,
+        word: &mut [u16],
+        scratch: &mut DecodeScratch,
+    ) -> Result<DecodeOutcome> {
+        self.decode_with_erasures_scratch(word, &[], scratch)
     }
 
     /// Decode in place with known erasure positions (symbol indices the
@@ -224,6 +267,20 @@ impl ReedSolomon {
         &self,
         word: &mut [u16],
         erasures: &[usize],
+    ) -> Result<DecodeOutcome> {
+        self.decode_with_erasures_scratch(word, erasures, &mut DecodeScratch::new())
+    }
+
+    /// [`ReedSolomon::decode_with_erasures`] with caller-owned working
+    /// storage. Every buffer lives in `scratch`; once its buffers are
+    /// sized (after the first decode of a given code), no heap allocation
+    /// happens per word. Values are bit-identical to the allocating path:
+    /// GF(2^m) arithmetic is exact and the operation sequence is unchanged.
+    pub fn decode_with_erasures_scratch(
+        &self,
+        word: &mut [u16],
+        erasures: &[usize],
+        scratch: &mut DecodeScratch,
     ) -> Result<DecodeOutcome> {
         if word.len() != self.n {
             return Err(MosaicError::LengthMismatch {
@@ -245,29 +302,37 @@ impl ReedSolomon {
                 });
             }
         }
-        let synd = self.syndromes_unchecked(word);
-        if synd.iter().all(|&s| s == 0) {
+        if self.syndromes_into(word, scratch) {
+            // Fused syndromes say the word is clean: skip the decode
+            // machinery entirely (the common case at operating BERs).
             return Ok(DecodeOutcome::Clean);
         }
 
         // Erasure locator Γ(x) = Π (1 + X_j x), X_j = α^{n−1−index}
-        // (characteristic 2: minus is plus).
-        let mut gamma = vec![1u16];
+        // (characteristic 2: minus is plus). Built in place: multiplying
+        // by (1 + X·x) descending-index is exactly the poly_mul update.
+        scratch.gamma.clear();
+        scratch.gamma.push(1);
         for &idx in erasures {
             let x = self.field.alpha_pow(self.n - 1 - idx);
-            gamma = self.field.poly_mul(&gamma, &[1, x]);
+            scratch.gamma.push(0);
+            for i in (1..scratch.gamma.len()).rev() {
+                scratch.gamma[i] = self
+                    .field
+                    .add(scratch.gamma[i], self.field.mul(x, scratch.gamma[i - 1]));
+            }
         }
-        Ok(self.finish_decode(word, &synd, &gamma, erasures.len()))
+        Ok(self.finish_decode(word, erasures.len(), scratch))
     }
 
     /// Shared tail of error / errors-and-erasures decoding: Γ-initialized
     /// Berlekamp-Massey, Chien search and Forney on the combined locator.
+    /// Expects syndromes in `s.synd` and the erasure locator in `s.gamma`.
     fn finish_decode(
         &self,
         word: &mut [u16],
-        synd: &[u16],
-        gamma: &[u16],
         n_erasures: usize,
+        s: &mut DecodeScratch,
     ) -> DecodeOutcome {
         let two_t = self.n - self.k;
 
@@ -276,10 +341,15 @@ impl ReedSolomon {
         // r = e. With no erasures this is the textbook errors-only BM.
         // The output Λ is the *combined* locator Ψ = Γ·(error locator).
         let e = n_erasures;
-        let mut lambda = vec![0u16; two_t + 1];
-        let mut prev = vec![0u16; two_t + 1];
-        lambda[..gamma.len()].copy_from_slice(gamma);
-        prev[..gamma.len()].copy_from_slice(gamma);
+        s.lambda.clear();
+        s.lambda.resize(two_t + 1, 0);
+        s.prev.clear();
+        s.prev.resize(two_t + 1, 0);
+        s.cand.clear();
+        s.cand.resize(two_t + 1, 0);
+        let glen = s.gamma.len();
+        s.lambda[..glen].copy_from_slice(&s.gamma);
+        s.prev[..glen].copy_from_slice(&s.gamma);
         let mut l = e; // current LFSR length
         let mut shift = 1usize; // x-power multiplying prev
         let mut b = 1u16; // last non-zero discrepancy
@@ -287,10 +357,10 @@ impl ReedSolomon {
             // Discrepancy δ = Σ_i Λ_i · S_{r−i}.
             let mut delta = 0u16;
             for i in 0..=r.min(two_t) {
-                if lambda[i] != 0 {
+                if s.lambda[i] != 0 {
                     delta = self
                         .field
-                        .add(delta, self.field.mul(lambda[i], synd[r - i]));
+                        .add(delta, self.field.mul(s.lambda[i], s.synd[r - i]));
                 }
             }
             if delta == 0 {
@@ -299,12 +369,173 @@ impl ReedSolomon {
             }
             let coeff = self.field.div(delta, b);
             // candidate = Λ − coeff · x^shift · prev
+            s.cand.copy_from_slice(&s.lambda);
+            for i in shift..=two_t {
+                if s.prev[i - shift] != 0 {
+                    s.cand[i] = self
+                        .field
+                        .add(s.cand[i], self.field.mul(coeff, s.prev[i - shift]));
+                }
+            }
+            if 2 * l <= r + e {
+                // prev := old Λ, Λ := candidate — as buffer swaps instead
+                // of the reference path's clone-and-move.
+                std::mem::swap(&mut s.prev, &mut s.lambda);
+                b = delta;
+                l = r + 1 - l + e;
+                shift = 1;
+            } else {
+                shift += 1;
+            }
+            std::mem::swap(&mut s.lambda, &mut s.cand);
+        }
+        let deg = s.lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
+        // 2·errors + erasures ≤ 2t ⇒ deg Ψ = errors + erasures ≤ t + e/2.
+        let max_deg = (2 * self.t() + e) / 2;
+        if deg == 0 || deg > max_deg {
+            return DecodeOutcome::Failure;
+        }
+
+        // Chien search over the n valid positions. A root Λ(α^{−p}) = 0
+        // marks an error at polynomial power p, i.e. word index n−1−p.
+        s.positions.clear();
+        for p in 0..self.n {
+            let x_inv = self
+                .field
+                .alpha_pow((self.field.order() - p % self.field.order()) % self.field.order());
+            if self.field.poly_eval(&s.lambda, x_inv) == 0 {
+                s.positions.push(p);
+            }
+        }
+        if s.positions.len() != deg {
+            return DecodeOutcome::Failure;
+        }
+
+        // Forney: Ω(x) = S(x)·Λ(x) mod x^{2t}; with b = 0 the magnitude at
+        // location X = α^p is e = X · Ω(X⁻¹) / Λ'(X⁻¹). Computed directly
+        // into scratch, accumulating only the surviving (< 2t) terms —
+        // the same xors poly_mul-then-truncate performs.
+        s.omega.clear();
+        s.omega.resize(two_t, 0);
+        for (i, &si) in s.synd.iter().enumerate() {
+            if si == 0 {
+                continue;
+            }
+            for (j, &lj) in s.lambda.iter().enumerate() {
+                if i + j >= two_t {
+                    break;
+                }
+                s.omega[i + j] = self.field.add(s.omega[i + j], self.field.mul(si, lj));
+            }
+        }
+        // Formal derivative of Λ (characteristic 2: even terms vanish).
+        s.deriv.clear();
+        s.deriv.resize(two_t, 0);
+        for i in (1..s.lambda.len()).step_by(2) {
+            s.deriv[i - 1] = s.lambda[i];
+        }
+
+        let mut corrected = 0usize;
+        for &p in &s.positions {
+            let x = self.field.alpha_pow(p);
+            let x_inv = self.field.inv(x);
+            let denom = self.field.poly_eval(&s.deriv, x_inv);
+            if denom == 0 {
+                return DecodeOutcome::Failure;
+            }
+            let num = self.field.poly_eval(&s.omega, x_inv);
+            let magnitude = self.field.mul(x, self.field.div(num, denom));
+            let idx = self.n - 1 - p;
+            word[idx] = self.field.add(word[idx], magnitude);
+            corrected += 1;
+        }
+
+        // Guard against miscorrection: the result must be a codeword.
+        // The syndrome buffers are free again at this point.
+        if !self.syndromes_into(word, s) {
+            return DecodeOutcome::Failure;
+        }
+        DecodeOutcome::Corrected(corrected)
+    }
+}
+
+/// The PR-2-era allocating decoder, retained verbatim as the differential
+/// oracle for the scratch-based path (see the `scratch_matches_reference`
+/// proptests).
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Allocating errors-and-erasures decode, pre-scratch implementation.
+    pub fn decode_with_erasures(
+        rs: &ReedSolomon,
+        word: &mut [u16],
+        erasures: &[usize],
+    ) -> Result<DecodeOutcome> {
+        if word.len() != rs.n {
+            return Err(MosaicError::LengthMismatch {
+                what: "RS codeword",
+                expected: rs.n,
+                got: word.len(),
+            });
+        }
+        let two_t = rs.n - rs.k;
+        if erasures.len() > two_t {
+            return Ok(DecodeOutcome::Failure);
+        }
+        for &e in erasures {
+            if e >= rs.n {
+                return Err(MosaicError::IndexOutOfRange {
+                    what: "erasure",
+                    index: e,
+                    limit: rs.n,
+                });
+            }
+        }
+        let synd = rs.syndromes_unchecked(word);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(DecodeOutcome::Clean);
+        }
+        let mut gamma = vec![1u16];
+        for &idx in erasures {
+            let x = rs.field.alpha_pow(rs.n - 1 - idx);
+            gamma = rs.field.poly_mul(&gamma, &[1, x]);
+        }
+        Ok(finish_decode(rs, word, &synd, &gamma, erasures.len()))
+    }
+
+    fn finish_decode(
+        rs: &ReedSolomon,
+        word: &mut [u16],
+        synd: &[u16],
+        gamma: &[u16],
+        n_erasures: usize,
+    ) -> DecodeOutcome {
+        let two_t = rs.n - rs.k;
+        let e = n_erasures;
+        let mut lambda = vec![0u16; two_t + 1];
+        let mut prev = vec![0u16; two_t + 1];
+        lambda[..gamma.len()].copy_from_slice(gamma);
+        prev[..gamma.len()].copy_from_slice(gamma);
+        let mut l = e;
+        let mut shift = 1usize;
+        let mut b = 1u16;
+        for r in e..two_t {
+            let mut delta = 0u16;
+            for i in 0..=r.min(two_t) {
+                if lambda[i] != 0 {
+                    delta = rs.field.add(delta, rs.field.mul(lambda[i], synd[r - i]));
+                }
+            }
+            if delta == 0 {
+                shift += 1;
+                continue;
+            }
+            let coeff = rs.field.div(delta, b);
             let mut cand = lambda.clone();
             for i in shift..=two_t {
                 if prev[i - shift] != 0 {
-                    cand[i] = self
-                        .field
-                        .add(cand[i], self.field.mul(coeff, prev[i - shift]));
+                    cand[i] = rs.field.add(cand[i], rs.field.mul(coeff, prev[i - shift]));
                 }
             }
             if 2 * l <= r + e {
@@ -318,55 +549,44 @@ impl ReedSolomon {
             lambda = cand;
         }
         let deg = lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
-        // 2·errors + erasures ≤ 2t ⇒ deg Ψ = errors + erasures ≤ t + e/2.
-        let max_deg = (2 * self.t() + e) / 2;
+        let max_deg = (2 * rs.t() + e) / 2;
         if deg == 0 || deg > max_deg {
             return DecodeOutcome::Failure;
         }
-
-        // Chien search over the n valid positions. A root Λ(α^{−p}) = 0
-        // marks an error at polynomial power p, i.e. word index n−1−p.
         let mut error_powers = Vec::with_capacity(deg);
-        for p in 0..self.n {
-            let x_inv = self
+        for p in 0..rs.n {
+            let x_inv = rs
                 .field
-                .alpha_pow((self.field.order() - p % self.field.order()) % self.field.order());
-            if self.field.poly_eval(&lambda, x_inv) == 0 {
+                .alpha_pow((rs.field.order() - p % rs.field.order()) % rs.field.order());
+            if rs.field.poly_eval(&lambda, x_inv) == 0 {
                 error_powers.push(p);
             }
         }
         if error_powers.len() != deg {
             return DecodeOutcome::Failure;
         }
-
-        // Forney: Ω(x) = S(x)·Λ(x) mod x^{2t}; with b = 0 the magnitude at
-        // location X = α^p is e = X · Ω(X⁻¹) / Λ'(X⁻¹).
         let s_poly: Vec<u16> = synd.to_vec();
-        let mut omega = self.field.poly_mul(&s_poly, &lambda);
+        let mut omega = rs.field.poly_mul(&s_poly, &lambda);
         omega.truncate(two_t);
-        // Formal derivative of Λ (characteristic 2: even terms vanish).
         let mut lambda_deriv = vec![0u16; lambda.len().saturating_sub(1)];
         for i in (1..lambda.len()).step_by(2) {
             lambda_deriv[i - 1] = lambda[i];
         }
-
         let mut corrected = 0usize;
         for &p in &error_powers {
-            let x = self.field.alpha_pow(p);
-            let x_inv = self.field.inv(x);
-            let denom = self.field.poly_eval(&lambda_deriv, x_inv);
+            let x = rs.field.alpha_pow(p);
+            let x_inv = rs.field.inv(x);
+            let denom = rs.field.poly_eval(&lambda_deriv, x_inv);
             if denom == 0 {
                 return DecodeOutcome::Failure;
             }
-            let num = self.field.poly_eval(&omega, x_inv);
-            let magnitude = self.field.mul(x, self.field.div(num, denom));
-            let idx = self.n - 1 - p;
-            word[idx] = self.field.add(word[idx], magnitude);
+            let num = rs.field.poly_eval(&omega, x_inv);
+            let magnitude = rs.field.mul(x, rs.field.div(num, denom));
+            let idx = rs.n - 1 - p;
+            word[idx] = rs.field.add(word[idx], magnitude);
             corrected += 1;
         }
-
-        // Guard against miscorrection: the result must be a codeword.
-        if self.syndromes_unchecked(word).iter().any(|&s| s != 0) {
+        if rs.syndromes_unchecked(word).iter().any(|&s| s != 0) {
             return DecodeOutcome::Failure;
         }
         DecodeOutcome::Corrected(corrected)
@@ -647,6 +867,62 @@ mod tests {
             } else {
                 prop_assert_eq!(out, DecodeOutcome::Corrected(nerr));
             }
+        }
+
+        #[test]
+        fn scratch_matches_reference(
+            seed in 0u64..5000,
+            nerr in 0usize..=7,
+            n_erase in 0usize..=9,
+        ) {
+            // Differential oracle: for random words — including garbage far
+            // from any codeword and overloaded error patterns — the scratch
+            // path must agree with the retained allocating decoder on both
+            // outcome and final word contents, with and without erasures.
+            let rs = ReedSolomon::new(8, 31, 23); // t = 4
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<u16> = (0..23).map(|_| rng.gen::<u16>() & 0xFF).collect();
+            let mut word = rs.encode(&data);
+            let mut pos: Vec<usize> = (0..31).collect();
+            for i in 0..(n_erase + nerr).min(31) {
+                let j = rng.gen_range(i..pos.len());
+                pos.swap(i, j);
+            }
+            let erased = &pos[..n_erase];
+            for &p in &pos[..(n_erase + nerr).min(31)] {
+                word[p] ^= (rng.gen::<u16>() & 0xFF).max(1);
+            }
+            let mut word_ref = word.clone();
+            let mut word_new = word.clone();
+            let mut scratch = DecodeScratch::new();
+            let out_ref = reference::decode_with_erasures(&rs, &mut word_ref, erased).unwrap();
+            let out_new = rs
+                .decode_with_erasures_scratch(&mut word_new, erased, &mut scratch)
+                .unwrap();
+            prop_assert_eq!(out_new, out_ref);
+            prop_assert_eq!(word_new, word_ref);
+        }
+
+        #[test]
+        fn fused_syndromes_match_reference(seed in 0u64..2000) {
+            let rs = ReedSolomon::new(8, 31, 23);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let word: Vec<u16> = (0..31).map(|_| rng.gen::<u16>() & 0xFF).collect();
+            let mut scratch = DecodeScratch::new();
+            let all_zero = rs.syndromes_into(&word, &mut scratch);
+            let reference = rs.syndromes_unchecked(&word);
+            prop_assert_eq!(&scratch.synd, &reference);
+            prop_assert_eq!(all_zero, reference.iter().all(|&s| s == 0));
+        }
+
+        #[test]
+        fn encode_into_matches_encode(seed in 0u64..2000) {
+            let rs = ReedSolomon::new(8, 31, 23);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<u16> = (0..23).map(|_| rng.gen::<u16>() & 0xFF).collect();
+            let mut word = vec![0xFFFFu16; 7]; // stale garbage must not leak
+            rs.try_encode_into(&data, &mut word).unwrap();
+            prop_assert_eq!(word, rs.encode(&data));
         }
 
         #[test]

@@ -121,8 +121,8 @@ impl CrosstalkModel {
     /// Total relative crosstalk (linear power ratio, aggressors vs. signal)
     /// landing on channel `idx` over a fiber of `length`.
     pub fn total_crosstalk(&self, lattice: &CoreLattice, idx: usize, length: Length) -> f64 {
-        let neighbors = lattice.neighbor_indices(idx);
-        let intrinsic = self.coupling.xt_total(lattice.pitch, length) * neighbors.len() as f64;
+        let neighbors = lattice.neighbor_count(idx);
+        let intrinsic = self.coupling.xt_total(lattice.pitch, length) * neighbors as f64;
 
         // Misalignment spill: each neighbor's (equally misaligned) spot is
         // displaced from my pixel by (pitch ⊖ offset); take the dominant
@@ -131,7 +131,7 @@ impl CrosstalkModel {
         let r = lattice.radius_of(idx);
         let offset = self.misalignment.offset_at(r);
         let gap = Length::from_m((lattice.pitch.as_m() - offset.as_m()).max(0.0));
-        let spill = gaussian_overlap(gap, w) * neighbors.len().min(2) as f64;
+        let spill = gaussian_overlap(gap, w) * neighbors.min(2) as f64;
 
         (intrinsic + spill).min(0.9)
     }

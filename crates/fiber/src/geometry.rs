@@ -89,6 +89,34 @@ pub struct CoreLattice {
     pub cores: Vec<HexCoord>,
     /// Center-to-center core pitch.
     pub pitch: Length,
+    /// Per-core populated-neighbor indices in `DIRECTIONS` order,
+    /// `NO_NEIGHBOR` marking unpopulated directions. Precomputed once at
+    /// construction so the budget engine's per-channel crosstalk query is
+    /// O(1) instead of a linear scan over the whole lattice.
+    adjacency: Vec<[u32; 6]>,
+}
+
+/// Sentinel for an unpopulated neighbor slot in the adjacency table.
+const NO_NEIGHBOR: u32 = u32::MAX;
+
+fn build_adjacency(cores: &[HexCoord]) -> Vec<[u32; 6]> {
+    let index: std::collections::HashMap<HexCoord, u32> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+    cores
+        .iter()
+        .map(|c| {
+            let mut slots = [NO_NEIGHBOR; 6];
+            for (slot, n) in slots.iter_mut().zip(c.neighbors()) {
+                if let Some(&i) = index.get(&n) {
+                    *slot = i;
+                }
+            }
+            slots
+        })
+        .collect()
 }
 
 impl CoreLattice {
@@ -120,7 +148,12 @@ impl CoreLattice {
             }
             ring += 1;
         }
-        CoreLattice { cores, pitch }
+        let adjacency = build_adjacency(&cores);
+        CoreLattice {
+            cores,
+            pitch,
+            adjacency,
+        }
     }
 
     /// Number of cores.
@@ -134,13 +167,22 @@ impl CoreLattice {
     }
 
     /// Indices of populated lattice neighbors of core `idx` (the crosstalk
-    /// aggressor set).
+    /// aggressor set), in `DIRECTIONS` order.
     pub fn neighbor_indices(&self, idx: usize) -> Vec<usize> {
-        let me = self.cores[idx];
-        me.neighbors()
+        self.adjacency[idx]
             .iter()
-            .filter_map(|n| self.cores.iter().position(|c| c == n))
+            .filter(|&&n| n != NO_NEIGHBOR)
+            .map(|&n| n as usize)
             .collect()
+    }
+
+    /// Number of populated lattice neighbors of core `idx`. Allocation-free;
+    /// the crosstalk model only needs the aggressor count.
+    pub fn neighbor_count(&self, idx: usize) -> usize {
+        self.adjacency[idx]
+            .iter()
+            .filter(|&&n| n != NO_NEIGHBOR)
+            .count()
     }
 
     /// Euclidean distance from the lattice center of core `idx`, metres —
@@ -244,6 +286,23 @@ mod tests {
         fn spiral_count_exact(n in 1usize..400) {
             let lat = CoreLattice::spiral(n, Length::from_um(20.0));
             prop_assert_eq!(lat.len(), n);
+        }
+
+        #[test]
+        fn adjacency_matches_linear_scan(n in 1usize..200) {
+            // The precomputed table must agree with the original O(n) search
+            // (same indices, same DIRECTIONS order).
+            let lat = CoreLattice::spiral(n, Length::from_um(20.0));
+            for idx in 0..lat.len() {
+                let me = lat.cores[idx];
+                let scanned: Vec<usize> = me
+                    .neighbors()
+                    .iter()
+                    .filter_map(|n| lat.cores.iter().position(|c| c == n))
+                    .collect();
+                prop_assert_eq!(&lat.neighbor_indices(idx), &scanned);
+                prop_assert_eq!(lat.neighbor_count(idx), scanned.len());
+            }
         }
 
         #[test]

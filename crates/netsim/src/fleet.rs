@@ -28,31 +28,38 @@ pub fn rollup(assignments: &[Assignment]) -> FleetReport {
     rollup_with(&Exec::from_env(), assignments)
 }
 
-/// [`rollup`] on an explicit execution context: the per-class partials
-/// are computed as a parallel sweep over assignments, then folded into
-/// the totals in assignment order — so float accumulation order (and
-/// therefore the report) is identical at every thread count.
-pub fn rollup_with(exec: &Exec, assignments: &[Assignment]) -> FleetReport {
-    let partials = exec.par_sweep(assignments, |a| {
-        let n = a.class.count as f64;
-        (
-            a.choice.link_power * n,
-            a.choice.link_fit * n,
-            a.class.count,
-            a.choice.name.clone(),
-        )
-    });
+/// [`rollup`] on an explicit execution context.
+///
+/// The fold runs sequentially in assignment order: each partial is two
+/// multiplications, so any parallel decomposition costs more in
+/// collection and reassembly than it saves (the earlier `par_sweep`
+/// form also cloned every technology name into an intermediate vector).
+/// Assignment-order accumulation is exactly what the parallel form
+/// reassembled to, so the report — including float accumulation order —
+/// is unchanged, and trivially identical at every thread count.
+pub fn rollup_with(_exec: &Exec, assignments: &[Assignment]) -> FleetReport {
     let mut total_power = Power::ZERO;
     let mut total_fit = Fit::ZERO;
     let mut links = 0usize;
     let mut power_by_tech: BTreeMap<String, Power> = BTreeMap::new();
     let mut links_by_tech: BTreeMap<String, usize> = BTreeMap::new();
-    for (p, fit, count, name) in partials {
+    for a in assignments {
+        let n = a.class.count as f64;
+        let p = a.choice.link_power * n;
         total_power += p;
-        total_fit = total_fit + fit;
-        links += count;
-        *power_by_tech.entry(name.clone()).or_insert(Power::ZERO) += p;
-        *links_by_tech.entry(name).or_insert(0) += count;
+        total_fit = total_fit + a.choice.link_fit * n;
+        links += a.class.count;
+        // `get_mut` first so steady-state updates never clone the name.
+        if let Some(v) = power_by_tech.get_mut(&a.choice.name) {
+            *v += p;
+        } else {
+            power_by_tech.insert(a.choice.name.clone(), p);
+        }
+        if let Some(v) = links_by_tech.get_mut(&a.choice.name) {
+            *v += a.class.count;
+        } else {
+            links_by_tech.insert(a.choice.name.clone(), a.class.count);
+        }
     }
     // Telemetry rollup: derived from the already-folded totals (not from
     // inside the sweep), so the values are thread-count invariant.

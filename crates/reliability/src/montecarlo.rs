@@ -67,7 +67,7 @@ pub fn simulate_pool_no_repair_with(
     // are not needed.
     let p_fail = 1.0 - (-lam * horizon.as_hours()).exp();
     let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
-    let partial = exec.par_trials(chunks, seed, "pool-lifetime", |c, rng| {
+    let survived = exec.par_trials_sum(chunks, seed, "pool-lifetime", |c, rng| {
         let mut survived = 0u64;
         for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
             let mut failures = 0usize;
@@ -85,10 +85,7 @@ pub fn simulate_pool_no_repair_with(
         }
         survived
     });
-    PoolLifetime {
-        trials,
-        survived: partial.iter().sum(),
-    }
+    PoolLifetime { trials, survived }
 }
 
 /// Simulate with repair: event-driven per trial. Failures ~ Exp((alive)·λ);
@@ -135,7 +132,7 @@ pub fn simulate_pool_with_repair_with(
     let lam = fit.per_hour();
     let horizon_h = horizon.as_hours();
     let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
-    let partial = exec.par_trials(chunks, seed, "pool-repair", |c, rng| {
+    let survived = exec.par_trials_sum(chunks, seed, "pool-repair", |c, rng| {
         let mut survived = 0u64;
         for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
             let mut t = 0.0f64;
@@ -166,10 +163,7 @@ pub fn simulate_pool_with_repair_with(
         }
         survived
     });
-    PoolLifetime {
-        trials,
-        survived: partial.iter().sum(),
-    }
+    PoolLifetime { trials, survived }
 }
 
 #[cfg(test)]

@@ -83,6 +83,28 @@ impl BitErrorInjector {
         flips
     }
 
+    /// Corrupt a slice of m-bit symbols in place, treating it as the
+    /// serialized bit stream `corrupt_bits` would see (bit `b` of symbol
+    /// `s` at stream position `s·m + b`): identical RNG draws, identical
+    /// flips, no bit-vector round trip. Returns the number of flips.
+    pub fn corrupt_symbols(&mut self, symbols: &mut [u16], bits_per_symbol: u32) -> u64 {
+        let bps = bits_per_symbol as u64;
+        let mut flips = 0u64;
+        let mut pos = 0u64;
+        let n = symbols.len() as u64 * bps;
+        while pos + self.gap < n {
+            pos += self.gap;
+            symbols[(pos / bps) as usize] ^= 1 << (pos % bps);
+            flips += 1;
+            pos += 1;
+            self.gap = self.rng.geometric(self.ber);
+        }
+        self.gap -= n - pos;
+        self.bits += n;
+        self.errors += flips;
+        flips
+    }
+
     /// Corrupt the data words of a lane stream in place (markers are
     /// control blocks with their own heavy protection in hardware; we
     /// model them as error-free and account their loss separately via
@@ -162,6 +184,48 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn symbols_path_equals_serialized_bits_path(
+            seed in 0u64..200,
+            exp in -3f64..-0.8,
+            m in 3u32..=12,
+            nsyms in 1usize..100,
+            rounds in 1usize..4,
+        ) {
+            // corrupt_symbols must replicate the serialize → corrupt_bits
+            // → reassemble pipeline exactly: same flips, same counters,
+            // same residual gap carried across calls.
+            let ber = 10f64.powf(exp);
+            let mask = ((1u32 << m) - 1) as u16;
+            let mut dr = DetRng::new(seed ^ 0xABCD);
+            let words: Vec<Vec<u16>> = (0..rounds)
+                .map(|_| (0..nsyms).map(|_| dr.next_u64() as u16 & mask).collect())
+                .collect();
+            let mut inj_bits = BitErrorInjector::new(ber, DetRng::new(seed));
+            let mut inj_syms = BitErrorInjector::new(ber, DetRng::new(seed));
+            for word in &words {
+                let mut bits: Vec<u8> = word
+                    .iter()
+                    .flat_map(|&s| (0..m).map(move |b| ((s >> b) & 1) as u8))
+                    .collect();
+                let flips_bits = inj_bits.corrupt_bits(&mut bits);
+                let via_bits: Vec<u16> = bits
+                    .chunks(m as usize)
+                    .map(|c| {
+                        c.iter()
+                            .enumerate()
+                            .fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i))
+                    })
+                    .collect();
+                let mut via_syms = word.clone();
+                let flips_syms = inj_syms.corrupt_symbols(&mut via_syms, m);
+                prop_assert_eq!(flips_syms, flips_bits);
+                prop_assert_eq!(&via_syms, &via_bits);
+            }
+            prop_assert_eq!(inj_syms.bits, inj_bits.bits);
+            prop_assert_eq!(inj_syms.errors, inj_bits.errors);
+        }
+
         #[test]
         fn error_count_equals_flipped_bits(seed in 0u64..100, exp in -4f64..-1.0) {
             let ber = 10f64.powf(exp);

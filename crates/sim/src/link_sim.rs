@@ -208,7 +208,10 @@ pub fn simulate_link_with(exec: &Exec, cfg: &LinkSimConfig) -> LinkSimReport {
         let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
         let mut channels = tx.transmit(&refs);
         report.frames_sent += payloads.len() as u64;
-        sent_payloads.extend(payloads.iter().cloned());
+        // `refs` borrowed `payloads` only through `transmit`; move the
+        // buffers into the archive instead of cloning every frame.
+        drop(refs);
+        sent_payloads.extend(payloads);
 
         // 3. The medium: per-channel error injection and dead channels —
         //    one parallel task per channel, each confined to its own

@@ -13,6 +13,7 @@ use crate::inject::BitErrorInjector;
 use crate::rng::DetRng;
 use crate::sweep::{chunk_count, chunk_len, Exec};
 use mosaic_fec::rs::{DecodeOutcome, ReedSolomon};
+use mosaic_fec::DecodeScratch;
 use mosaic_phy::ber::OokReceiver;
 use mosaic_units::Power;
 
@@ -35,10 +36,35 @@ pub struct BerMeasurement {
     pub ci95: (f64, f64),
 }
 
+impl BerMeasurement {
+    /// Build a measurement from raw counts. Zero bits is a defined
+    /// no-information result (`ber = 0.0`, CI `(0.0, 1.0)`), not a
+    /// division by zero.
+    pub fn from_counts(bits: u64, errors: u64) -> Self {
+        let ber = if bits == 0 {
+            0.0
+        } else {
+            errors as f64 / bits as f64
+        };
+        BerMeasurement {
+            bits,
+            errors,
+            ber,
+            ci95: wilson_ci(errors, bits),
+        }
+    }
+}
+
 /// Wilson score interval for a binomial proportion (robust at zero
 /// observed errors, unlike the normal approximation).
+///
+/// Zero trials carry no information: the interval is the vacuous
+/// `(0.0, 1.0)` rather than a panic, matching the workspace's
+/// never-panic API posture.
 pub fn wilson_ci(errors: u64, trials: u64) -> (f64, f64) {
-    assert!(trials > 0, "need at least one trial");
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
     let z = 1.96f64;
     let n = trials as f64;
     let p = errors as f64 / n;
@@ -79,7 +105,44 @@ impl SlicerPoint {
     }
 
     /// Slice `bits` noisy samples from `rng`, returning the error count.
+    ///
+    /// Batched: draws land in block buffers first (one `chance` then one
+    /// `standard_normal` per bit — the exact `DetRng` call sequence of
+    /// the scalar loop), then a second, branch-light pass computes the
+    /// identical float expression `level + sigma·z` and compares against
+    /// the threshold. Values are bit-identical to the scalar form; the
+    /// split lets the decision pass vectorize and keeps the RNG state
+    /// machine out of the comparison loop.
     fn count_errors(&self, bits: u64, rng: &mut DetRng) -> u64 {
+        const BLOCK: usize = 256;
+        let mut ones = [false; BLOCK];
+        let mut zs = [0f64; BLOCK];
+        let mut errors = 0u64;
+        let mut remaining = bits;
+        while remaining > 0 {
+            let len = remaining.min(BLOCK as u64) as usize;
+            for j in 0..len {
+                ones[j] = rng.chance(0.5);
+                zs[j] = rng.standard_normal();
+            }
+            for j in 0..len {
+                let (level, sigma) = if ones[j] {
+                    (self.i1, self.s1)
+                } else {
+                    (self.i0, self.s0)
+                };
+                let sample = level + sigma * zs[j];
+                errors += ((sample > self.threshold) != ones[j]) as u64;
+            }
+            remaining -= len as u64;
+        }
+        errors
+    }
+
+    /// The scalar reference slicer (pre-batching), retained as the
+    /// differential oracle for [`SlicerPoint::count_errors`].
+    #[cfg(test)]
+    fn count_errors_reference(&self, bits: u64, rng: &mut DetRng) -> u64 {
         let mut errors = 0u64;
         for _ in 0..bits {
             let (level, sigma, is_one) = if rng.chance(0.5) {
@@ -112,12 +175,7 @@ pub fn simulate_ook_ber(
 ) -> BerMeasurement {
     let point = SlicerPoint::of(rx, avg_power);
     let errors = point.count_errors(bits, rng);
-    BerMeasurement {
-        bits,
-        errors,
-        ber: errors as f64 / bits as f64,
-        ci95: wilson_ci(errors, bits),
-    }
+    BerMeasurement::from_counts(bits, errors)
 }
 
 /// Parallel OOK slicer simulation: `bits` are split into fixed
@@ -134,16 +192,12 @@ pub fn simulate_ook_ber_par(
 ) -> BerMeasurement {
     let point = SlicerPoint::of(rx, avg_power);
     let chunks = chunk_count(bits, OOK_CHUNK_BITS);
-    let partial = exec.par_trials(chunks, seed, "ook-ber", |c, rng| {
+    // Exact integer sum over chunk counters: no intermediate collection,
+    // thread-count invariant by the fold's commutativity contract.
+    let errors = exec.par_trials_sum(chunks, seed, "ook-ber", |c, rng| {
         point.count_errors(chunk_len(c, bits, OOK_CHUNK_BITS), rng)
     });
-    let errors: u64 = partial.iter().sum();
-    BerMeasurement {
-        bits,
-        errors,
-        ber: errors as f64 / bits as f64,
-        ci95: wilson_ci(errors, bits),
-    }
+    BerMeasurement::from_counts(bits, errors)
 }
 
 /// Result of a coded-channel Monte-Carlo run.
@@ -185,14 +239,28 @@ pub fn run_rs_channel(rs: &ReedSolomon, ber: f64, codewords: u64, seed: u64) -> 
     run_rs_channel_with(&Exec::from_env(), rs, ber, codewords, seed)
 }
 
+/// Per-worker working set for [`run_rs_channel_with`]: decode scratch
+/// plus data/word buffers, reused across every codeword the worker
+/// processes — zero heap allocation per word in steady state.
+struct RsChannelScratch {
+    decode: DecodeScratch,
+    data: Vec<u16>,
+    word: Vec<u16>,
+}
+
 /// [`run_rs_channel`] on an explicit execution context.
 ///
 /// Each codeword is an independent task: word `w` generates data from
 /// stream `(seed, "rs-data", w)` and noise from `(seed, "rs-noise", w)`,
-/// and the per-word counters are summed in word order — so the totals
-/// are bit-identical at every thread count. (Restarting the injector's
-/// geometric skip at each word keeps errors i.i.d. Bernoulli(`ber`),
-/// which is all the channel model promises.)
+/// and the per-word counters fold by exact integer addition — so the
+/// totals are bit-identical at every thread count. (Restarting the
+/// injector's geometric skip at each word keeps errors i.i.d.
+/// Bernoulli(`ber`), which is all the channel model promises.)
+///
+/// Corruption acts directly on the symbol buffer via
+/// [`BitErrorInjector::corrupt_symbols`] — the same bit stream the old
+/// serialize/corrupt/reassemble round trip produced, without the
+/// per-word bit vector.
 pub fn run_rs_channel_with(
     exec: &Exec,
     rs: &ReedSolomon,
@@ -202,69 +270,8 @@ pub fn run_rs_channel_with(
 ) -> CodedRun {
     let m = rs.symbol_bits();
     let mask = ((1u32 << m) - 1) as u16;
-    let per_word = exec.run_tasks(codewords as usize, |w| {
-        let mut data_rng = DetRng::substream_indexed(seed, "rs-data", w as u64);
-        let mut inj =
-            BitErrorInjector::new(ber, DetRng::substream_indexed(seed, "rs-noise", w as u64));
-        let data: Vec<u16> = (0..rs.k())
-            .map(|_| (data_rng.next_u64() as u16) & mask)
-            .collect();
-        let clean = rs.encode(&data);
-        // Serialize symbols to bits, corrupt, reassemble.
-        let mut bits: Vec<u8> = Vec::with_capacity(rs.n() * m as usize);
-        for &s in &clean {
-            for b in 0..m {
-                bits.push(((s >> b) & 1) as u8);
-            }
-        }
-        let mut one = CodedRun {
-            codewords: 1,
-            decoded: 0,
-            failures: 0,
-            miscorrected: 0,
-            pre_fec_bit_errors: inj.corrupt_bits(&mut bits),
-            bits: bits.len() as u64,
-            residual_symbol_errors: 0,
-        };
-        let mut word: Vec<u16> = bits
-            .chunks(m as usize)
-            .map(|c| {
-                c.iter()
-                    .enumerate()
-                    .fold(0u16, |acc, (i, &b)| acc | ((b as u16) << i))
-            })
-            .collect();
-        let outcome = rs
-            .decode(&mut word)
-            .expect("simulated codeword has the code's exact length");
-        match outcome {
-            DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
-                if word[..rs.k()] == data[..] {
-                    one.decoded += 1;
-                } else {
-                    // Beyond-capacity miscorrection to a different valid
-                    // codeword — inherent to bounded-distance decoding.
-                    one.miscorrected += 1;
-                    one.residual_symbol_errors += word[..rs.k()]
-                        .iter()
-                        .zip(&data)
-                        .filter(|(a, b)| a != b)
-                        .count() as u64;
-                }
-            }
-            DecodeOutcome::Failure => {
-                one.failures += 1;
-                one.residual_symbol_errors += word[..rs.k()]
-                    .iter()
-                    .zip(&data)
-                    .filter(|(a, b)| a != b)
-                    .count() as u64;
-            }
-        }
-        one
-    });
-    let mut out = CodedRun {
-        codewords,
+    let zero = || CodedRun {
+        codewords: 0,
         decoded: 0,
         failures: 0,
         miscorrected: 0,
@@ -272,14 +279,66 @@ pub fn run_rs_channel_with(
         bits: 0,
         residual_symbol_errors: 0,
     };
-    for w in &per_word {
-        out.decoded += w.decoded;
-        out.failures += w.failures;
-        out.miscorrected += w.miscorrected;
-        out.pre_fec_bit_errors += w.pre_fec_bit_errors;
-        out.bits += w.bits;
-        out.residual_symbol_errors += w.residual_symbol_errors;
-    }
+    let mut out = exec.fold_tasks_commutative(
+        codewords as usize,
+        || RsChannelScratch {
+            decode: DecodeScratch::new(),
+            data: Vec::new(),
+            word: Vec::new(),
+        },
+        zero,
+        |w, st, acc| {
+            let mut data_rng = DetRng::substream_indexed(seed, "rs-data", w as u64);
+            let mut inj =
+                BitErrorInjector::new(ber, DetRng::substream_indexed(seed, "rs-noise", w as u64));
+            st.data.clear();
+            st.data
+                .extend((0..rs.k()).map(|_| (data_rng.next_u64() as u16) & mask));
+            rs.try_encode_into(&st.data, &mut st.word)
+                .expect("simulated data block has the code's exact length");
+            acc.codewords += 1;
+            acc.pre_fec_bit_errors += inj.corrupt_symbols(&mut st.word, m);
+            acc.bits += rs.n() as u64 * m as u64;
+            let outcome = rs
+                .decode_scratch(&mut st.word, &mut st.decode)
+                .expect("simulated codeword has the code's exact length");
+            match outcome {
+                DecodeOutcome::Clean | DecodeOutcome::Corrected(_) => {
+                    if st.word[..rs.k()] == st.data[..] {
+                        acc.decoded += 1;
+                    } else {
+                        // Beyond-capacity miscorrection to a different valid
+                        // codeword — inherent to bounded-distance decoding.
+                        acc.miscorrected += 1;
+                        acc.residual_symbol_errors += st.word[..rs.k()]
+                            .iter()
+                            .zip(&st.data)
+                            .filter(|(a, b)| a != b)
+                            .count() as u64;
+                    }
+                }
+                DecodeOutcome::Failure => {
+                    acc.failures += 1;
+                    acc.residual_symbol_errors += st.word[..rs.k()]
+                        .iter()
+                        .zip(&st.data)
+                        .filter(|(a, b)| a != b)
+                        .count() as u64;
+                }
+            }
+        },
+        |total, part| {
+            total.codewords += part.codewords;
+            total.decoded += part.decoded;
+            total.failures += part.failures;
+            total.miscorrected += part.miscorrected;
+            total.pre_fec_bit_errors += part.pre_fec_bit_errors;
+            total.bits += part.bits;
+            total.residual_symbol_errors += part.residual_symbol_errors;
+        },
+    );
+    debug_assert_eq!(out.codewords, codewords);
+    out.codewords = codewords;
     out
 }
 
@@ -327,6 +386,43 @@ mod tests {
         let (lo, hi) = wilson_ci(500, 1000);
         assert!(lo < 0.5 && 0.5 < hi);
         assert!(hi - lo < 0.07);
+    }
+
+    #[test]
+    fn zero_trials_is_defined_not_a_panic() {
+        assert_eq!(wilson_ci(0, 0), (0.0, 1.0));
+        let m = BerMeasurement::from_counts(0, 0);
+        assert_eq!(m.ber, 0.0);
+        assert_eq!(m.ci95, (0.0, 1.0));
+        assert_eq!(m.bits, 0);
+        assert_eq!(m.errors, 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn batched_slicer_matches_scalar_reference(
+            seed in 0u64..500,
+            bits in 0u64..2000,
+            snr in 1.0f64..8.0,
+        ) {
+            // The batched slicer must reproduce the scalar loop exactly:
+            // same error count AND same final RNG state (so downstream
+            // draws are unaffected). `snr` spaces the rails in units of
+            // the noise sigma, sweeping error rates from ~0.5 to ~1e-4.
+            let point = SlicerPoint {
+                i1: 10e-6 + snr * 1e-6,
+                i0: 10e-6 - snr * 1e-6,
+                s1: 1.1e-6,
+                s0: 0.9e-6,
+                threshold: 10e-6,
+            };
+            let mut rng_batch = DetRng::new(seed);
+            let mut rng_ref = DetRng::new(seed);
+            let batched = point.count_errors(bits, &mut rng_batch);
+            let scalar = point.count_errors_reference(bits, &mut rng_ref);
+            proptest::prop_assert_eq!(batched, scalar);
+            proptest::prop_assert_eq!(rng_batch.next_u64(), rng_ref.next_u64());
+        }
     }
 
     #[test]

@@ -116,6 +116,138 @@ impl Exec {
         tagged.into_iter().map(|(_, v)| v).collect()
     }
 
+    /// [`Exec::run_tasks`] with one reusable scratch state per *worker*
+    /// (not per task): `make_state` runs once per worker, and every task
+    /// the worker claims folds through the same `&mut S`. This is how the
+    /// Monte-Carlo kernels reuse decode buffers across codewords without
+    /// per-word allocation.
+    ///
+    /// The state must not carry information between tasks that affects
+    /// results (scratch buffers are overwritten, RNGs are rebuilt per
+    /// task) — otherwise output would depend on the task→worker mapping.
+    pub fn run_tasks_with<S, T, FS, F>(&self, n: usize, make_state: FS, f: F) -> Vec<T>
+    where
+        T: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            let mut state = make_state();
+            return (0..n).map(|i| f(i, &mut state)).collect();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut state = make_state();
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(i, &mut state)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                tagged.extend(h.join().expect("sweep worker panicked"));
+            }
+        });
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Fold `n` independent tasks straight into an accumulator — no
+    /// intermediate per-task collection — with one reusable scratch state
+    /// per worker. `make_acc` builds each worker's accumulator (and the
+    /// merge target); `f(i, &mut state, &mut acc)` folds task `i`; worker
+    /// accumulators merge at join time.
+    ///
+    /// **Determinism contract**: workers fold whichever task indices they
+    /// claim, so the fold and `merge` must be *exactly* commutative and
+    /// associative — integer adds, xor, min/max. Floating-point sums do
+    /// **not** qualify (rounding is order-dependent); for those, use
+    /// [`Exec::run_tasks`] and fold the returned vector in index order.
+    pub fn fold_tasks_commutative<S, A, FS, FA, F, M>(
+        &self,
+        n: usize,
+        make_state: FS,
+        make_acc: FA,
+        f: F,
+        merge: M,
+    ) -> A
+    where
+        A: Send,
+        FS: Fn() -> S + Sync,
+        FA: Fn() -> A + Sync,
+        F: Fn(usize, &mut S, &mut A) + Sync,
+        M: Fn(&mut A, A),
+    {
+        if self.threads == 1 || n <= 1 {
+            let mut state = make_state();
+            let mut acc = make_acc();
+            for i in 0..n {
+                f(i, &mut state, &mut acc);
+            }
+            return acc;
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let mut total = make_acc();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut state = make_state();
+                        let mut acc = make_acc();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            f(i, &mut state, &mut acc);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            for h in handles {
+                merge(&mut total, h.join().expect("sweep worker panicked"));
+            }
+        });
+        total
+    }
+
+    /// Monte-Carlo fan-out summing a `u64` statistic per trial: the
+    /// allocation-free form of [`Exec::par_trials`]`(..).iter().sum()`.
+    /// Trial `i` draws from stream `(seed, label, i)`; the sum is exact
+    /// integer addition, so the total is thread-count invariant. Same
+    /// telemetry as [`Exec::par_trials`].
+    pub fn par_trials_sum<F>(&self, n: u64, seed: u64, label: &str, f: F) -> u64
+    where
+        F: Fn(u64, &mut DetRng) -> u64 + Sync,
+    {
+        crate::telemetry::counter_add(&format!("trials.{label}"), n);
+        crate::telemetry::stage(&format!("par_trials.{label}"), n, || {
+            self.fold_tasks_commutative(
+                n as usize,
+                || (),
+                || 0u64,
+                |i, _state, acc| {
+                    let mut rng = DetRng::substream_indexed(seed, label, i as u64);
+                    *acc += f(i as u64, &mut rng);
+                },
+                |total, part| *total += part,
+            )
+        })
+    }
+
     /// Monte-Carlo fan-out: `n` trials, trial `i` running against its own
     /// counter-derived stream `(seed, label, i)`. Results come back in
     /// trial order.
@@ -283,6 +415,51 @@ mod tests {
         // And trial i's stream matches a direct derivation.
         let direct = DetRng::substream_indexed(9, "t", 3).next_u64();
         assert_eq!(draws[3], direct);
+    }
+
+    #[test]
+    fn run_tasks_with_matches_run_tasks() {
+        // Worker-scoped scratch must not change results: the buffer is
+        // overwritten per task, so output equals the scratch-free path.
+        let plain = Exec::with_threads(1).run_tasks(97, |i| (i as u64).wrapping_mul(2654435761));
+        for threads in [1, 3, 8] {
+            let with = Exec::with_threads(threads).run_tasks_with(97, Vec::<u64>::new, |i, buf| {
+                buf.clear();
+                buf.push((i as u64).wrapping_mul(2654435761));
+                buf[0]
+            });
+            assert_eq!(plain, with, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_tasks_commutative_is_thread_count_invariant() {
+        let fold = |exec: &Exec| {
+            exec.fold_tasks_commutative(
+                311,
+                || (),
+                || 0u64,
+                |i, _s, acc| *acc += (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32,
+                |total, part| *total += part,
+            )
+        };
+        let seq = fold(&Exec::with_threads(1));
+        for threads in [2, 5, 16] {
+            assert_eq!(seq, fold(&Exec::with_threads(threads)), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_trials_sum_matches_par_trials() {
+        let seq: u64 = Exec::with_threads(1)
+            .par_trials(40, 7, "sum-t", |_i, rng| rng.next_u64() >> 40)
+            .iter()
+            .sum();
+        for threads in [1, 4, 9] {
+            let summed = Exec::with_threads(threads)
+                .par_trials_sum(40, 7, "sum-t", |_i, rng| rng.next_u64() >> 40);
+            assert_eq!(seq, summed, "threads={threads}");
+        }
     }
 
     #[test]
