@@ -14,8 +14,8 @@
 
 use mosaic_bench::manifest::{FigureRecord, RunManifest};
 use mosaic_sim::telemetry;
+use mosaic_sim::telemetry::Stopwatch;
 use std::fs;
-use std::time::Instant;
 
 fn main() {
     let mut manifest_out: Option<String> = None;
@@ -45,12 +45,12 @@ fn main() {
     eprintln!("[run_all] mode={mode} threads={threads}");
     fs::create_dir_all("results").expect("create results/");
 
-    let run_start = Instant::now();
+    let run_start = Stopwatch::start();
     let cpu_start = telemetry::process_cpu_ns();
     let mut figures = Vec::new();
     for (id, title, runner) in mosaic_bench::all_experiments() {
         telemetry::reset();
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let output = runner();
         let wall_ns = start.elapsed().as_nanos() as u64;
         let snapshot = telemetry::take();

@@ -10,7 +10,7 @@ use mosaic_fec::analysis::{binary_performance, rs_performance};
 use mosaic_fec::rs::ReedSolomon;
 use mosaic_sim::montecarlo::run_rs_channel_with;
 use mosaic_sim::sweep::{Exec, RunStats};
-use std::time::Instant;
+use mosaic_sim::telemetry::Stopwatch;
 
 /// Rough decoder energy per bit (pJ) for each code class — hardware
 /// synthesis ballparks: Hamming is trivial, BCH needs BM over GF(2^10),
@@ -74,7 +74,7 @@ pub fn run() -> String {
     let rs = ReedSolomon::new(8, 31, 23);
     let exec = Exec::from_env();
     let codewords = runcfg::trials(4000, 600);
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for &ber in &[1e-2, 2e-2, 4e-2] {
         let run = run_rs_channel_with(&exec, &rs, ber, codewords, 17);
         let analytic = rs_performance(rs.n(), rs.t(), rs.symbol_bits(), ber);

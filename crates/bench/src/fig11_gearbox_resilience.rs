@@ -6,7 +6,7 @@ use crate::table::Table;
 use mosaic_sim::faults::{Fault, FaultSchedule};
 use mosaic_sim::link_sim::{simulate_link_with, LinkSimConfig};
 use mosaic_sim::sweep::{Exec, RunStats};
-use std::time::Instant;
+use mosaic_sim::telemetry::Stopwatch;
 
 fn base(spares: usize) -> LinkSimConfig {
     LinkSimConfig {
@@ -39,7 +39,7 @@ pub fn run() -> String {
     ]);
     let exec = Exec::from_env();
     let mut frames = 0u64;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for spares in [0usize, 1, 2, 4, 8] {
         let mut cfg = base(spares);
         cfg.faults = FaultSchedule::new()

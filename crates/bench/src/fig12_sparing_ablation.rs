@@ -8,8 +8,8 @@ use mosaic_reliability::sparing::{spares_for_target, sparing_table};
 use mosaic_sim::faults::{Fault, FaultSchedule};
 use mosaic_sim::link_sim::{simulate_link_with, LinkSimConfig};
 use mosaic_sim::sweep::{Exec, RunStats};
+use mosaic_sim::telemetry::Stopwatch;
 use mosaic_units::Duration;
-use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -65,7 +65,7 @@ pub fn run() -> String {
     // run sequential inside (no nested fan-out). Results come back in
     // policy order, so the table is thread-count invariant.
     let exec = Exec::from_env();
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let runs = exec.par_sweep(&cfgs, |cfg| simulate_link_with(&Exec::with_threads(1), cfg));
     let frames: u64 = runs.iter().map(|r| r.frames_sent).sum();
     RunStats {

@@ -13,8 +13,8 @@ use mosaic::reliability_model::channel_fit;
 use mosaic_reliability::fitdb;
 use mosaic_reliability::weibull::{pool_survival_weibull_with, Weibull};
 use mosaic_sim::sweep::{Exec, RunStats};
+use mosaic_sim::telemetry::Stopwatch;
 use mosaic_units::Duration;
-use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -49,7 +49,7 @@ pub fn run() -> String {
     let mut t = Table::new(&["shape k", "7-yr pool survival", "12-yr pool survival"]);
     let exec = Exec::from_env();
     let trials = runcfg::trials(100_000, 10_000);
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for shape in [1.0, 1.5, 2.5] {
         let lt = Weibull::matching_fit_at(channel_fit(), shape, design_life);
         let s7 =

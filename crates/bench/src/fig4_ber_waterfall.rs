@@ -11,8 +11,8 @@ use mosaic_phy::photodiode::Photodiode;
 use mosaic_phy::tia::Tia;
 use mosaic_sim::montecarlo::simulate_ook_ber_par;
 use mosaic_sim::sweep::{Exec, RunStats};
+use mosaic_sim::telemetry::Stopwatch;
 use mosaic_units::Power;
-use std::time::Instant;
 
 fn receiver(rate_gbps: f64) -> OokReceiver {
     let tia = Tia::low_speed(rate_gbps);
@@ -47,7 +47,7 @@ pub fn run() -> String {
     let mut mc_bits = 0u64;
     let mut analytic_2g = Vec::new();
     let mut mc_2g = Vec::new();
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for (idx, dbm_tenths) in (-300..=-210).step_by(10).enumerate() {
         let dbm = dbm_tenths as f64 / 10.0;
         let p = Power::from_dbm(dbm);

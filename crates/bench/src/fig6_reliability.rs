@@ -11,8 +11,8 @@ use mosaic_reliability::markov::SparedPool;
 use mosaic_reliability::montecarlo::simulate_pool_no_repair_with;
 use mosaic_reliability::system::KofN;
 use mosaic_sim::sweep::{Exec, RunStats};
+use mosaic_sim::telemetry::Stopwatch;
 use mosaic_units::{BitRate, Duration};
-use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -35,7 +35,7 @@ pub fn run() -> String {
     let horizon = Duration::from_years(7.0);
     let exec = Exec::from_env();
     let trials = runcfg::trials(100_000, 10_000);
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut t = Table::new(&[
         "spares",
         "closed form",

@@ -10,8 +10,8 @@ use mosaic_netsim::failure_sim::simulate_fleet_ensemble;
 use mosaic_netsim::fleet::rollup;
 use mosaic_netsim::topology::{ClosTopology, RailTopology};
 use mosaic_sim::sweep::{Exec, RunStats};
+use mosaic_sim::telemetry::Stopwatch;
 use mosaic_units::{BitRate, Duration};
-use std::time::Instant;
 
 /// Run the experiment.
 pub fn run() -> String {
@@ -37,7 +37,7 @@ pub fn run() -> String {
     let exec = Exec::from_env();
     let replicas = runcfg::trials(8, 3);
     let mut histories = 0u64;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for (label, size, classes) in fabrics {
         let total_links: usize = classes.iter().map(|c| c.count).sum();
         out.push_str(&format!("\n{label}: {size}, {total_links} links\n"));

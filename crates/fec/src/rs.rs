@@ -42,6 +42,7 @@ impl ReedSolomon {
     pub fn new(m: u32, n: usize, k: usize) -> Self {
         match Self::try_new(m, n, k) {
             Ok(rs) => rs,
+            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -130,6 +131,7 @@ impl ReedSolomon {
     pub fn encode(&self, data: &[u16]) -> Vec<u16> {
         match self.try_encode(data) {
             Ok(word) => word,
+            // lint: allow(R3) reason=documented panicking wrapper over try_encode
             Err(e) => panic!("{e}"),
         }
     }
@@ -164,6 +166,7 @@ impl ReedSolomon {
         let (data_part, rem) = word.split_at_mut(self.k);
         for &d in data_part.iter() {
             if d > mask {
+                // lint: allow(R4) reason=cold error path; allocates only on invalid input
                 return Err(MosaicError::invalid_code(format!(
                     "data symbol {d:#x} outside GF(2^{})",
                     self.field.m()

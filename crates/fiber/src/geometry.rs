@@ -100,7 +100,9 @@ pub struct CoreLattice {
 const NO_NEIGHBOR: u32 = u32::MAX;
 
 fn build_adjacency(cores: &[HexCoord]) -> Vec<[u32; 6]> {
-    let index: std::collections::HashMap<HexCoord, u32> = cores
+    // BTreeMap rather than HashMap (lint rule R1): lookup-only today, but
+    // deterministic order keeps any future iteration safe by default.
+    let index: std::collections::BTreeMap<HexCoord, u32> = cores
         .iter()
         .enumerate()
         .map(|(i, &c)| (c, i as u32))

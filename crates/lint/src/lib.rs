@@ -1,0 +1,207 @@
+//! `mosaic_lint` — the workspace invariant checker.
+//!
+//! Statically enforces the invariants PRs 1–3 established at runtime:
+//! deterministic iteration (R1), clock/entropy hygiene (R2),
+//! panic-freedom in the `Result`-based API crates (R3), and
+//! allocation-free Monte-Carlo kernels (R4). See `rules` for the
+//! catalogue, DESIGN.md §9 for the methodology, and
+//! `cargo run -p mosaic_lint` for the driver.
+//!
+//! The engine is dependency-free (the build environment vendors
+//! everything and has no `syn`): a hand-rolled lexer (`lexer`), a
+//! structural pass for test spans / function bodies / allow annotations
+//! (`scan`), token-pattern rules (`rules`), and a deterministic report
+//! (`report`).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use lexer::Tok;
+use report::{Diagnostic, Level, Report};
+use rules::Config;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::default_config;
+
+/// Lint every crate of the workspace at `root` (each `crates/*` package
+/// plus the root package), returning the aggregated report.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    // Root package (`src/`), scanned as crate "repro".
+    if root.join("src").is_dir() {
+        lint_src_dir(cfg, "repro", root, &root.join("src"), &mut report)?;
+    }
+
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    members.sort();
+    for member in members {
+        let name = member
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = member.join("src");
+        if src.is_dir() {
+            lint_src_dir(cfg, &name, root, &src, &mut report)?;
+        }
+    }
+
+    cross_check_registry(root, cfg, &mut report)?;
+    report.registry = cfg
+        .registry
+        .iter()
+        .map(|e| {
+            (
+                e.file.to_string(),
+                e.func.to_string(),
+                e.harness.map(str::to_string),
+            )
+        })
+        .collect();
+    report.finish();
+    Ok(report)
+}
+
+/// Lint one crate rooted at `src_dir`, reporting paths relative to
+/// `rel_root`. Public so fixture tests can run the engine on a directory
+/// that is not a cargo workspace.
+pub fn lint_src_dir(
+    cfg: &Config,
+    crate_name: &str,
+    rel_root: &Path,
+    src_dir: &Path,
+    report: &mut Report,
+) -> io::Result<()> {
+    let mut files = Vec::new();
+    collect_rs_files(src_dir, &mut files)?;
+    files.sort();
+    for path in files {
+        let rel = path
+            .strip_prefix(rel_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let (diags, index_notes) = rules::check_file(cfg, crate_name, &rel, &src);
+        report.diagnostics.extend(diags);
+        if index_notes > 0 {
+            *report.index_notes.entry(rel).or_insert(0) += index_notes;
+        }
+        report.files += 1;
+    }
+    Ok(())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Two-way drift check between the static no-alloc registry and the
+/// counting-allocator harness:
+///
+/// 1. every registry entry citing a harness must actually be *called* by
+///    that harness (so the runtime proof covers the static claim), and
+/// 2. every scratch-path method the harness exercises (`*_scratch`,
+///    `*_into`) must be in the registry (so a new scratch kernel cannot
+///    gain a runtime proof without gaining the static rule).
+fn cross_check_registry(root: &Path, cfg: &Config, report: &mut Report) -> io::Result<()> {
+    let mut harnesses: Vec<&str> = cfg.registry.iter().filter_map(|e| e.harness).collect();
+    harnesses.sort_unstable();
+    harnesses.dedup();
+
+    for harness in harnesses {
+        let path = root.join(harness);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            report.diagnostics.push(Diagnostic {
+                rule: "R4".into(),
+                level: Level::Deny,
+                file: harness.to_string(),
+                line: 1,
+                message: "registry cites this harness but the file does not exist".into(),
+                reason: None,
+            });
+            continue;
+        };
+        let calls = method_calls(&src);
+
+        for entry in cfg.registry.iter().filter(|e| e.harness == Some(harness)) {
+            if !calls.iter().any(|(name, _)| name == entry.func) {
+                report.diagnostics.push(Diagnostic {
+                    rule: "R4".into(),
+                    level: Level::Deny,
+                    file: harness.to_string(),
+                    line: 1,
+                    message: format!(
+                        "counting-allocator harness never calls registry function `{}`; \
+                         the runtime proof no longer covers the static claim",
+                        entry.func
+                    ),
+                    reason: None,
+                });
+            }
+        }
+        for (name, line) in &calls {
+            let is_scratch_path = name.ends_with("_scratch") || name.ends_with("_into");
+            if is_scratch_path && !cfg.registry.iter().any(|e| e.func == name) {
+                report.diagnostics.push(Diagnostic {
+                    rule: "R4".into(),
+                    level: Level::Deny,
+                    file: harness.to_string(),
+                    line: *line,
+                    message: format!(
+                        "harness exercises `{name}` but the no-alloc registry does not list it; \
+                         add it in crates/lint/src/rules.rs"
+                    ),
+                    reason: None,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `.name(` method-call sites in a source file, with lines.
+fn method_calls(src: &str) -> Vec<(String, u32)> {
+    let toks = lexer::lex(src).tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].tok == Tok::Sym('.') {
+            if let (Some(Tok::Ident(name)), Some(Tok::Sym('('))) = (
+                toks.get(i + 1).map(|t| &t.tok),
+                toks.get(i + 2).map(|t| &t.tok),
+            ) {
+                out.push((name.clone(), toks[i + 1].line));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_calls_extracts_names_and_lines() {
+        let calls = method_calls("fn t() {\n  rs.decode_scratch(&mut w, &mut s);\n  x.k();\n}");
+        assert!(calls.contains(&("decode_scratch".into(), 2)));
+        assert!(calls.contains(&("k".into(), 3)));
+    }
+}

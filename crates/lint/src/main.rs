@@ -1,0 +1,103 @@
+//! `mosaic_lint` driver: lint the workspace, print the human table,
+//! optionally write the JSON report, and exit nonzero on violations.
+//!
+//! ```text
+//! cargo run -p mosaic_lint [-- --root DIR] [--json-out PATH] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean (allows and notes are fine), 1 violations,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json-out" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json-out needs a path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "mosaic-lint: {} does not look like the workspace root (no crates/ directory)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let cfg = mosaic_lint::default_config();
+    let report = match mosaic_lint::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mosaic-lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("mosaic-lint: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("mosaic-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            eprintln!("mosaic-lint: report written to {}", path.display());
+        }
+    }
+
+    if !quiet {
+        print!("{}", report.to_table());
+    }
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mosaic-lint: {msg}\n{HELP}");
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+mosaic_lint — workspace invariant checker (rules R1–R4; DESIGN.md §9)
+
+USAGE:
+    cargo run -p mosaic_lint [-- OPTIONS]
+
+OPTIONS:
+    --root DIR        workspace root to lint (default: .)
+    --json-out PATH   write the machine-readable report (mosaic-lint-report/v1)
+    --quiet           suppress the human table
+    -h, --help        this text
+
+EXIT CODES:
+    0  no unannotated violations
+    1  violations found
+    2  usage or I/O error
+";

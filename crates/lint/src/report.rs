@@ -1,0 +1,290 @@
+//! Diagnostics, the aggregate report, JSON serialization, and the human
+//! table. Output is deterministic: diagnostics sort by (file, line,
+//! rule), maps are BTreeMaps, and the JSON writer emits keys in a fixed
+//! order — so golden fixtures can pin exact bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A rule violation with no (valid) allow annotation: fails the run.
+    Deny,
+    /// A violation covered by a `// lint: allow(...)` annotation:
+    /// counted and reported, does not fail the run.
+    Allowed,
+    /// Advisory (the R3 index-without-bound-note census): never fails
+    /// the run; aggregated per file in the report.
+    Note,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Deny => "deny",
+            Level::Allowed => "allowed",
+            Level::Note => "note",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: String,
+    pub level: Level,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// The annotation's reason, for `Allowed` diagnostics.
+    pub reason: Option<String>,
+}
+
+/// The full run result.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    /// R3 index-census: file → count of index expressions lacking a
+    /// bound note (advisory; see DESIGN.md §9).
+    pub index_notes: BTreeMap<String, u64>,
+    /// Files scanned.
+    pub files: u64,
+    /// The no-alloc registry as configured, for report consumers.
+    pub registry: Vec<(String, String, Option<String>)>,
+}
+
+impl Report {
+    /// Sort diagnostics into canonical order. Call once after all files
+    /// are scanned.
+    pub fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    pub fn deny_count(&self) -> u64 {
+        self.count(Level::Deny)
+    }
+
+    pub fn allowed_count(&self) -> u64 {
+        self.count(Level::Allowed)
+    }
+
+    fn count(&self, level: Level) -> u64 {
+        self.diagnostics.iter().filter(|d| d.level == level).count() as u64
+    }
+
+    /// Allowed-violation counts per rule (the "escape hatch ledger").
+    pub fn allows_by_rule(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for d in &self.diagnostics {
+            if d.level == Level::Allowed {
+                *out.entry(d.rule.clone()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report (schema `mosaic-lint-report/v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"schema\": \"mosaic-lint-report/v1\",");
+        let _ = writeln!(s, "  \"summary\": {{");
+        let _ = writeln!(s, "    \"deny\": {},", self.deny_count());
+        let _ = writeln!(s, "    \"allowed\": {},", self.allowed_count());
+        let _ = writeln!(
+            s,
+            "    \"index_notes\": {},",
+            self.index_notes.values().sum::<u64>()
+        );
+        let _ = writeln!(s, "    \"files\": {}", self.files);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"allows_by_rule\": {{");
+        let allows = self.allows_by_rule();
+        for (i, (rule, n)) in allows.iter().enumerate() {
+            let comma = if i + 1 < allows.len() { "," } else { "" };
+            let _ = writeln!(s, "    {}: {n}{comma}", json_str(rule));
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let comma = if i + 1 < self.diagnostics.len() {
+                ","
+            } else {
+                ""
+            };
+            let reason = match &d.reason {
+                Some(r) => format!(", \"reason\": {}", json_str(r)),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                s,
+                "    {{\"rule\": {}, \"level\": {}, \"file\": {}, \"line\": {}, \
+                 \"message\": {}{reason}}}{comma}",
+                json_str(&d.rule),
+                json_str(d.level.as_str()),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message),
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"index_notes\": {{");
+        for (i, (file, n)) in self.index_notes.iter().enumerate() {
+            let comma = if i + 1 < self.index_notes.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    {}: {n}{comma}", json_str(file));
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"registry\": [");
+        for (i, (file, func, harness)) in self.registry.iter().enumerate() {
+            let comma = if i + 1 < self.registry.len() { "," } else { "" };
+            let harness = match harness {
+                Some(h) => json_str(h),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "    {{\"file\": {}, \"function\": {}, \"harness\": {harness}}}{comma}",
+                json_str(file),
+                json_str(func),
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable table: one row per diagnostic plus a summary line.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.diagnostics.is_empty() {
+            let loc_w = self
+                .diagnostics
+                .iter()
+                .map(|d| d.file.len() + 1 + digits(d.line))
+                .max()
+                .unwrap_or(8)
+                .max(8);
+            let _ = writeln!(
+                out,
+                "{:<4} {:<7} {:<loc_w$} message",
+                "rule", "level", "location"
+            );
+            for d in &self.diagnostics {
+                let loc = format!("{}:{}", d.file, d.line);
+                let reason = match &d.reason {
+                    Some(r) => format!("  [reason: {r}]"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<4} {:<7} {:<loc_w$} {}{reason}",
+                    d.rule,
+                    d.level.as_str(),
+                    loc,
+                    d.message
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "mosaic-lint: {} violation(s), {} allowed, {} index note(s) across {} file(s)",
+            self.deny_count(),
+            self.allowed_count(),
+            self.index_notes.values().sum::<u64>(),
+            self.files,
+        );
+        out
+    }
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// JSON string literal with escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "R1".into(),
+                    level: Level::Deny,
+                    file: "b.rs".into(),
+                    line: 3,
+                    message: "HashMap".into(),
+                    reason: None,
+                },
+                Diagnostic {
+                    rule: "R3".into(),
+                    level: Level::Allowed,
+                    file: "a.rs".into(),
+                    line: 9,
+                    message: "panic!".into(),
+                    reason: Some("wrapper".into()),
+                },
+            ],
+            files: 2,
+            ..Report::default()
+        };
+        r.index_notes.insert("a.rs".into(), 4);
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn diagnostics_sort_canonically() {
+        let r = sample();
+        assert_eq!(r.diagnostics[0].file, "a.rs");
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.allowed_count(), 1);
+        assert_eq!(r.allows_by_rule().get("R3"), Some(&1));
+    }
+
+    #[test]
+    fn json_is_parseable_shape_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"mosaic-lint-report/v1\""));
+        assert!(json.contains("\"deny\": 1"));
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn table_has_summary_line() {
+        let t = sample().to_table();
+        assert!(t.contains("1 violation(s), 1 allowed, 4 index note(s) across 2 file(s)"));
+    }
+}

@@ -1,0 +1,503 @@
+//! The rule catalogue. Each rule is a token-pattern check over the
+//! non-test code of the crates in its scope:
+//!
+//! * **R1 — deterministic iteration**: no `HashMap`/`HashSet`. Their
+//!   iteration order is seeded per process, so any use near a figure
+//!   pipeline risks nondeterministic output; `BTreeMap`/`BTreeSet` or
+//!   sorted drains are the sanctioned forms. (The rule is conservative:
+//!   even lookup-only maps are flagged, because a later `iter()` is one
+//!   edit away — annotate if lookup-only use is truly needed.)
+//! * **R2 — clock and entropy hygiene**: no `Instant`, `SystemTime`,
+//!   `thread_rng`, or `rand::random` outside `mosaic_sim::telemetry` —
+//!   wall time flows through `telemetry::Stopwatch`/`stage` (reported as
+//!   advisory timings, never values) and randomness through counter-based
+//!   `DetRng` streams.
+//! * **R3 — panic-freedom**: no `unwrap`/`expect`/`panic!` (and the
+//!   `unreachable!`/`todo!`/`unimplemented!` family) in the non-test
+//!   library code of the crates exporting the `Result`-based API. The
+//!   documented panicking wrappers over `try_*` carry allow annotations.
+//!   As an advisory census, index expressions without a `// bound:` note
+//!   are counted per file (never failing — slice indexing against
+//!   just-checked lengths is idiomatic in the decoders).
+//! * **R4 — no-alloc kernels**: functions in the registry (the RS/BCH
+//!   scratch decoders, the batched slicer, `corrupt_symbols`) must not
+//!   call `Vec::new`/`vec!`/`to_vec`/`collect`/`format!`/`to_string`/
+//!   `String::new|from`/`Box::new` in their bodies. The registry is
+//!   cross-checked against the counting-allocator harness
+//!   (`crates/fec/tests/alloc_free.rs`) in both directions, so the
+//!   static list and the runtime proof cannot drift apart.
+
+use crate::lexer::{Tok, Token};
+use crate::report::{Diagnostic, Level};
+use crate::scan::FileScan;
+
+/// Which crates a rule applies to. Crate identity is the directory name
+/// under `crates/` (`"fec"`, `"sim"`, ...); the workspace root package
+/// scans as `"repro"`.
+#[derive(Debug, Clone)]
+pub enum CrateSet {
+    All,
+    Named(Vec<&'static str>),
+}
+
+impl CrateSet {
+    fn contains(&self, name: &str) -> bool {
+        match self {
+            CrateSet::All => true,
+            CrateSet::Named(list) => list.contains(&name),
+        }
+    }
+}
+
+/// One entry of the no-alloc registry.
+#[derive(Debug, Clone)]
+pub struct RegistryFn {
+    /// Workspace-relative file the function lives in.
+    pub file: &'static str,
+    /// Function name (must exist in the file's non-test code — a missing
+    /// function is itself a violation, so renames can't silently drop
+    /// coverage).
+    pub func: &'static str,
+    /// The runtime harness proving the same property dynamically, when
+    /// one exists. Cross-checked: the harness must call the function.
+    pub harness: Option<&'static str>,
+}
+
+/// Engine configuration: rule scopes plus the no-alloc registry.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub r1_crates: CrateSet,
+    pub r2_crates: CrateSet,
+    /// Path suffixes exempt from R2 (the telemetry timer module).
+    pub r2_exempt_files: Vec<&'static str>,
+    pub r3_crates: CrateSet,
+    pub registry: Vec<RegistryFn>,
+}
+
+/// The production rule catalogue for this workspace.
+pub fn default_config() -> Config {
+    Config {
+        // Determinism is a workspace-wide invariant, not a per-crate one:
+        // the ISSUE floor is {sim, netsim, reliability, bench}, but every
+        // crate feeds a figure pipeline eventually.
+        r1_crates: CrateSet::All,
+        r2_crates: CrateSet::All,
+        r2_exempt_files: vec!["crates/sim/src/telemetry.rs"],
+        r3_crates: CrateSet::Named(vec!["core", "link", "fec", "units"]),
+        registry: vec![
+            RegistryFn {
+                file: "crates/fec/src/rs.rs",
+                func: "decode_scratch",
+                harness: Some("crates/fec/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/fec/src/rs.rs",
+                func: "decode_with_erasures_scratch",
+                harness: Some("crates/fec/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/fec/src/rs.rs",
+                func: "try_encode_into",
+                harness: Some("crates/fec/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/fec/src/bch.rs",
+                func: "decode_scratch",
+                harness: Some("crates/fec/tests/alloc_free.rs"),
+            },
+            // The batched OOK slicer and the symbol corruptor have no
+            // counting-allocator harness (they allocate nothing by
+            // construction — fixed arrays and in-place flips); their
+            // differential proptests pin values, this rule pins allocs.
+            RegistryFn {
+                file: "crates/sim/src/montecarlo.rs",
+                func: "count_errors",
+                harness: None,
+            },
+            RegistryFn {
+                file: "crates/sim/src/inject.rs",
+                func: "corrupt_symbols",
+                harness: None,
+            },
+        ],
+    }
+}
+
+/// Calls banned inside registry functions: each is a token pattern plus
+/// the display name used in diagnostics.
+const R4_BANNED: &[(&[&str], &str)] = &[
+    (&["Vec", ":", ":", "new"], "Vec::new"),
+    (&["String", ":", ":", "new"], "String::new"),
+    (&["String", ":", ":", "from"], "String::from"),
+    (&["Box", ":", ":", "new"], "Box::new"),
+    (&["to_vec"], "to_vec"),
+    (&["collect"], "collect"),
+    (&["to_string"], "to_string"),
+    (&["format", "!"], "format!"),
+    (&["vec", "!"], "vec!"),
+];
+
+/// Panicking constructs R3 denies.
+const R3_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Raw finding before allow-matching.
+struct Finding {
+    rule: &'static str,
+    line: u32,
+    message: String,
+}
+
+/// Check one file. Returns the diagnostics plus the R3 index-census
+/// count for the file.
+pub fn check_file(
+    cfg: &Config,
+    crate_name: &str,
+    rel_path: &str,
+    src: &str,
+) -> (Vec<Diagnostic>, u64) {
+    let scan = FileScan::of(src);
+    let toks = &scan.tokens;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut index_notes = 0u64;
+
+    let ident = |i: usize| -> Option<&str> {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let sym = |i: usize, c: char| toks.get(i).is_some_and(|t| t.tok == Tok::Sym(c));
+
+    let r2_exempt = cfg.r2_exempt_files.iter().any(|s| rel_path.ends_with(s));
+
+    for i in 0..toks.len() {
+        if scan.is_test_code(i) {
+            continue;
+        }
+        let line = toks[i].line;
+
+        // R1: nondeterministic-order collections.
+        if cfg.r1_crates.contains(crate_name) {
+            if let Some(name @ ("HashMap" | "HashSet")) = ident(i) {
+                findings.push(Finding {
+                    rule: "R1",
+                    line,
+                    message: format!(
+                        "{name} has nondeterministic iteration order; use BTree{} or a sorted drain",
+                        &name[4..]
+                    ),
+                });
+            }
+        }
+
+        // R2: wall clock / ambient entropy.
+        if cfg.r2_crates.contains(crate_name) && !r2_exempt {
+            if let Some(name @ ("Instant" | "SystemTime" | "thread_rng")) = ident(i) {
+                let fix = if name == "thread_rng" {
+                    "derive a DetRng stream instead"
+                } else {
+                    "time through mosaic_sim::telemetry (Stopwatch/stage) instead"
+                };
+                findings.push(Finding {
+                    rule: "R2",
+                    line,
+                    message: format!("{name} outside mosaic_sim::telemetry; {fix}"),
+                });
+            }
+            if ident(i) == Some("rand")
+                && sym(i + 1, ':')
+                && sym(i + 2, ':')
+                && ident(i + 3) == Some("random")
+            {
+                findings.push(Finding {
+                    rule: "R2",
+                    line,
+                    message:
+                        "rand::random draws from ambient entropy; derive a DetRng stream instead"
+                            .into(),
+                });
+            }
+        }
+
+        // R3: panic-freedom in the Result-based API crates.
+        if cfg.r3_crates.contains(crate_name) {
+            if sym(i, '.') && sym(i + 2, '(') {
+                if let Some(name @ ("unwrap" | "expect")) = ident(i + 1) {
+                    findings.push(Finding {
+                        rule: "R3",
+                        line: toks[i + 1].line,
+                        message: format!(
+                            "{name}() in library code; return Result (try_*) or annotate the invariant"
+                        ),
+                    });
+                }
+            }
+            if sym(i + 1, '!') {
+                if let Some(name) = ident(i) {
+                    if R3_MACROS.contains(&name) {
+                        findings.push(Finding {
+                            rule: "R3",
+                            line,
+                            message: format!(
+                                "{name}! in library code; return Result or annotate the invariant"
+                            ),
+                        });
+                    }
+                }
+            }
+            // Index census (advisory): `expr[...]` where the index is not
+            // a literal and no `bound:` note is present on this or the
+            // previous line.
+            if sym(i, '[') {
+                let after_value = matches!(
+                    toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                    Some(Tok::Ident(_)) | Some(Tok::Sym(')')) | Some(Tok::Sym(']'))
+                ) && i > 0
+                    && ident(i - 1).is_none_or(|s| !is_keyword(s));
+                let literal_index =
+                    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Num)) && sym(i + 2, ']');
+                let noted = scan
+                    .bound_note_lines
+                    .iter()
+                    .any(|&l| l == line || l + 1 == line);
+                if after_value && !literal_index && !noted {
+                    index_notes += 1;
+                }
+            }
+        }
+    }
+
+    // R4: no-alloc registry functions defined in this file.
+    for entry in cfg.registry.iter().filter(|e| rel_path.ends_with(e.file)) {
+        match scan.fn_body(entry.func) {
+            None => findings.push(Finding {
+                rule: "R4",
+                line: 1,
+                message: format!(
+                    "registry function `{}` not found in non-test code; update the \
+                     no-alloc registry in crates/lint/src/rules.rs",
+                    entry.func
+                ),
+            }),
+            Some((a, b)) => {
+                for i in a..b {
+                    for (pat, name) in R4_BANNED {
+                        if match_pattern(toks, i, pat) {
+                            findings.push(Finding {
+                                rule: "R4",
+                                line: toks[i].line,
+                                message: format!(
+                                    "{name} inside no-alloc kernel `{}`; use the scratch buffers",
+                                    entry.func
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    (resolve_allows(&scan, rel_path, findings), index_notes)
+}
+
+/// Match findings against allow annotations: an allow on the finding's
+/// line or the line above suppresses it (level `Allowed`). Unused and
+/// malformed allows are violations of the meta-rule `lint-allow`.
+fn resolve_allows(scan: &FileScan, rel_path: &str, findings: Vec<Finding>) -> Vec<Diagnostic> {
+    let mut used = vec![false; scan.allows.len()];
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for f in findings {
+        let hit = scan
+            .allows
+            .iter()
+            .position(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
+        let (level, reason) = match hit {
+            Some(k) => {
+                used[k] = true;
+                (Level::Allowed, Some(scan.allows[k].reason.clone()))
+            }
+            None => (Level::Deny, None),
+        };
+        out.push(Diagnostic {
+            rule: f.rule.to_string(),
+            level,
+            file: rel_path.to_string(),
+            line: f.line,
+            message: f.message,
+            reason,
+        });
+    }
+    for (k, a) in scan.allows.iter().enumerate() {
+        if !used[k] {
+            out.push(Diagnostic {
+                rule: "lint-allow".into(),
+                level: Level::Deny,
+                file: rel_path.to_string(),
+                line: a.line,
+                message: format!(
+                    "stale allow({}) suppresses nothing; remove it or fix the annotation placement",
+                    a.rule
+                ),
+                reason: None,
+            });
+        }
+    }
+    for b in &scan.bad_allows {
+        out.push(Diagnostic {
+            rule: "lint-allow".into(),
+            level: Level::Deny,
+            file: rel_path.to_string(),
+            line: b.line,
+            message: b.message.clone(),
+            reason: None,
+        });
+    }
+    out
+}
+
+fn match_pattern(toks: &[Token], at: usize, pat: &[&str]) -> bool {
+    pat.iter()
+        .enumerate()
+        .all(|(k, want)| match toks.get(at + k) {
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) => s == want,
+            Some(Token {
+                tok: Tok::Sym(c), ..
+            }) => want.len() == 1 && want.starts_with(*c),
+            _ => false,
+        })
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (e.g. `return [a, b]`, `in [1, 2]` via idents).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "in"
+            | "break"
+            | "else"
+            | "match"
+            | "if"
+            | "while"
+            | "loop"
+            | "move"
+            | "mut"
+            | "ref"
+            | "static"
+            | "const"
+            | "as"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all() -> Config {
+        Config {
+            r1_crates: CrateSet::All,
+            r2_crates: CrateSet::All,
+            r2_exempt_files: vec!["telemetry.rs"],
+            r3_crates: CrateSet::All,
+            registry: vec![],
+        }
+    }
+
+    fn denies(src: &str) -> Vec<(String, u32)> {
+        let (diags, _) = check_file(&cfg_all(), "sim", "crates/sim/src/x.rs", src);
+        diags
+            .into_iter()
+            .filter(|d| d.level == Level::Deny)
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn r1_flags_hash_collections_outside_tests() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod t { use std::collections::HashSet; }";
+        assert_eq!(denies(src), vec![("R1".into(), 1)]);
+    }
+
+    #[test]
+    fn r2_flags_clock_and_entropy() {
+        let src = "fn f() { let t = Instant::now(); let r = rand::random::<u8>(); }";
+        let rules: Vec<_> = denies(src).into_iter().map(|(r, _)| r).collect();
+        assert_eq!(rules, vec!["R2", "R2"]);
+    }
+
+    #[test]
+    fn r2_exempt_file_passes() {
+        let (diags, _) = check_file(
+            &cfg_all(),
+            "sim",
+            "crates/sim/src/telemetry.rs",
+            "fn f() { Instant::now(); }",
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn r3_flags_panics_and_allows_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint: allow(R3) reason=checked above\n    x.unwrap()\n}\nfn g() { panic!(\"boom\") }";
+        let d = denies(src);
+        assert_eq!(d, vec![("R3".into(), 5)]);
+        let (all, _) = check_file(&cfg_all(), "fec", "x.rs", src);
+        assert!(all
+            .iter()
+            .any(|d| d.level == Level::Allowed && d.line == 3 && d.reason.is_some()));
+    }
+
+    #[test]
+    fn stale_and_malformed_allows_are_violations() {
+        let src = "// lint: allow(R3) reason=nothing here\nfn f() {}\n// lint: allow(R1)\n";
+        let d = denies(src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|(r, _)| r == "lint-allow"));
+    }
+
+    #[test]
+    fn r4_flags_banned_calls_in_registry_fn_only() {
+        let mut cfg = cfg_all();
+        cfg.registry = vec![RegistryFn {
+            file: "hot.rs",
+            func: "kernel",
+            harness: None,
+        }];
+        let src = "fn kernel(v: &mut Vec<u8>) { let x: Vec<u8> = v.iter().copied().collect(); }\nfn cold() { let s = format!(\"ok\"); let _ = s; }";
+        let (diags, _) = check_file(&cfg, "fec", "src/hot.rs", src);
+        let denied: Vec<_> = diags.iter().filter(|d| d.level == Level::Deny).collect();
+        assert_eq!(denied.len(), 1);
+        assert!(denied[0].message.contains("collect"));
+    }
+
+    #[test]
+    fn r4_missing_registry_fn_is_a_violation() {
+        let mut cfg = cfg_all();
+        cfg.registry = vec![RegistryFn {
+            file: "hot.rs",
+            func: "gone",
+            harness: None,
+        }];
+        let (diags, _) = check_file(&cfg, "fec", "src/hot.rs", "fn present() {}");
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "R4" && d.message.contains("not found")));
+    }
+
+    #[test]
+    fn index_census_counts_unnoted_indexing() {
+        let src = "fn f(a: &[u8], i: usize) -> u8 {\n    let x = a[i];\n    // bound: i < a.len() checked by caller\n    let y = a[i];\n    let z = a[0];\n    x + y + z\n}";
+        let (_, notes) = check_file(&cfg_all(), "fec", "x.rs", src);
+        assert_eq!(notes, 1);
+    }
+
+    #[test]
+    fn attributes_and_array_types_are_not_index_census_hits() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f() -> [u8; 2] { [0, 0] }";
+        let (_, notes) = check_file(&cfg_all(), "fec", "x.rs", src);
+        assert_eq!(notes, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Driver-level tests: exit codes and JSON emission of the
+//! `mosaic_lint` binary itself.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mosaic_lint"))
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Build a throwaway workspace holding one crate with the given lib.rs.
+fn synth_workspace(tag: &str, lib_rs: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("mosaic-lint-cli-{tag}"));
+    let src = root.join("crates/synth/src");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(root.join("crates/synth/Cargo.toml"), "[package]\n").expect("toml");
+    std::fs::write(src.join("lib.rs"), lib_rs).expect("lib");
+    root
+}
+
+#[test]
+fn exit_zero_on_the_real_workspace() {
+    let out = bin()
+        .args(["--root"])
+        .arg(workspace_root())
+        .arg("--quiet")
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn exit_one_on_a_violating_workspace_and_json_reports_it() {
+    let root = synth_workspace(
+        "violating",
+        "use std::collections::HashMap;\npub fn f() -> Option<HashMap<u8, u8>> { None }\n",
+    );
+    let json_path = root.join("lint-report.json");
+    let out = bin()
+        .args(["--root"])
+        .arg(&root)
+        .args(["--quiet", "--json-out"])
+        .arg(&json_path)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.contains("\"schema\": \"mosaic-lint-report/v1\""));
+    assert!(json.contains("\"rule\": \"R1\""));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn exit_two_on_a_bad_root() {
+    let out = bin()
+        .args(["--root", "/nonexistent-mosaic-lint-root", "--quiet"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

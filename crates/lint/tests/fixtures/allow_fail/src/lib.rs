@@ -1,0 +1,12 @@
+//! lint-allow violating fixture: a stale allow (suppresses nothing) and
+//! a malformed one (missing reason).
+
+// lint: allow(R3) reason=this function no longer panics
+pub fn fine() -> u8 {
+    7
+}
+
+// lint: allow(R1)
+pub fn also_fine() -> u8 {
+    9
+}

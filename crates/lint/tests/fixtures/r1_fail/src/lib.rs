@@ -1,0 +1,11 @@
+//! R1 violating fixture: hash collections in library code.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u64> {
+    let mut out = HashMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}

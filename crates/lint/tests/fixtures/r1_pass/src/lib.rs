@@ -1,0 +1,27 @@
+//! R1 passing fixture: deterministic collections only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, u64> {
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn uniques(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // HashSet in test code is fine — R1 covers library code only.
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_only_hash_is_ok() {
+        let s: HashSet<u32> = [1, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

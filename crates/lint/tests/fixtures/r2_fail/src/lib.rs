@@ -1,0 +1,14 @@
+//! R2 violating fixture: wall clock and ambient entropy in a crate
+//! that feeds deterministic pipelines.
+
+use std::time::Instant;
+
+pub fn timed_sum(xs: &[u64]) -> (u64, u128) {
+    let start = Instant::now();
+    let sum = xs.iter().sum();
+    (sum, start.elapsed().as_nanos())
+}
+
+pub fn noisy() -> u8 {
+    rand::random::<u8>()
+}

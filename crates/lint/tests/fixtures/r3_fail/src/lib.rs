@@ -1,0 +1,13 @@
+//! R3 violating fixture: unannotated panics in library code.
+
+pub fn head(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}
+
+pub fn checked(x: Option<u8>) -> u8 {
+    x.expect("caller guarantees Some")
+}
+
+pub fn todo_path() -> u8 {
+    unimplemented!("later")
+}

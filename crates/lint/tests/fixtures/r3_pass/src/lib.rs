@@ -1,0 +1,31 @@
+//! R3 passing fixture: Result-based API with one documented, annotated
+//! panicking wrapper over the fallible form.
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct BadLength;
+
+pub fn try_head(xs: &[u8]) -> Result<u8, BadLength> {
+    match xs.first() {
+        Some(&x) => Ok(x),
+        None => Err(BadLength),
+    }
+}
+
+/// Panics if `xs` is empty; see `try_head` for the fallible form.
+pub fn head(xs: &[u8]) -> u8 {
+    match try_head(xs) {
+        Ok(x) => x,
+        // lint: allow(R3) reason=documented panicking wrapper over try_head
+        Err(e) => panic!("head: {e:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(try_head(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,9 @@
+//! R4 violating fixture: a registry kernel that allocates.
+
+pub fn kernel(input: &[u8], scratch: &mut [u8]) -> usize {
+    let doubled: Vec<u8> = input.iter().map(|b| b.wrapping_mul(2)).collect();
+    let copy = doubled.to_vec();
+    let n = copy.len().min(scratch.len());
+    scratch[..n].copy_from_slice(&copy[..n]);
+    n
+}

@@ -1,0 +1,183 @@
+//! Fixture tests for the lint engine: every rule has a passing and a
+//! violating fixture under `tests/fixtures/`. Violating fixtures pin
+//! their full JSON report as `expected.json` golden files; regenerate
+//! with `MOSAIC_LINT_BLESS=1 cargo test -p mosaic_lint --test
+//! fixtures_test` after an intentional engine change and review the
+//! diff.
+
+use mosaic_lint::report::Report;
+use mosaic_lint::rules::{Config, CrateSet, RegistryFn};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Run the engine over one fixture; paths in the report are relative to
+/// the fixture root (`src/lib.rs`), so goldens are machine-independent.
+fn lint_fixture(name: &str, cfg: &Config) -> Report {
+    let root = fixture_dir(name);
+    let mut report = Report::default();
+    mosaic_lint::lint_src_dir(cfg, "fixture", &root, &root.join("src"), &mut report)
+        .expect("fixture readable");
+    report.finish();
+    report
+}
+
+fn rule_off() -> CrateSet {
+    CrateSet::Named(vec![])
+}
+
+fn only_r1() -> Config {
+    Config {
+        r1_crates: CrateSet::All,
+        r2_crates: rule_off(),
+        r2_exempt_files: vec![],
+        r3_crates: rule_off(),
+        registry: vec![],
+    }
+}
+
+fn only_r2() -> Config {
+    Config {
+        r1_crates: rule_off(),
+        r2_crates: CrateSet::All,
+        r2_exempt_files: vec![],
+        r3_crates: rule_off(),
+        registry: vec![],
+    }
+}
+
+fn only_r3() -> Config {
+    Config {
+        r1_crates: rule_off(),
+        r2_crates: rule_off(),
+        r2_exempt_files: vec![],
+        r3_crates: CrateSet::All,
+        registry: vec![],
+    }
+}
+
+fn only_r4() -> Config {
+    Config {
+        r1_crates: rule_off(),
+        r2_crates: rule_off(),
+        r2_exempt_files: vec![],
+        r3_crates: rule_off(),
+        registry: vec![RegistryFn {
+            file: "src/lib.rs",
+            func: "kernel",
+            harness: None,
+        }],
+    }
+}
+
+/// Compare a violating fixture's report against its pinned golden.
+fn assert_matches_golden(name: &str, report: &Report) {
+    let golden_path = fixture_dir(name).join("expected.json");
+    let got = report.to_json();
+    if std::env::var_os("MOSAIC_LINT_BLESS").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+    assert_eq!(
+        got, want,
+        "fixture {name} diverged from its golden; if the engine change is \
+         intentional, re-bless with MOSAIC_LINT_BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn r1_pass_is_clean() {
+    let r = lint_fixture("r1_pass", &only_r1());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+    assert_eq!(r.allowed_count(), 0);
+}
+
+#[test]
+fn r1_fail_pins_diagnostics() {
+    let r = lint_fixture("r1_fail", &only_r1());
+    assert_eq!(
+        r.deny_count(),
+        3,
+        "use, return type, construction: {}",
+        r.to_table()
+    );
+    assert!(r.diagnostics.iter().all(|d| d.rule == "R1"));
+    assert_matches_golden("r1_fail", &r);
+}
+
+#[test]
+fn r2_pass_is_clean() {
+    let r = lint_fixture("r2_pass", &only_r2());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+}
+
+#[test]
+fn r2_fail_pins_diagnostics() {
+    let r = lint_fixture("r2_fail", &only_r2());
+    assert_eq!(
+        r.deny_count(),
+        3,
+        "import, now(), rand::random: {}",
+        r.to_table()
+    );
+    assert!(r.diagnostics.iter().all(|d| d.rule == "R2"));
+    assert_matches_golden("r2_fail", &r);
+}
+
+#[test]
+fn r3_pass_is_clean_with_one_allowed() {
+    let r = lint_fixture("r3_pass", &only_r3());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+    assert_eq!(r.allowed_count(), 1, "the annotated wrapper panic");
+    assert_eq!(r.allows_by_rule().get("R3"), Some(&1));
+}
+
+#[test]
+fn r3_fail_pins_diagnostics() {
+    let r = lint_fixture("r3_fail", &only_r3());
+    assert_eq!(
+        r.deny_count(),
+        3,
+        "unwrap, expect, unimplemented!: {}",
+        r.to_table()
+    );
+    assert!(r.diagnostics.iter().all(|d| d.rule == "R3"));
+    assert_matches_golden("r3_fail", &r);
+}
+
+#[test]
+fn r4_pass_is_clean() {
+    let r = lint_fixture("r4_pass", &only_r4());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+}
+
+#[test]
+fn r4_fail_pins_diagnostics() {
+    let r = lint_fixture("r4_fail", &only_r4());
+    assert_eq!(r.deny_count(), 2, "collect + to_vec: {}", r.to_table());
+    assert!(r.diagnostics.iter().all(|d| d.rule == "R4"));
+    assert_matches_golden("r4_fail", &r);
+}
+
+#[test]
+fn r4_renamed_kernel_is_a_violation() {
+    let mut cfg = only_r4();
+    cfg.registry[0].func = "kernel_renamed";
+    let r = lint_fixture("r4_pass", &cfg);
+    assert_eq!(r.deny_count(), 1);
+    assert!(r.diagnostics[0].message.contains("not found"));
+}
+
+#[test]
+fn stale_and_malformed_allows_pin_diagnostics() {
+    let r = lint_fixture("allow_fail", &only_r3());
+    assert_eq!(r.deny_count(), 2, "stale + malformed: {}", r.to_table());
+    assert!(r.diagnostics.iter().all(|d| d.rule == "lint-allow"));
+    assert_matches_golden("allow_fail", &r);
+}

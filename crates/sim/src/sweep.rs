@@ -30,8 +30,9 @@
 //! [`Exec::with_threads`].
 
 use crate::rng::DetRng;
+use crate::telemetry::Stopwatch;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Environment variable selecting the worker count (`1` = sequential).
 pub const THREADS_ENV: &str = "MOSAIC_THREADS";
@@ -367,7 +368,7 @@ pub fn measured<T>(trials: u64, f: impl FnOnce() -> T) -> (T, RunStats) {
 /// [`measured`] with an explicit telemetry stage label.
 pub fn measured_as<T>(label: &str, trials: u64, f: impl FnOnce() -> T) -> (T, RunStats) {
     let threads = Exec::from_env().threads();
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let out = crate::telemetry::stage(label, trials, f);
     (
         out,

@@ -23,7 +23,7 @@
 use crate::json::Json;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A histogram with caller-fixed bucket edges.
 ///
@@ -236,11 +236,34 @@ pub fn process_cpu_ns() -> u64 {
     total
 }
 
+/// The sanctioned wall-clock for advisory timings. This module is the
+/// only place allowed to touch `std::time::Instant` (lint rule R2, see
+/// DESIGN.md §9): every figure pipeline and the sweep engine measure
+/// elapsed time through `Stopwatch` so the timer surface stays auditable
+/// and timings stay out of the value path.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[allow(clippy::disallowed_methods)] // the one sanctioned Instant::now
+    pub fn start() -> Self {
+        Stopwatch { t0: Instant::now() }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.t0.elapsed()
+    }
+}
+
 /// Run `f`, recording a [`StageRecord`] with the given label and trial
 /// count. Nested stages each get their own record.
 pub fn stage<T>(name: &str, trials: u64, f: impl FnOnce() -> T) -> T {
     let cpu0 = process_cpu_ns();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let out = f();
     let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
     let cpu1 = process_cpu_ns();

@@ -9,6 +9,10 @@
 //! 2. *Schedule invariance* — `par_trials` / `run_tasks` return exactly
 //!    the sequential results at every thread count and chunk size.
 
+// HashSet here is set-equality of raw u64 draws; iteration order is
+// never observed, so the determinism ban does not apply.
+#![allow(clippy::disallowed_types)]
+
 use mosaic_sim::rng::DetRng;
 use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
 use proptest::prelude::*;

@@ -12,6 +12,10 @@
 //! benches; not a statistics lab.
 
 #![forbid(unsafe_code)]
+// A benchmarking harness is the sanctioned consumer of the wall clock;
+// the workspace-wide Instant::now ban (clippy.toml, lint rule R2)
+// protects figure pipelines, not benches.
+#![allow(clippy::disallowed_methods)]
 
 use std::time::{Duration, Instant};
 
