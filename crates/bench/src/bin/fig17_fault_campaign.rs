@@ -1,0 +1,4 @@
+//! Regenerates experiment `fig17_fault_campaign`. See EXPERIMENTS.md.
+fn main() {
+    print!("{}", mosaic_bench::fig17_fault_campaign::run());
+}

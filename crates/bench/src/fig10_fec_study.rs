@@ -84,12 +84,7 @@ pub fn run() -> String {
             analytic.codeword_failure_prob
         ));
     }
-    RunStats {
-        trials: 3 * codewords,
-        wall: start.elapsed(),
-        threads: exec.threads(),
-    }
-    .report("F10");
+    RunStats::new(3 * codewords, start.elapsed(), exec.threads()).report("F10");
 
     out.push_str("\nF10c: FEC threshold (pre-FEC BER for 1e-15 output)\n");
     for (name, fec) in &codes {

@@ -66,12 +66,7 @@ pub fn run() -> String {
     cfg.per_channel_ber[5] = 1e-3;
     let r = simulate_link_with(&exec, &cfg);
     frames += r.frames_sent;
-    RunStats {
-        trials: frames,
-        wall: start.elapsed(),
-        threads: exec.threads(),
-    }
-    .report("F11");
+    RunStats::new(frames, start.elapsed(), exec.threads()).report("F11");
     out.push_str(&format!(
         "  retired by monitor: {}, remaps: {}, delivery after retirement recovers to {:.3}\n",
         r.retired_by_monitor,

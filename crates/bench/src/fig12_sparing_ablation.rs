@@ -68,12 +68,7 @@ pub fn run() -> String {
     let start = Stopwatch::start();
     let runs = exec.par_sweep(&cfgs, |cfg| simulate_link_with(&Exec::with_threads(1), cfg));
     let frames: u64 = runs.iter().map(|r| r.frames_sent).sum();
-    RunStats {
-        trials: frames,
-        wall: start.elapsed(),
-        threads: exec.threads(),
-    }
-    .report("F12");
+    RunStats::new(frames, start.elapsed(), exec.threads()).report("F12");
     for ((name, _, _), r) in policies.iter().zip(&runs) {
         t.row(cells![
             name,

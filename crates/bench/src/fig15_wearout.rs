@@ -62,12 +62,7 @@ pub fn run() -> String {
             format!("{s12:.5}")
         ]);
     }
-    RunStats {
-        trials: 6 * trials,
-        wall: start.elapsed(),
-        threads: exec.threads(),
-    }
-    .report("F15");
+    RunStats::new(6 * trials, start.elapsed(), exec.threads()).report("F15");
     out.push_str(&t.render());
     out.push_str(
         "\nshape: within the calibrated design life, wear-out parts fail *less*\n\

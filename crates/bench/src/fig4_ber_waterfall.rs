@@ -70,12 +70,7 @@ pub fn run() -> String {
             mc
         ]);
     }
-    RunStats {
-        trials: mc_bits,
-        wall: start.elapsed(),
-        threads: exec.threads(),
-    }
-    .report("F4");
+    RunStats::new(mc_bits, start.elapsed(), exec.threads()).report("F4");
     mosaic_sim::telemetry::record_series("f4.analytic_2g_ber", &analytic_2g);
     mosaic_sim::telemetry::record_series("f4.mc_2g_ber", &mc_2g);
     out.push_str(&t.render());

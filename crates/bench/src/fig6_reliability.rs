@@ -64,12 +64,7 @@ pub fn run() -> String {
             format!("{:.2}", pool.effective_fit(horizon).as_fit())
         ]);
     }
-    RunStats {
-        trials: 5 * trials,
-        wall: start.elapsed(),
-        threads: exec.threads(),
-    }
-    .report("F6");
+    RunStats::new(5 * trials, start.elapsed(), exec.threads()).report("F6");
     out.push_str(&t.render());
     out.push_str("\nF6c: with monthly repair (µ = 1/720 h)\n");
     let mut t = Table::new(&["spares", "7-yr survival", "steady-state availability"]);

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fragments;
 pub mod manifest;
 pub mod runcfg;
 pub mod table;
@@ -21,6 +22,7 @@ pub mod fig13_pam4_scaling;
 pub mod fig14_temperature;
 pub mod fig15_wearout;
 pub mod fig16_color_mux;
+pub mod fig17_fault_campaign;
 pub mod fig1_energy_vs_lane_rate;
 pub mod fig2_power_comparison;
 pub mod fig3_reach_vs_rate;
@@ -89,6 +91,11 @@ pub fn all_experiments() -> Vec<Experiment> {
         ),
         ("F15", "Wear-out lifetime ablation", fig15_wearout::run),
         ("F16", "RGB wavelength multiplexing", fig16_color_mux::run),
+        (
+            "F17",
+            "Fault-campaign resilience (degradation controller)",
+            fig17_fault_campaign::run,
+        ),
         ("T2", "Datacenter fleet study", tab2_datacenter::run),
         ("T3", "5-year total cost of ownership", tab3_cost::run),
     ]

@@ -89,11 +89,6 @@ pub fn run() -> String {
         out.push_str(&mix.join(", "));
         out.push('\n');
     }
-    RunStats {
-        trials: histories,
-        wall: start.elapsed(),
-        threads: exec.threads(),
-    }
-    .report("T2");
+    RunStats::new(histories, start.elapsed(), exec.threads()).report("T2");
     out
 }

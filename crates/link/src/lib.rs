@@ -17,11 +17,14 @@
 //! * [`striping`] — the word distributor and the alignment-marker based
 //!   deskewer/reassembler;
 //! * [`lanes`] — per-lane health monitors and the spare-channel map;
+//! * [`degrade`] — the graceful-degradation controller (per-channel
+//!   state machine driving sparing, remap, and rate back-off);
 //! * [`gearbox`] — the assembled TX/RX pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degrade;
 pub mod framing;
 pub mod gearbox;
 pub mod lanes;
@@ -30,6 +33,7 @@ pub mod prbs;
 pub mod scrambler;
 pub mod striping;
 
+pub use degrade::{Cause, CtlState, DegradeConfig, DegradeController, EpochSummary, Transition};
 pub use gearbox::{Gearbox, RxReport};
 pub use lanes::{FailureKind, LaneHealth, LaneMap, NoSpares};
 pub use striping::{DeskewError, Deskewer, Distributor, LaneWord, StripeConfig};

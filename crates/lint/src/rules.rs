@@ -71,6 +71,10 @@ pub struct Config {
     /// Path suffixes exempt from R2 (the telemetry timer module).
     pub r2_exempt_files: Vec<&'static str>,
     pub r3_crates: CrateSet,
+    /// Path suffixes *added* to the R3 scope beyond `r3_crates` — the
+    /// fault-injection and sweep modules of `sim` carry the panic-freedom
+    /// contract even though `sim` as a whole does not.
+    pub r3_extra_files: Vec<&'static str>,
     pub registry: Vec<RegistryFn>,
 }
 
@@ -84,6 +88,15 @@ pub fn default_config() -> Config {
         r2_crates: CrateSet::All,
         r2_exempt_files: vec!["crates/sim/src/telemetry.rs"],
         r3_crates: CrateSet::Named(vec!["core", "link", "fec", "units"]),
+        // The panic-tolerant pipeline must itself be panic-free: a panic
+        // inside the catcher or the fault generator would defeat the
+        // whole resilience story. Documented panicking wrappers carry
+        // allow annotations.
+        r3_extra_files: vec![
+            "crates/sim/src/sweep.rs",
+            "crates/sim/src/faults.rs",
+            "crates/sim/src/campaign.rs",
+        ],
         registry: vec![
             RegistryFn {
                 file: "crates/fec/src/rs.rs",
@@ -169,6 +182,7 @@ pub fn check_file(
     let sym = |i: usize, c: char| toks.get(i).is_some_and(|t| t.tok == Tok::Sym(c));
 
     let r2_exempt = cfg.r2_exempt_files.iter().any(|s| rel_path.ends_with(s));
+    let r3_extra = cfg.r3_extra_files.iter().any(|s| rel_path.ends_with(s));
 
     for i in 0..toks.len() {
         if scan.is_test_code(i) {
@@ -219,8 +233,9 @@ pub fn check_file(
             }
         }
 
-        // R3: panic-freedom in the Result-based API crates.
-        if cfg.r3_crates.contains(crate_name) {
+        // R3: panic-freedom in the Result-based API crates, plus the
+        // explicitly-listed extra files (the panic-tolerant pipeline).
+        if cfg.r3_crates.contains(crate_name) || r3_extra {
             if sym(i, '.') && sym(i + 2, '(') {
                 if let Some(name @ ("unwrap" | "expect")) = ident(i + 1) {
                     findings.push(Finding {
@@ -402,6 +417,7 @@ mod tests {
             r2_crates: CrateSet::All,
             r2_exempt_files: vec!["telemetry.rs"],
             r3_crates: CrateSet::All,
+            r3_extra_files: vec![],
             registry: vec![],
         }
     }
@@ -448,6 +464,22 @@ mod tests {
         assert!(all
             .iter()
             .any(|d| d.level == Level::Allowed && d.line == 3 && d.reason.is_some()));
+    }
+
+    #[test]
+    fn r3_extra_files_extend_scope_beyond_crate_set() {
+        let mut cfg = cfg_all();
+        cfg.r3_crates = CrateSet::Named(vec!["link"]);
+        cfg.r3_extra_files = vec!["crates/sim/src/sweep.rs"];
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        // `sim` is outside the crate set, but the listed file is covered.
+        let (diags, _) = check_file(&cfg, "sim", "crates/sim/src/sweep.rs", src);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "R3" && d.level == Level::Deny));
+        // A sibling sim file stays out of scope.
+        let (diags, _) = check_file(&cfg, "sim", "crates/sim/src/optics.rs", src);
+        assert!(diags.iter().all(|d| d.rule != "R3"));
     }
 
     #[test]

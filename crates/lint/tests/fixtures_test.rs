@@ -36,6 +36,7 @@ fn only_r1() -> Config {
         r2_crates: rule_off(),
         r2_exempt_files: vec![],
         r3_crates: rule_off(),
+        r3_extra_files: vec![],
         registry: vec![],
     }
 }
@@ -46,6 +47,7 @@ fn only_r2() -> Config {
         r2_crates: CrateSet::All,
         r2_exempt_files: vec![],
         r3_crates: rule_off(),
+        r3_extra_files: vec![],
         registry: vec![],
     }
 }
@@ -56,6 +58,7 @@ fn only_r3() -> Config {
         r2_crates: rule_off(),
         r2_exempt_files: vec![],
         r3_crates: CrateSet::All,
+        r3_extra_files: vec![],
         registry: vec![],
     }
 }
@@ -66,6 +69,7 @@ fn only_r4() -> Config {
         r2_crates: rule_off(),
         r2_exempt_files: vec![],
         r3_crates: rule_off(),
+        r3_extra_files: vec![],
         registry: vec![RegistryFn {
             file: "src/lib.rs",
             func: "kernel",

@@ -13,8 +13,10 @@
 //! * [`montecarlo`] — Gaussian-threshold receiver simulation (validates
 //!   the analytic Q-factor BER model) and coded-channel runs (validates
 //!   the analytic post-FEC math);
-//! * [`faults`] — time-scheduled fault scripts (channel kills, error
-//!   bursts) applied to gearbox epochs;
+//! * [`faults`] — the cross-layer fault taxonomy: hand-written fault
+//!   scripts plus seeded [`faults::FaultCampaign`] schedule generation;
+//! * [`campaign`] — fault-campaign replay against the link, with and
+//!   without the graceful-degradation controller (experiment F17);
 //! * [`link_sim`] — the end-to-end frame-level link simulation driving the
 //!   real gearbox + FEC code paths;
 //! * [`sweep`] — the deterministic parallel execution engine: Monte-Carlo
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod event;
 pub mod faults;
 pub mod inject;
@@ -40,7 +43,9 @@ pub mod rng;
 pub mod sweep;
 pub mod telemetry;
 
+pub use campaign::{run_campaign, CampaignOutcome, CampaignRunConfig};
 pub use event::EventQueue;
+pub use faults::{CampaignConfig, FaultCampaign};
 pub use inject::BitErrorInjector;
 pub use json::Json;
 pub use link_sim::{simulate_link, LinkSimConfig, LinkSimReport};

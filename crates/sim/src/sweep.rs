@@ -31,11 +31,51 @@
 
 use crate::rng::DetRng;
 use crate::telemetry::Stopwatch;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Environment variable selecting the worker count (`1` = sequential).
 pub const THREADS_ENV: &str = "MOSAIC_THREADS";
+
+/// Render a panic payload as text (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Parse a `MOSAIC_THREADS` value: a positive integer (`1` = sequential).
+///
+/// `"0"`, non-numeric text, and the empty string are structured
+/// [`mosaic_units::MosaicError::InvalidConfig`] errors, never panics —
+/// [`Exec::from_env`] documents the fallback it applies on such input.
+pub fn parse_threads(raw: &str) -> mosaic_units::Result<usize> {
+    let parsed = raw.trim().parse::<usize>().map_err(|_| {
+        mosaic_units::MosaicError::invalid_config(
+            THREADS_ENV,
+            format!("must be a positive integer, got {raw:?}"),
+        )
+    })?;
+    if parsed == 0 {
+        return Err(mosaic_units::MosaicError::invalid_config(
+            THREADS_ENV,
+            "must be >= 1 (use 1 for a sequential run)",
+        ));
+    }
+    Ok(parsed)
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// An execution context: how many workers to fan out over.
 #[derive(Debug, Clone, Copy)]
@@ -51,17 +91,28 @@ impl Default for Exec {
 
 impl Exec {
     /// Resolve from `MOSAIC_THREADS`, defaulting to available parallelism.
+    ///
+    /// Malformed values (`"0"`, `"abc"`, `""`) do **not** panic: the
+    /// documented fallback is a one-line stderr warning plus the machine
+    /// default, so a bad environment can degrade a run's parallelism but
+    /// never abort it. Use [`Exec::try_from_env`] to surface the error.
     pub fn from_env() -> Self {
-        let threads = match std::env::var(THREADS_ENV) {
-            Ok(v) => v
-                .trim()
-                .parse::<usize>()
-                .unwrap_or_else(|_| panic!("{THREADS_ENV} must be a positive integer, got {v:?}")),
-            Err(_) => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        };
-        Exec::with_threads(threads)
+        match Exec::try_from_env() {
+            Ok(exec) => exec,
+            Err(e) => {
+                eprintln!("[sweep] {e}; falling back to available parallelism");
+                Exec::with_threads(default_parallelism())
+            }
+        }
+    }
+
+    /// Resolve from `MOSAIC_THREADS`, returning a structured error on a
+    /// malformed value instead of applying [`Exec::from_env`]'s fallback.
+    pub fn try_from_env() -> mosaic_units::Result<Self> {
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => Ok(Exec::with_threads(parse_threads(&v)?)),
+            Err(_) => Ok(Exec::with_threads(default_parallelism())),
+        }
     }
 
     /// Fixed worker count (used by tests to compare 1 vs N threads).
@@ -82,39 +133,99 @@ impl Exec {
     /// cost still balance), collect `(index, result)` pairs per worker,
     /// and the results are reassembled by index — so the output is
     /// independent of which worker ran what.
+    ///
+    /// # Panics
+    /// Panics (once, with the [`mosaic_units::MosaicError::WorkerFailed`]
+    /// message) if a task closure panics; use [`Exec::try_run_tasks`] to
+    /// handle the failure as a `Result` instead.
     pub fn run_tasks<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        match self.try_run_tasks(n, f) {
+            Ok(v) => v,
+            // lint: allow(R3) reason=documented panicking wrapper over try_run_tasks
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Exec::run_tasks`]: a panicking task closure surfaces as
+    /// `Err(WorkerFailed)` carrying the worker index and the panic
+    /// payload message, instead of the former double panic at `join()`.
+    ///
+    /// When several tasks panic, the reported failure is the one with the
+    /// smallest task index — a pure function of the task set, so the
+    /// error is as deterministic as the closure itself even though the
+    /// task→worker mapping is not.
+    pub fn try_run_tasks<T, F>(&self, n: usize, f: F) -> mosaic_units::Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         if self.threads == 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => out.push(v),
+                    Err(p) => {
+                        return Err(mosaic_units::MosaicError::WorkerFailed {
+                            worker: 0,
+                            message: panic_message(p),
+                        })
+                    }
+                }
+            }
+            return Ok(out);
         }
         let workers = self.threads.min(n);
         let next = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+        // (task index, worker index, message) of observed panics.
+        let mut failures: Vec<(usize, usize, String)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
                         let mut out: Vec<(usize, T)> = Vec::new();
+                        let mut failure: Option<(usize, String)> = None;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            out.push((i, f(i)));
+                            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                                Ok(v) => out.push((i, v)),
+                                Err(p) => {
+                                    failure = Some((i, panic_message(p)));
+                                    break;
+                                }
+                            }
                         }
-                        out
+                        (out, failure)
                     })
                 })
                 .collect();
-            for h in handles {
-                tagged.extend(h.join().expect("sweep worker panicked"));
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((out, failure)) => {
+                        tagged.extend(out);
+                        if let Some((task, message)) = failure {
+                            failures.push((task, w, message));
+                        }
+                    }
+                    // A panic that escaped catch_unwind (foreign
+                    // unwinding, `panic = "abort"` payloads) still joins
+                    // as Err; fold it in rather than re-panicking.
+                    Err(p) => failures.push((usize::MAX, w, panic_message(p))),
+                }
             }
         });
+        if let Some((_, worker, message)) = failures.into_iter().min_by(|a, b| a.0.cmp(&b.0)) {
+            return Err(mosaic_units::MosaicError::WorkerFailed { worker, message });
+        }
         tagged.sort_unstable_by_key(|(i, _)| *i);
-        tagged.into_iter().map(|(_, v)| v).collect()
+        Ok(tagged.into_iter().map(|(_, v)| v).collect())
     }
 
     /// [`Exec::run_tasks`] with one reusable scratch state per *worker*
@@ -126,42 +237,104 @@ impl Exec {
     /// The state must not carry information between tasks that affects
     /// results (scratch buffers are overwritten, RNGs are rebuilt per
     /// task) — otherwise output would depend on the task→worker mapping.
+    ///
+    /// # Panics
+    /// Panics (once, with the [`mosaic_units::MosaicError::WorkerFailed`]
+    /// message) if a task closure panics; use [`Exec::try_run_tasks_with`]
+    /// to handle the failure as a `Result` instead.
     pub fn run_tasks_with<S, T, FS, F>(&self, n: usize, make_state: FS, f: F) -> Vec<T>
     where
         T: Send,
         FS: Fn() -> S + Sync,
         F: Fn(usize, &mut S) -> T + Sync,
     {
+        match self.try_run_tasks_with(n, make_state, f) {
+            Ok(v) => v,
+            // lint: allow(R3) reason=documented panicking wrapper over try_run_tasks_with
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Exec::run_tasks_with`]: panicking task closures (and
+    /// panicking `make_state`) surface as `Err(WorkerFailed)` instead of
+    /// the former double panic at `join()`. Failure selection follows
+    /// [`Exec::try_run_tasks`]: smallest panicking task index wins.
+    pub fn try_run_tasks_with<S, T, FS, F>(
+        &self,
+        n: usize,
+        make_state: FS,
+        f: F,
+    ) -> mosaic_units::Result<Vec<T>>
+    where
+        T: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
         if self.threads == 1 || n <= 1 {
-            let mut state = make_state();
-            return (0..n).map(|i| f(i, &mut state)).collect();
+            return match catch_unwind(AssertUnwindSafe(|| {
+                let mut state = make_state();
+                (0..n).map(|i| f(i, &mut state)).collect::<Vec<T>>()
+            })) {
+                Ok(v) => Ok(v),
+                Err(p) => Err(mosaic_units::MosaicError::WorkerFailed {
+                    worker: 0,
+                    message: panic_message(p),
+                }),
+            };
         }
         let workers = self.threads.min(n);
         let next = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+        let mut failures: Vec<(usize, usize, String)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut state = make_state();
                         let mut out: Vec<(usize, T)> = Vec::new();
+                        let mut failure: Option<(usize, String)> = None;
+                        let mut state = match catch_unwind(AssertUnwindSafe(&make_state)) {
+                            Ok(state) => state,
+                            Err(p) => {
+                                // A dead make_state fails before claiming
+                                // any task; report it at index 0 so it
+                                // always wins failure selection.
+                                return (out, Some((0, panic_message(p))));
+                            }
+                        };
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            out.push((i, f(i, &mut state)));
+                            match catch_unwind(AssertUnwindSafe(|| f(i, &mut state))) {
+                                Ok(v) => out.push((i, v)),
+                                Err(p) => {
+                                    failure = Some((i, panic_message(p)));
+                                    break;
+                                }
+                            }
                         }
-                        out
+                        (out, failure)
                     })
                 })
                 .collect();
-            for h in handles {
-                tagged.extend(h.join().expect("sweep worker panicked"));
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((out, failure)) => {
+                        tagged.extend(out);
+                        if let Some((task, message)) = failure {
+                            failures.push((task, w, message));
+                        }
+                    }
+                    Err(p) => failures.push((usize::MAX, w, panic_message(p))),
+                }
             }
         });
+        if let Some((_, worker, message)) = failures.into_iter().min_by(|a, b| a.0.cmp(&b.0)) {
+            return Err(mosaic_units::MosaicError::WorkerFailed { worker, message });
+        }
         tagged.sort_unstable_by_key(|(i, _)| *i);
-        tagged.into_iter().map(|(_, v)| v).collect()
+        Ok(tagged.into_iter().map(|(_, v)| v).collect())
     }
 
     /// Fold `n` independent tasks straight into an accumulator — no
@@ -175,6 +348,12 @@ impl Exec {
     /// associative — integer adds, xor, min/max. Floating-point sums do
     /// **not** qualify (rounding is order-dependent); for those, use
     /// [`Exec::run_tasks`] and fold the returned vector in index order.
+    ///
+    /// # Panics
+    /// Panics (once, with the [`mosaic_units::MosaicError::WorkerFailed`]
+    /// message) if a task closure panics; use
+    /// [`Exec::try_fold_tasks_commutative`] to handle the failure as a
+    /// `Result` instead.
     pub fn fold_tasks_commutative<S, A, FS, FA, F, M>(
         &self,
         n: usize,
@@ -190,39 +369,92 @@ impl Exec {
         F: Fn(usize, &mut S, &mut A) + Sync,
         M: Fn(&mut A, A),
     {
+        match self.try_fold_tasks_commutative(n, make_state, make_acc, f, merge) {
+            Ok(v) => v,
+            // lint: allow(R3) reason=documented panicking wrapper over try_fold_tasks_commutative
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Exec::fold_tasks_commutative`]: panicking task closures
+    /// surface as `Err(WorkerFailed)` instead of the former double panic
+    /// at `join()`. A worker that panics mid-fold has a *partial*
+    /// accumulator, so no partial results are merged on failure — the
+    /// whole fold either completes or errors.
+    pub fn try_fold_tasks_commutative<S, A, FS, FA, F, M>(
+        &self,
+        n: usize,
+        make_state: FS,
+        make_acc: FA,
+        f: F,
+        merge: M,
+    ) -> mosaic_units::Result<A>
+    where
+        A: Send,
+        FS: Fn() -> S + Sync,
+        FA: Fn() -> A + Sync,
+        F: Fn(usize, &mut S, &mut A) + Sync,
+        M: Fn(&mut A, A),
+    {
         if self.threads == 1 || n <= 1 {
-            let mut state = make_state();
-            let mut acc = make_acc();
-            for i in 0..n {
-                f(i, &mut state, &mut acc);
-            }
-            return acc;
+            return match catch_unwind(AssertUnwindSafe(|| {
+                let mut state = make_state();
+                let mut acc = make_acc();
+                for i in 0..n {
+                    f(i, &mut state, &mut acc);
+                }
+                acc
+            })) {
+                Ok(acc) => Ok(acc),
+                Err(p) => Err(mosaic_units::MosaicError::WorkerFailed {
+                    worker: 0,
+                    message: panic_message(p),
+                }),
+            };
         }
         let workers = self.threads.min(n);
         let next = AtomicUsize::new(0);
         let mut total = make_acc();
+        let mut failures: Vec<(usize, usize, String)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut state = make_state();
-                        let mut acc = make_acc();
+                        let mut state = match catch_unwind(AssertUnwindSafe(&make_state)) {
+                            Ok(state) => state,
+                            Err(p) => return Err((0usize, panic_message(p))),
+                        };
+                        let mut acc = match catch_unwind(AssertUnwindSafe(&make_acc)) {
+                            Ok(acc) => acc,
+                            Err(p) => return Err((0usize, panic_message(p))),
+                        };
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            f(i, &mut state, &mut acc);
+                            if let Err(p) =
+                                catch_unwind(AssertUnwindSafe(|| f(i, &mut state, &mut acc)))
+                            {
+                                return Err((i, panic_message(p)));
+                            }
                         }
-                        acc
+                        Ok(acc)
                     })
                 })
                 .collect();
-            for h in handles {
-                merge(&mut total, h.join().expect("sweep worker panicked"));
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(Ok(acc)) => merge(&mut total, acc),
+                    Ok(Err((task, message))) => failures.push((task, w, message)),
+                    Err(p) => failures.push((usize::MAX, w, panic_message(p))),
+                }
             }
         });
-        total
+        if let Some((_, worker, message)) = failures.into_iter().min_by(|a, b| a.0.cmp(&b.0)) {
+            return Err(mosaic_units::MosaicError::WorkerFailed { worker, message });
+        }
+        Ok(total)
     }
 
     /// Monte-Carlo fan-out summing a `u64` statistic per trial: the
@@ -268,6 +500,101 @@ impl Exec {
                 f(i as u64, &mut rng)
             })
         })
+    }
+
+    /// Panic-tolerant Monte-Carlo fan-out: like [`Exec::par_trials`],
+    /// but a panicking trial is caught, counted in
+    /// [`ResilientRun::stats`], and retried on a **fresh substream**
+    /// (`"{label}#retry{attempt}"`) under a bounded per-trial retry
+    /// budget. A trial that fails every attempt yields `None` and a
+    /// [`TrialFailure`] record instead of aborting the sweep.
+    ///
+    /// The closure receives `(trial, attempt, rng)`; attempt `0` draws
+    /// from the exact stream [`Exec::par_trials`] would use, so a run
+    /// where nothing panics is bit-identical to the non-resilient path.
+    ///
+    /// **Determinism**: the retry budget is *per trial* — a pure
+    /// function of the trial index — never a shared global pool, which
+    /// would hand retries out in completion order and make results
+    /// scheduling-dependent. Whether a given `(trial, attempt)` panics
+    /// is a property of the closure alone, so `values`, `failures`, and
+    /// the fault counters are all thread-count invariant.
+    pub fn par_trials_resilient<T, F>(
+        &self,
+        n: u64,
+        seed: u64,
+        label: &str,
+        retry_budget: u32,
+        f: F,
+    ) -> ResilientRun<T>
+    where
+        T: Send,
+        F: Fn(u64, u32, &mut DetRng) -> T + Sync,
+    {
+        crate::telemetry::counter_add(&format!("trials.{label}"), n);
+        let outcomes: Vec<(Option<T>, u32, Option<String>)> =
+            crate::telemetry::stage(&format!("par_trials.{label}"), n, || {
+                self.run_tasks(n as usize, |i| {
+                    let i = i as u64;
+                    let mut panics = 0u32;
+                    let mut last_msg: Option<String> = None;
+                    for attempt in 0..=retry_budget {
+                        let mut rng = if attempt == 0 {
+                            DetRng::substream_indexed(seed, label, i)
+                        } else {
+                            DetRng::substream_indexed(seed, &format!("{label}#retry{attempt}"), i)
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| f(i, attempt, &mut rng))) {
+                            Ok(v) => return (Some(v), panics, last_msg),
+                            Err(p) => {
+                                panics += 1;
+                                last_msg = Some(panic_message(p));
+                            }
+                        }
+                    }
+                    (None, panics, last_msg)
+                })
+            });
+        let mut values = Vec::with_capacity(outcomes.len());
+        let mut failures = Vec::new();
+        let mut total_panics = 0u64;
+        for (i, (value, panics, last_msg)) in outcomes.into_iter().enumerate() {
+            total_panics += u64::from(panics);
+            if value.is_none() {
+                failures.push(TrialFailure {
+                    trial: i as u64,
+                    attempts: retry_budget + 1,
+                    message: last_msg.unwrap_or_else(|| "no attempt recorded".to_string()),
+                });
+            }
+            values.push(value);
+        }
+        let failed_trials = failures.len() as u64;
+        let retries = total_panics - failed_trials.min(total_panics);
+        // Fault counters are deterministic (which (trial, attempt) pairs
+        // panic is a property of the closure), so they are safe to put in
+        // value-checked telemetry.
+        if total_panics > 0 {
+            crate::telemetry::counter_add(&format!("trial_panics.{label}"), total_panics);
+        }
+        if retries > 0 {
+            crate::telemetry::counter_add(&format!("trial_retries.{label}"), retries);
+        }
+        if failed_trials > 0 {
+            crate::telemetry::counter_add(&format!("trial_failures.{label}"), failed_trials);
+        }
+        ResilientRun {
+            values,
+            failures,
+            stats: RunStats {
+                trials: n,
+                wall: Duration::ZERO,
+                threads: self.threads,
+                panics: total_panics,
+                retries,
+                failed_trials,
+            },
+        }
     }
 
     /// Parameter sweep: map `f` over `points`, in parallel, preserving
@@ -330,7 +657,7 @@ pub fn chunk_len(idx: u64, total: u64, chunk: u64) -> u64 {
 /// results. Reported on **stderr** so result files stay byte-identical
 /// across thread counts (wall time is the one legitimately
 /// nondeterministic output).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
     /// Independent work units executed (trials, codewords, sweep cells).
     pub trials: u64,
@@ -338,15 +665,34 @@ pub struct RunStats {
     pub wall: Duration,
     /// Worker threads the run fanned out over.
     pub threads: usize,
+    /// Trial panics caught by the resilient path (every attempt counts).
+    pub panics: u64,
+    /// Retries issued after caught panics (fresh substream per attempt).
+    pub retries: u64,
+    /// Trials whose retry budget ran dry without a successful attempt.
+    pub failed_trials: u64,
 }
 
 impl RunStats {
+    /// Stats for a clean run: `panics`/`retries`/`failed_trials` zero.
+    pub fn new(trials: u64, wall: Duration, threads: usize) -> Self {
+        RunStats {
+            trials,
+            wall,
+            threads,
+            panics: 0,
+            retries: 0,
+            failed_trials: 0,
+        }
+    }
+
     /// Throughput in work units per second.
     pub fn trials_per_sec(&self) -> f64 {
         self.trials as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
-    /// Emit the one-line stats record to stderr.
+    /// Emit the one-line stats record to stderr (plus a fault line when
+    /// the resilient path caught anything).
     pub fn report(&self, label: &str) {
         eprintln!(
             "[stats] {label}: trials={} wall={:.3}s trials/sec={:.0} threads={}",
@@ -355,7 +701,39 @@ impl RunStats {
             self.trials_per_sec(),
             self.threads,
         );
+        if self.panics > 0 || self.failed_trials > 0 {
+            eprintln!(
+                "[stats] {label}: faults: panics={} retries={} failed_trials={}",
+                self.panics, self.retries, self.failed_trials,
+            );
+        }
     }
+}
+
+/// One trial that exhausted its retry budget in
+/// [`Exec::par_trials_resilient`] without a successful attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// Trial index in the fan-out.
+    pub trial: u64,
+    /// Attempts made (`1 + retry_budget`).
+    pub attempts: u32,
+    /// Panic message of the *last* attempt.
+    pub message: String,
+}
+
+/// Outcome of a [`Exec::par_trials_resilient`] fan-out: per-trial values
+/// (`None` where the retry budget ran dry), the exhausted trials, and
+/// run statistics including fault counters.
+#[derive(Debug, Clone)]
+pub struct ResilientRun<T> {
+    /// Trial results in trial order; `None` marks an exhausted trial.
+    pub values: Vec<Option<T>>,
+    /// Trials that failed every attempt, in trial order.
+    pub failures: Vec<TrialFailure>,
+    /// Trial/fault statistics for the run (wall time left at zero — the
+    /// caller's [`measured_as`] wrapper owns timing).
+    pub stats: RunStats,
 }
 
 /// Run `f`, timing it into a [`RunStats`] with the given trial count and
@@ -370,14 +748,7 @@ pub fn measured_as<T>(label: &str, trials: u64, f: impl FnOnce() -> T) -> (T, Ru
     let threads = Exec::from_env().threads();
     let start = Stopwatch::start();
     let out = crate::telemetry::stage(label, trials, f);
-    (
-        out,
-        RunStats {
-            trials,
-            wall: start.elapsed(),
-            threads,
-        },
-    )
+    (out, RunStats::new(trials, start.elapsed(), threads))
 }
 
 #[cfg(test)]
@@ -497,6 +868,170 @@ mod tests {
         assert_eq!(v, 7);
         assert_eq!(stats.trials, 42);
         assert!(stats.trials_per_sec() > 0.0);
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.failed_trials, 0);
         stats.report("selftest");
+    }
+
+    #[test]
+    fn parse_threads_rejects_malformed_values() {
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("abc").is_err());
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert_eq!(parse_threads("1").unwrap(), 1);
+        assert_eq!(parse_threads(" 8 ").unwrap(), 8);
+        let msg = parse_threads("abc").unwrap_err().to_string();
+        assert!(msg.contains(THREADS_ENV), "{msg}");
+    }
+
+    #[test]
+    fn try_run_tasks_reports_worker_failed() {
+        for threads in [1, 4] {
+            let err = Exec::with_threads(threads)
+                .try_run_tasks(64, |i| {
+                    if i == 13 {
+                        panic!("task 13 exploded");
+                    }
+                    i
+                })
+                .unwrap_err();
+            match err {
+                mosaic_units::MosaicError::WorkerFailed { message, .. } => {
+                    assert!(message.contains("task 13 exploded"), "{message}");
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_tasks_with_reports_worker_failed() {
+        let err = Exec::with_threads(3)
+            .try_run_tasks_with(32, Vec::<u64>::new, |i, _buf| {
+                if i == 5 {
+                    panic!("scratch task died");
+                }
+                i
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("scratch task died"));
+    }
+
+    #[test]
+    fn try_fold_tasks_commutative_reports_worker_failed() {
+        for threads in [1, 4] {
+            let err = Exec::with_threads(threads)
+                .try_fold_tasks_commutative(
+                    48,
+                    || (),
+                    || 0u64,
+                    |i, _s, acc| {
+                        if i == 20 {
+                            panic!("fold task died");
+                        }
+                        *acc += i as u64;
+                    },
+                    |total, part| *total += part,
+                )
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("fold task died"),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_variants_match_infallible_on_clean_runs() {
+        let exec = Exec::with_threads(4);
+        assert_eq!(
+            exec.try_run_tasks(50, |i| i * 2).unwrap(),
+            exec.run_tasks(50, |i| i * 2)
+        );
+        let folded = exec
+            .try_fold_tasks_commutative(
+                50,
+                || (),
+                || 0u64,
+                |i, _s, acc| *acc += i as u64,
+                |t, p| *t += p,
+            )
+            .unwrap();
+        assert_eq!(folded, (0..50u64).sum::<u64>());
+    }
+
+    #[test]
+    fn resilient_trials_no_panic_matches_par_trials() {
+        // With nothing panicking, attempt 0 uses the exact par_trials
+        // stream, so values match bit-for-bit and counters stay zero.
+        let plain = Exec::with_threads(1).par_trials(32, 11, "res-a", |_i, rng| rng.next_u64());
+        for threads in [1, 8] {
+            let run = Exec::with_threads(threads).par_trials_resilient(
+                32,
+                11,
+                "res-a",
+                2,
+                |_i, _attempt, rng| rng.next_u64(),
+            );
+            let got: Vec<u64> = run.values.iter().map(|v| v.unwrap()).collect();
+            assert_eq!(plain, got, "threads={threads}");
+            assert_eq!(run.stats.panics, 0);
+            assert_eq!(run.stats.retries, 0);
+            assert_eq!(run.stats.failed_trials, 0);
+            assert!(run.failures.is_empty());
+        }
+    }
+
+    #[test]
+    fn resilient_trials_retry_uses_fresh_substream_deterministically() {
+        // Trial 7 panics on attempt 0 only; its retry must draw from the
+        // "{label}#retry1" substream, identically at every thread count.
+        let run_at = |threads: usize| {
+            Exec::with_threads(threads).par_trials_resilient(
+                24,
+                5,
+                "res-b",
+                1,
+                |i, attempt, rng| {
+                    if i == 7 && attempt == 0 {
+                        panic!("transient fault");
+                    }
+                    rng.next_u64()
+                },
+            )
+        };
+        let seq = run_at(1);
+        assert_eq!(seq.stats.panics, 1);
+        assert_eq!(seq.stats.retries, 1);
+        assert_eq!(seq.stats.failed_trials, 0);
+        let expected = DetRng::substream_indexed(5, "res-b#retry1", 7).next_u64();
+        assert_eq!(seq.values[7], Some(expected));
+        for threads in [2, 8] {
+            let par = run_at(threads);
+            assert_eq!(seq.values, par.values, "threads={threads}");
+            assert_eq!(seq.stats.panics, par.stats.panics);
+        }
+    }
+
+    #[test]
+    fn resilient_trials_budget_exhaustion_yields_none() {
+        let run =
+            Exec::with_threads(4).par_trials_resilient(16, 3, "res-c", 2, |i, _attempt, rng| {
+                if i == 4 {
+                    panic!("permanent fault on trial {i}");
+                }
+                rng.next_u64()
+            });
+        assert_eq!(run.values[4], None);
+        assert_eq!(run.stats.failed_trials, 1);
+        assert_eq!(run.stats.panics, 3); // attempts 0..=2 all panicked
+        assert_eq!(run.stats.retries, 2);
+        assert_eq!(run.failures.len(), 1);
+        assert_eq!(run.failures[0].trial, 4);
+        assert_eq!(run.failures[0].attempts, 3);
+        assert!(run.failures[0].message.contains("permanent fault"));
+        // Every other trial still delivered its value.
+        assert_eq!(run.values.iter().filter(|v| v.is_some()).count(), 15);
     }
 }

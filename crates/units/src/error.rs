@@ -54,6 +54,15 @@ pub enum MosaicError {
         /// Why the request cannot be satisfied.
         reason: String,
     },
+    /// A parallel worker died instead of returning results (a task
+    /// closure panicked outside the resilient retry path, or the worker
+    /// thread itself failed to join).
+    WorkerFailed {
+        /// Index of the failed worker in the fan-out.
+        worker: usize,
+        /// The panic payload (or join error), rendered as text.
+        message: String,
+    },
 }
 
 impl MosaicError {
@@ -96,6 +105,9 @@ impl fmt::Display for MosaicError {
                 write!(f, "{what} index {index} out of range (limit {limit})")
             }
             MosaicError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            MosaicError::WorkerFailed { worker, message } => {
+                write!(f, "sweep worker {worker} failed: {message}")
+            }
         }
     }
 }
@@ -122,6 +134,12 @@ mod tests {
             limit: 8,
         };
         assert!(e.to_string().contains("channel index 9"));
+        let e = MosaicError::WorkerFailed {
+            worker: 3,
+            message: "trial 7 panicked".into(),
+        };
+        assert!(e.to_string().contains("worker 3"));
+        assert!(e.to_string().contains("trial 7 panicked"));
     }
 
     #[test]
