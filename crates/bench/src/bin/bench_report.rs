@@ -4,6 +4,7 @@
 //! bench-report check   <manifest.json>                 # schema validation
 //! bench-report summary <manifest.json>                 # per-figure table
 //! bench-report diff    <old.json> <new.json> [flags]   # regression report
+//! bench-report trend   <manifest.json>...              # wall-time history
 //! ```
 //!
 //! `diff` always compares the thread-count-invariant *values* (counters,
@@ -13,6 +14,12 @@
 //! than `--max-slowdown` (default 1.5×); figures whose new wall time is
 //! under `--min-wall-ms` (default 100) are treated as jitter and never
 //! flagged.
+//!
+//! `trend` renders a per-figure wall-time history across manifests given
+//! oldest-first (e.g. the previous CI run's artifact followed by the
+//! current run) as a GitHub-flavored markdown table, ready to append to
+//! `$GITHUB_STEP_SUMMARY`. It never fails on timing — it is a report,
+//! not a gate.
 //!
 //! Exit codes: 0 = clean, 1 = regression found, 2 = usage/parse error.
 
@@ -44,7 +51,8 @@ fn usage() -> ! {
         "usage: bench-report check <manifest.json>\n       \
          bench-report summary <manifest.json>\n       \
          bench-report diff <old.json> <new.json> \
-         [--values-only] [--max-slowdown X] [--min-wall-ms MS]\n\
+         [--values-only] [--max-slowdown X] [--min-wall-ms MS]\n       \
+         bench-report trend <manifest.json>... (oldest first)\n\
          \n\
          diff flags:\n  \
          --values-only      compare only deterministic values, skip timings\n  \
@@ -142,6 +150,8 @@ fn cmd_diff(
         }
     }
 
+    // Figures beyond --max-slowdown, as (id, ratio, old_ns, new_ns).
+    let mut offenders: Vec<(String, f64, u64, u64)> = Vec::new();
     if !values_only {
         let olds: Vec<_> = old
             .get("figures")
@@ -169,6 +179,7 @@ fn cmd_diff(
             // Sub-threshold figures are all jitter; don't flag them.
             if ratio > max_slowdown && *new_ns as f64 > min_wall_ms * 1e6 {
                 failed = true;
+                offenders.push((id.clone(), ratio, *old_ns, *new_ns));
                 println!(
                     "timing: {id} regressed {ratio:.2}x ({:.1} ms -> {:.1} ms)",
                     *old_ns as f64 / 1e6,
@@ -179,9 +190,110 @@ fn cmd_diff(
     }
 
     if failed {
+        // The failure message names every offending figure and its ratio,
+        // so a CI log tail (or a human skimming stderr) sees the culprit
+        // without scrolling back through the per-figure report.
+        if !offenders.is_empty() {
+            offenders.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let list: Vec<String> = offenders
+                .iter()
+                .map(|(id, ratio, old_ns, new_ns)| {
+                    format!(
+                        "{id} {ratio:.2}x ({:.1} ms -> {:.1} ms)",
+                        *old_ns as f64 / 1e6,
+                        *new_ns as f64 / 1e6
+                    )
+                })
+                .collect();
+            eprintln!(
+                "FAIL: {} figure(s) beyond --max-slowdown {max_slowdown}: {}",
+                offenders.len(),
+                list.join(", ")
+            );
+        } else {
+            eprintln!("FAIL: value drift between {old_path} and {new_path}");
+        }
         std::process::exit(1);
     }
     println!("no regressions");
+}
+
+/// Render a per-figure wall-time history across manifests (oldest first)
+/// as a markdown table: one row per figure plus a total row, one column
+/// per manifest, and a final column with the last-vs-previous ratio.
+fn cmd_trend(paths: &[String]) {
+    let docs: Vec<Json> = paths.iter().map(|p| load(p)).collect();
+
+    // Column labels: file stem, de-duplicated by position if needed.
+    let labels: Vec<String> = paths
+        .iter()
+        .map(|p| {
+            std::path::Path::new(p)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(p)
+                .to_string()
+        })
+        .collect();
+
+    // Figure order comes from the newest manifest; figures absent from an
+    // older run render as `-`.
+    let newest = docs.last().expect("at least one manifest");
+    let ids: Vec<String> = newest
+        .get("figures")
+        .and_then(|f| f.as_arr())
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|fig| Some(figure_wall_ns(fig)?.0))
+        .collect();
+
+    let wall_of = |doc: &Json, id: &str| -> Option<u64> {
+        doc.get("figures")?
+            .as_arr()?
+            .iter()
+            .filter_map(figure_wall_ns)
+            .find(|(fid, _)| fid == id)
+            .map(|(_, ns)| ns)
+    };
+    let total_of = |doc: &Json| -> Option<u64> {
+        doc.get("run")?
+            .get("timings")?
+            .get("total_wall_ns")?
+            .as_u64()
+    };
+    let cell = |ns: Option<u64>| match ns {
+        Some(ns) => format!("{:.1}", ns as f64 / 1e6),
+        None => "-".to_string(),
+    };
+    let ratio_cell = |prev: Option<u64>, last: Option<u64>| match (prev, last) {
+        (Some(p), Some(l)) if p > 0 => format!("{:.2}x", l as f64 / p as f64),
+        _ => "-".to_string(),
+    };
+
+    println!("### Bench wall-time trend (ms)");
+    println!();
+    println!("| figure | {} | Δ last |", labels.join(" | "));
+    println!("|---|{}---|", "---:|".repeat(labels.len()));
+    for id in &ids {
+        let walls: Vec<Option<u64>> = docs.iter().map(|d| wall_of(d, id)).collect();
+        let cells: Vec<String> = walls.iter().map(|&w| cell(w)).collect();
+        let n = walls.len();
+        let prev = if n >= 2 { walls[n - 2] } else { None };
+        println!(
+            "| {id} | {} | {} |",
+            cells.join(" | "),
+            ratio_cell(prev, walls[n - 1])
+        );
+    }
+    let totals: Vec<Option<u64>> = docs.iter().map(total_of).collect();
+    let cells: Vec<String> = totals.iter().map(|&t| cell(t)).collect();
+    let n = totals.len();
+    let prev = if n >= 2 { totals[n - 2] } else { None };
+    println!(
+        "| **total** | {} | {} |",
+        cells.join(" | "),
+        ratio_cell(prev, totals[n - 1])
+    );
 }
 
 fn main() {
@@ -210,6 +322,7 @@ fn main() {
             }
             cmd_diff(&args[1], &args[2], values_only, max_slowdown, min_wall_ms);
         }
+        Some("trend") if args.len() >= 2 => cmd_trend(&args[1..]),
         _ => usage(),
     }
 }

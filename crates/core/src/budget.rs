@@ -13,8 +13,8 @@
 //! link's margin; the reach limit is where that margin crosses zero.
 
 use crate::config::MosaicConfig;
-use mosaic_fiber::path::ImagingFiber;
-use mosaic_fiber::{ChannelPath, CoreLattice};
+use mosaic_fiber::path::{ChannelStatics, ImagingFiber};
+use mosaic_fiber::{ChannelPath, CoreLattice, SpanBudget};
 use mosaic_phy::ber::{OokReceiver, Pam4Receiver};
 use mosaic_phy::driver::LedDrive;
 use mosaic_phy::eye::isi_penalty;
@@ -100,6 +100,15 @@ pub struct BudgetEngine {
     /// Receiver sensitivity at the FEC threshold — identical for every
     /// channel (same receiver), so solved once.
     sensitivity: Option<Power>,
+    /// Span-level (length-dependent, channel-independent) path terms,
+    /// refreshed by [`BudgetEngine::set_length`].
+    span: SpanBudget,
+    /// Per-channel length-independent path terms, built once per engine.
+    statics: Vec<ChannelStatics>,
+    /// ISI penalty at the current span length, `None` = eye closed.
+    /// Channel-independent: every channel shares the LED pole and the
+    /// span's modal bandwidth.
+    isi: Option<Db>,
 }
 
 impl BudgetEngine {
@@ -135,7 +144,10 @@ impl BudgetEngine {
         };
         let target_ber = cfg.fec.ber_threshold();
         let sensitivity = rx.sensitivity(target_ber);
-        BudgetEngine {
+        let statics = (0..fiber.channels())
+            .map(|i| fiber.channel_statics(i))
+            .collect();
+        let mut engine = BudgetEngine {
             fiber,
             drive,
             rx,
@@ -146,7 +158,50 @@ impl BudgetEngine {
             target_ber,
             led_bandwidth: cfg.led.modulation_bandwidth(cfg.drive_current()),
             sensitivity,
-        }
+            // Placeholders; `refresh_span` derives both from the fields
+            // above before the engine is visible to callers.
+            span: SpanBudget {
+                propagation: Db::new(0.0),
+                coupling: Db::new(0.0),
+                modal_bandwidth: mosaic_units::Frequency::from_hz(0.0),
+                xt_unit: 0.0,
+            },
+            isi: None,
+            statics,
+        };
+        engine.refresh_span();
+        engine
+    }
+
+    /// Recompute the span-level caches from the current fiber length.
+    ///
+    /// ISI: the LED pole cascaded with the span's modal bandwidth.
+    /// Mosaic receivers are plain slicers with no equalizer, so beyond
+    /// the Gaussian amplitude penalty we require a half-open worst-case
+    /// eye (MIN_EYE_OPENING): below that, timing jitter and threshold
+    /// drift dominate and no amount of launch power rescues the channel.
+    fn refresh_span(&mut self) {
+        self.span = self.fiber.span_budget(self.wavelength_m);
+        let net_bw = self.led_bandwidth.cascade(self.span.modal_bandwidth);
+        let eye = mosaic_phy::eye::worst_case_eye_opening(self.symbol_rate, net_bw);
+        self.isi = if eye < MIN_EYE_OPENING {
+            None
+        } else {
+            isi_penalty(self.symbol_rate, net_bw)
+        };
+    }
+
+    /// Re-point the engine at a different span length.
+    ///
+    /// Only the fiber length and the span-level caches change: the lattice,
+    /// drive, receiver, and FEC-threshold sensitivity are all
+    /// length-independent, so the result is bit-identical to building a
+    /// fresh engine from the same configuration at the new length — without
+    /// repeating the sensitivity solve or the lattice construction. This is
+    /// what makes the [`max_reach`] bisection cheap.
+    pub fn set_length(&mut self, length: Length) {
+        self.fiber.length = length;
+        self.refresh_span();
     }
 
     /// The LED drive operating point in use.
@@ -176,22 +231,13 @@ impl BudgetEngine {
 
     /// Budget one channel.
     pub fn channel(&self, led: &mosaic_phy::microled::MicroLed, idx: usize) -> ChannelBudget {
-        let path: ChannelPath = self.fiber.channel_path(idx, self.wavelength_m);
+        let path: ChannelPath = self
+            .fiber
+            .channel_path_cached(&self.span, &self.statics[idx], idx);
         let launch = self.drive.launch_power(led);
         let received = launch.apply(path.loss);
-
-        // ISI: the LED pole cascaded with the span's modal bandwidth.
-        // Mosaic receivers are plain slicers with no equalizer, so beyond
-        // the Gaussian amplitude penalty we require a half-open worst-case
-        // eye (MIN_EYE_OPENING): below that, timing jitter and threshold
-        // drift dominate and no amount of launch power rescues the channel.
-        let net_bw = self.led_bandwidth.cascade(path.modal_bandwidth);
-        let eye = mosaic_phy::eye::worst_case_eye_opening(self.symbol_rate, net_bw);
-        let isi = if eye < MIN_EYE_OPENING {
-            None
-        } else {
-            isi_penalty(self.symbol_rate, net_bw)
-        };
+        // ISI is channel-independent; see `refresh_span` for the eye rule.
+        let isi = self.isi;
         let xt = path.crosstalk_penalty;
 
         let (margin, expected_ber) = match (isi, xt) {
@@ -221,12 +267,43 @@ impl BudgetEngine {
             .collect()
     }
 
+    /// The margin of one channel — [`BudgetEngine::channel`] minus the BER
+    /// evaluation, which the margin never depends on. The float sequence
+    /// (path loss → penalties → ratio to sensitivity) is the same as in
+    /// `channel`, so the value is bit-identical.
+    fn margin_of(&self, launch: Power, idx: usize) -> Option<Db> {
+        let path = self
+            .fiber
+            .channel_path_cached(&self.span, &self.statics[idx], idx);
+        let received = launch.apply(path.loss);
+        match (self.isi, path.crosstalk_penalty) {
+            (Some(isi_db), Some(xt_db)) => {
+                let effective = received.apply((isi_db + xt_db).invert());
+                self.sensitivity.map(|s| effective.ratio_to(s))
+            }
+            _ => None,
+        }
+    }
+
+    /// True if every channel closes with non-negative margin — the
+    /// [`BudgetEngine::worst_margin`] `≥ 0` predicate with early exit on
+    /// the first failing channel, for bisection probes that only need the
+    /// verdict. Identical boolean: the minimum is ≥ 0 iff every margin is.
+    pub fn all_feasible(&self, led: &mosaic_phy::microled::MicroLed) -> bool {
+        let launch = self.drive.launch_power(led);
+        (0..self.fiber.channels())
+            .all(|i| matches!(self.margin_of(launch, i), Some(m) if m.as_db() >= 0.0))
+    }
+
     /// The worst-channel margin, `None` if any channel is unusable.
+    ///
+    /// Streams over channels without collecting budgets or computing BERs —
+    /// this runs once per [`max_reach`] bisection probe, so it must not
+    /// allocate.
     pub fn worst_margin(&self, led: &mosaic_phy::microled::MicroLed) -> Option<Db> {
-        let budgets = self.all_channels(led);
-        budgets
-            .iter()
-            .map(|b| b.margin)
+        let launch = self.drive.launch_power(led);
+        (0..self.fiber.channels())
+            .map(|i| self.margin_of(launch, i))
             .try_fold(Db::new(f64::INFINITY), |acc, m| m.map(|m| acc.min(m)))
     }
 }
@@ -235,11 +312,19 @@ impl BudgetEngine {
 /// worst-channel margin (bisection on length; `None` if even a 1 m span
 /// fails).
 pub fn max_reach(cfg: &MosaicConfig) -> Option<Length> {
-    let feasible_at = |m: f64| {
-        let mut c = cfg.clone();
-        c.length = Length::from_m(m);
-        let engine = BudgetEngine::new(&c);
-        matches!(engine.worst_margin(&c.led), Some(w) if w.as_db() >= 0.0)
+    max_reach_with(&mut BudgetEngine::new(cfg), cfg)
+}
+
+/// [`max_reach`] reusing an existing engine for `cfg`, mutating its span
+/// length across the probes (the engine is left at the last probed
+/// length). Lets [`LinkReport`](crate::report::LinkReport) share one
+/// engine between the channel budgets and the reach solve.
+pub fn max_reach_with(engine: &mut BudgetEngine, cfg: &MosaicConfig) -> Option<Length> {
+    // One engine across every probe: only the length moves, so the lattice
+    // construction and the sensitivity solve happen once, not ~45 times.
+    let mut feasible_at = |m: f64| {
+        engine.set_length(Length::from_m(m));
+        engine.all_feasible(&cfg.led)
     };
     if !feasible_at(1.0) {
         return None;

@@ -7,8 +7,8 @@
 //! A duplex module carries the full aggregate in each direction: one LED
 //! array transmitting, one PD array receiving.
 
-use crate::budget::BudgetEngine;
 use crate::config::MosaicConfig;
+use mosaic_phy::driver::LedDrive;
 use mosaic_phy::serdes;
 use mosaic_power::PowerBreakdown;
 use mosaic_units::{EnergyPerBit, Power};
@@ -31,12 +31,15 @@ pub const RX_CLOCK_FIXED_W: f64 = 0.0004;
 
 /// Component-resolved power of one duplex Mosaic module.
 pub fn module_breakdown(cfg: &MosaicConfig) -> PowerBreakdown {
-    let engine = BudgetEngine::new(cfg);
+    // The drive operating point is all this model needs from the optical
+    // side — construct it directly (identically to `BudgetEngine::new`)
+    // rather than paying for a lattice build and a sensitivity solve.
+    let drive = LedDrive::with_extinction(&cfg.led, cfg.drive_current(), cfg.extinction_ratio);
     let chans = cfg.active_channels() as f64;
     let line = cfg.line_rate();
 
     // TX: LED + driver electrical power per channel (spares unpowered).
-    let per_tx = engine.drive().electrical_power(&cfg.led, cfg.channel_rate);
+    let per_tx = drive.electrical_power(&cfg.led, cfg.channel_rate);
     // RX: TIA/LA slice plus per-channel clock recovery (a rate-
     // proportional CDR term and a fixed clocking floor).
     let tia = mosaic_phy::tia::Tia::low_speed(cfg.baud_gbd());

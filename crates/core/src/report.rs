@@ -1,6 +1,6 @@
 //! The all-in-one link report.
 
-use crate::budget::{max_reach, BudgetEngine, ChannelBudget};
+use crate::budget::{max_reach_with, BudgetEngine, ChannelBudget};
 use crate::config::MosaicConfig;
 use crate::power_model;
 use crate::reliability_model::{self, LinkReliability};
@@ -40,7 +40,7 @@ pub const SERVICE_YEARS: f64 = 7.0;
 impl LinkReport {
     /// Evaluate a configuration.
     pub fn evaluate(cfg: &MosaicConfig) -> LinkReport {
-        let engine = BudgetEngine::new(cfg);
+        let mut engine = BudgetEngine::new(cfg);
         let channels = engine.all_channels(&cfg.led);
         let worst_margin = channels
             .iter()
@@ -56,7 +56,9 @@ impl LinkReport {
             link_power,
             energy_per_bit: link_power.per_bit(cfg.aggregate),
             module_power,
-            reach_limit: max_reach(cfg),
+            // Reuses the budget engine (mutating only its span length):
+            // the lattice radius read below is length-independent.
+            reach_limit: max_reach_with(&mut engine, cfg),
             reliability: reliability_model::evaluate(cfg, Duration::from_years(SERVICE_YEARS)),
             array_radius: engine.fiber().lattice.image_radius(),
             config: cfg.clone(),

@@ -34,6 +34,16 @@ pub struct Bch {
     t: usize,
     /// Generator polynomial over GF(2), lowest-degree first (0/1 coeffs).
     generator: Vec<u8>,
+    /// Host-side multiply-by-root tables for the syndrome kernel, built
+    /// once per code: row `i` (stride = field size) holds
+    /// `T_i[v] = v · α^{i+1}` (BCH syndromes start at α¹), so the Horner
+    /// step `acc·α^{i+1} + c` becomes one lookup and one XOR (see
+    /// DESIGN §11).
+    synd_tables: Vec<u16>,
+    /// Chien-search root table: `chien_roots[p] = α^{−p}` for each of the
+    /// n valid positions, hoisting the modular exponent arithmetic out of
+    /// the per-position search loop.
+    chien_roots: Vec<u16>,
 }
 
 impl Bch {
@@ -118,12 +128,31 @@ impl Bch {
             )));
         }
         let k = n - parity;
+        // Host-side table precompute (DESIGN §11): per-root multiply
+        // tables for the syndrome kernel and the Chien root sequence,
+        // mirroring the RS decoder. Each entry is the exact
+        // `field.mul`/`alpha_pow` value the inner loops would otherwise
+        // recompute per bit/position.
+        let two_t = 2 * t;
+        let size = field.size();
+        let mut synd_tables = vec![0u16; two_t * size];
+        for (i, table) in synd_tables.chunks_exact_mut(size).enumerate() {
+            let root = field.alpha_pow(i + 1);
+            for (v, slot) in table.iter_mut().enumerate() {
+                *slot = field.mul(v as u16, root);
+            }
+        }
+        let chien_roots: Vec<u16> = (0..n)
+            .map(|p| field.alpha_pow((order - p % order) % order))
+            .collect();
         Ok(Bch {
             field,
             n,
             k,
             t,
             generator,
+            synd_tables,
+            chien_roots,
         })
     }
 
@@ -214,16 +243,30 @@ impl Bch {
 
     /// Fused Horner syndrome kernel into `s.synd`; returns true when the
     /// word is already a codeword. Same exact GF operations per
-    /// accumulator as [`Bch::syndromes`], one pass over the word.
+    /// accumulator as [`Bch::syndromes`], one pass over the word. The
+    /// default build replaces the per-bit `mul` with the precomputed
+    /// `synd_tables` lookup (`T_i[acc] ^ c` — identical values, see
+    /// DESIGN §11); `--features scalar-kernels` retains the explicit
+    /// multiply form as the differential oracle.
     fn syndromes_into(&self, word: &[u8], s: &mut DecodeScratch) -> bool {
         let two_t = 2 * self.t;
         s.roots.clear();
         s.roots.extend((1..=two_t).map(|i| self.field.alpha_pow(i)));
         s.synd.clear();
         s.synd.resize(two_t, 0);
+        #[cfg(feature = "scalar-kernels")]
         for &c in word {
             for (acc, &x) in s.synd.iter_mut().zip(&s.roots) {
                 *acc = self.field.add(self.field.mul(*acc, x), c as u16);
+            }
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            let stride = self.field.size();
+            for &c in word {
+                for (acc, table) in s.synd.iter_mut().zip(self.synd_tables.chunks_exact(stride)) {
+                    *acc = table[*acc as usize] ^ c as u16;
+                }
             }
         }
         s.synd.iter().all(|&v| v == 0)
@@ -302,10 +345,10 @@ impl Bch {
         }
 
         // Chien search restricted to the transmitted length.
-        let order = self.field.order();
+        // `chien_roots[p]` is the precomputed α^{−p} (same `alpha_pow`
+        // expression, evaluated once at construction — see DESIGN §11).
         s.positions.clear();
-        for p in 0..self.n {
-            let x_inv = self.field.alpha_pow((order - p % order) % order);
+        for (p, &x_inv) in self.chien_roots.iter().enumerate() {
             if self.field.poly_eval(&s.lambda, x_inv) == 0 {
                 s.positions.push(self.n - 1 - p);
             }

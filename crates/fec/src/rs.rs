@@ -31,6 +31,16 @@ pub struct ReedSolomon {
     k: usize,
     /// Generator polynomial, lowest-degree coefficient first, monic.
     generator: Vec<u16>,
+    /// Host-side multiply-by-root tables for the syndrome kernel, built
+    /// once per code: row `i` (stride = field size) holds
+    /// `T_i[v] = v · α^i`, so the Horner step `acc·α^i + c` becomes one
+    /// lookup and one XOR (see DESIGN §11). ~2·two_t·2^m bytes — 60 KB
+    /// for KP4, built once per sweep config.
+    synd_tables: Vec<u16>,
+    /// Chien-search root table: `chien_roots[p] = α^{−p}` for each of the
+    /// n valid positions, hoisting the modular exponent arithmetic out of
+    /// the per-position search loop.
+    chien_roots: Vec<u16>,
 }
 
 impl ReedSolomon {
@@ -69,11 +79,29 @@ impl ReedSolomon {
             // Multiply by (x + root) — characteristic 2, so minus is plus.
             generator = field.poly_mul(&generator, &[root, 1]);
         }
+        // Host-side table precompute (DESIGN §11): per-root multiply
+        // tables for the syndrome kernel and the Chien root sequence.
+        // Each entry is the exact `field.mul`/`alpha_pow` value the inner
+        // loops would otherwise recompute per symbol/position.
+        let size = field.size();
+        let mut synd_tables = vec![0u16; two_t * size];
+        for i in 0..two_t {
+            let root = field.alpha_pow(i);
+            for v in 0..size {
+                synd_tables[i * size + v] = field.mul(v as u16, root);
+            }
+        }
+        let order = field.order();
+        let chien_roots: Vec<u16> = (0..n)
+            .map(|p| field.alpha_pow((order - p % order) % order))
+            .collect();
         Ok(ReedSolomon {
             field,
             n,
             k,
             generator,
+            synd_tables,
+            chien_roots,
         })
     }
 
@@ -223,15 +251,32 @@ impl ReedSolomon {
     /// interchange versus [`ReedSolomon::syndromes_unchecked`] performs the
     /// same exact GF(2^m) operations per accumulator, so the results are
     /// bit-identical while the word streams through cache once.
+    ///
+    /// The default build drives each accumulator through its precomputed
+    /// multiply-by-root table (`acc ← T_i[acc] ⊕ c`, one batched lookup
+    /// per root per symbol, all 2t dependency chains independent);
+    /// `--features scalar-kernels` retains the log/exp `field.mul` form.
+    /// `T_i[v] = v·α^i` by construction, so the two are value-identical
+    /// (pinned by the `fused_syndromes_match_reference` proptest).
     fn syndromes_into(&self, word: &[u16], s: &mut DecodeScratch) -> bool {
         let two_t = self.n - self.k;
         s.roots.clear();
         s.roots.extend((0..two_t).map(|i| self.field.alpha_pow(i)));
         s.synd.clear();
         s.synd.resize(two_t, 0);
+        #[cfg(feature = "scalar-kernels")]
         for &c in word {
             for (acc, &x) in s.synd.iter_mut().zip(&s.roots) {
                 *acc = self.field.add(self.field.mul(*acc, x), c);
+            }
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            let stride = self.field.size();
+            for &c in word {
+                for (acc, table) in s.synd.iter_mut().zip(self.synd_tables.chunks_exact(stride)) {
+                    *acc = table[*acc as usize] ^ c;
+                }
             }
         }
         s.synd.iter().all(|&v| v == 0)
@@ -401,11 +446,10 @@ impl ReedSolomon {
 
         // Chien search over the n valid positions. A root Λ(α^{−p}) = 0
         // marks an error at polynomial power p, i.e. word index n−1−p.
+        // `chien_roots[p]` is the precomputed α^{−p} (same `alpha_pow`
+        // expression, evaluated once at construction — see DESIGN §11).
         s.positions.clear();
-        for p in 0..self.n {
-            let x_inv = self
-                .field
-                .alpha_pow((self.field.order() - p % self.field.order()) % self.field.order());
+        for (p, &x_inv) in self.chien_roots.iter().enumerate() {
             if self.field.poly_eval(&s.lambda, x_inv) == 0 {
                 s.positions.push(p);
             }

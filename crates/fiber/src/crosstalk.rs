@@ -86,6 +86,17 @@ fn gaussian_overlap(d: Length, w: Length) -> f64 {
     (-2.0 * x * x).exp()
 }
 
+/// Length-independent crosstalk terms of one channel, cached across the
+/// length probes of a reach bisection. Built by
+/// [`CrosstalkModel::xt_statics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XtStatics {
+    /// Populated neighbor count, as the f64 factor used by the model.
+    pub neighbors: f64,
+    /// Misalignment spill term (linear ratio), already neighbor-weighted.
+    pub spill: f64,
+}
+
 /// Per-channel crosstalk analysis over a lattice.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrosstalkModel {
@@ -118,11 +129,37 @@ impl CrosstalkModel {
         gaussian_overlap(d, w)
     }
 
+    /// The channel-independent factor of [`CrosstalkModel::total_crosstalk`]:
+    /// accumulated per-neighbor intrinsic crosstalk over `length`. Hoist it
+    /// once per span when budgeting many channels (DESIGN §11).
+    pub fn xt_unit(&self, lattice: &CoreLattice, length: Length) -> f64 {
+        self.coupling.xt_total(lattice.pitch, length)
+    }
+
     /// Total relative crosstalk (linear power ratio, aggressors vs. signal)
     /// landing on channel `idx` over a fiber of `length`.
     pub fn total_crosstalk(&self, lattice: &CoreLattice, idx: usize, length: Length) -> f64 {
+        self.total_crosstalk_with_unit(lattice, idx, self.xt_unit(lattice, length))
+    }
+
+    /// [`CrosstalkModel::total_crosstalk`] with the length-dependent
+    /// [`CrosstalkModel::xt_unit`] already computed — bit-identical to the
+    /// one-shot form (same operands, same combination order).
+    pub fn total_crosstalk_with_unit(
+        &self,
+        lattice: &CoreLattice,
+        idx: usize,
+        xt_unit: f64,
+    ) -> f64 {
+        self.total_crosstalk_cached(&self.xt_statics(lattice, idx), xt_unit)
+    }
+
+    /// The length-*independent* pieces of [`CrosstalkModel::total_crosstalk`]
+    /// for one channel: neighbor count and misalignment spill. Reach
+    /// bisections cache these per channel and re-evaluate only the
+    /// length-dependent [`CrosstalkModel::xt_unit`] per probe (DESIGN §11).
+    pub fn xt_statics(&self, lattice: &CoreLattice, idx: usize) -> XtStatics {
         let neighbors = lattice.neighbor_count(idx);
-        let intrinsic = self.coupling.xt_total(lattice.pitch, length) * neighbors as f64;
 
         // Misalignment spill: each neighbor's (equally misaligned) spot is
         // displaced from my pixel by (pitch ⊖ offset); take the dominant
@@ -132,8 +169,17 @@ impl CrosstalkModel {
         let offset = self.misalignment.offset_at(r);
         let gap = Length::from_m((lattice.pitch.as_m() - offset.as_m()).max(0.0));
         let spill = gaussian_overlap(gap, w) * neighbors.min(2) as f64;
+        XtStatics {
+            neighbors: neighbors as f64,
+            spill,
+        }
+    }
 
-        (intrinsic + spill).min(0.9)
+    /// Combine cached [`XtStatics`] with a span's `xt_unit` — the same
+    /// float sequence as the one-shot `total_crosstalk`, so bit-identical.
+    pub fn total_crosstalk_cached(&self, statics: &XtStatics, xt_unit: f64) -> f64 {
+        let intrinsic = xt_unit * statics.neighbors;
+        (intrinsic + statics.spill).min(0.9)
     }
 
     /// Worst-case incoherent crosstalk power penalty for channel `idx`,

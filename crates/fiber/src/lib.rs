@@ -35,4 +35,4 @@ pub mod geometry;
 pub mod path;
 
 pub use geometry::{CoreLattice, HexCoord};
-pub use path::{ChannelPath, ImagingFiber};
+pub use path::{ChannelPath, ImagingFiber, SpanBudget};

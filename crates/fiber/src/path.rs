@@ -46,26 +46,74 @@ impl ImagingFiber {
         self.lattice.len()
     }
 
+    /// The length- and wavelength-dependent but channel-*independent*
+    /// parts of every [`ChannelPath`]: propagation loss, coupling loss,
+    /// modal bandwidth, and the per-neighbor intrinsic crosstalk unit.
+    /// Sweep loops that budget many channels at one span length compute
+    /// this once instead of once per channel (the host-side precompute
+    /// discipline of DESIGN §11); the per-channel remainder is applied by
+    /// [`ImagingFiber::channel_path_with`].
+    pub fn span_budget(&self, wavelength_m: f64) -> SpanBudget {
+        SpanBudget {
+            propagation: self.attenuation.loss(self.length, wavelength_m),
+            coupling: self.coupling.loss(),
+            modal_bandwidth: self.dispersion.bandwidth_at(self.length),
+            xt_unit: self.crosstalk.xt_unit(&self.lattice, self.length),
+        }
+    }
+
     /// Per-channel path budget at emission wavelength `wavelength_m`.
     ///
     /// # Panics
     /// Panics if `channel` is out of range.
     pub fn channel_path(&self, channel: usize, wavelength_m: f64) -> ChannelPath {
+        self.channel_path_with(&self.span_budget(wavelength_m), channel)
+    }
+
+    /// [`ImagingFiber::channel_path`] with the span-level terms already
+    /// computed — bit-identical to the one-shot form (the span terms are
+    /// pure functions of the same inputs, combined in the same order).
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn channel_path_with(&self, span: &SpanBudget, channel: usize) -> ChannelPath {
+        self.channel_path_cached(span, &self.channel_statics(channel), channel)
+    }
+
+    /// The length-independent per-channel terms of a [`ChannelPath`]:
+    /// misalignment self-coupling loss and the crosstalk statics. A reach
+    /// bisection computes these once per channel and re-evaluates only the
+    /// [`SpanBudget`] per length probe.
+    ///
+    /// # Panics
+    /// Panics if `channel` is out of range.
+    pub fn channel_statics(&self, channel: usize) -> ChannelStatics {
         assert!(channel < self.channels(), "channel {channel} out of range");
-        let propagation = self.attenuation.loss(self.length, wavelength_m);
-        let coupling = self.coupling.loss();
-        let self_coupling = Db::from_linear(
-            self.crosstalk
-                .self_coupling(&self.lattice, channel)
-                .max(1e-12),
-        );
+        ChannelStatics {
+            self_coupling: Db::from_linear(
+                self.crosstalk
+                    .self_coupling(&self.lattice, channel)
+                    .max(1e-12),
+            ),
+            xt: self.crosstalk.xt_statics(&self.lattice, channel),
+        }
+    }
+
+    /// Assemble a [`ChannelPath`] from cached span and channel terms — the
+    /// same float sequence as the one-shot form, so bit-identical.
+    pub fn channel_path_cached(
+        &self,
+        span: &SpanBudget,
+        statics: &ChannelStatics,
+        channel: usize,
+    ) -> ChannelPath {
         let xt = self
             .crosstalk
-            .total_crosstalk(&self.lattice, channel, self.length);
+            .total_crosstalk_cached(&statics.xt, span.xt_unit);
         ChannelPath {
             channel,
-            loss: propagation + coupling + self_coupling,
-            modal_bandwidth: self.dispersion.bandwidth_at(self.length),
+            loss: span.propagation + span.coupling + statics.self_coupling,
+            modal_bandwidth: span.modal_bandwidth,
             crosstalk_ratio: xt,
             crosstalk_penalty: crate::crosstalk::crosstalk_penalty(xt),
         }
@@ -77,6 +125,33 @@ impl ImagingFiber {
             .map(|c| self.channel_path(c, wavelength_m))
             .collect()
     }
+}
+
+/// The length-independent per-channel half of a [`ChannelPath`]. Built by
+/// [`ImagingFiber::channel_statics`], consumed by
+/// [`ImagingFiber::channel_path_cached`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelStatics {
+    /// Misalignment self-coupling loss (≤ 0 dB).
+    pub self_coupling: Db,
+    /// Crosstalk statics (neighbor count, misalignment spill).
+    pub xt: crate::crosstalk::XtStatics,
+}
+
+/// The channel-independent half of a [`ChannelPath`]: everything that
+/// depends only on span length and wavelength. Built by
+/// [`ImagingFiber::span_budget`], consumed by
+/// [`ImagingFiber::channel_path_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanBudget {
+    /// Glass propagation loss over the span.
+    pub propagation: Db,
+    /// Coupling-optics loss (length-independent, carried for convenience).
+    pub coupling: Db,
+    /// Modal bandwidth available over the span.
+    pub modal_bandwidth: Frequency,
+    /// Accumulated per-neighbor intrinsic crosstalk (linear ratio).
+    pub xt_unit: f64,
 }
 
 /// The optical budget of one channel through the fiber assembly.

@@ -72,6 +72,120 @@ impl Prbs {
     }
 }
 
+/// A bit-sliced bank of PRBS generators from one family, stepped in
+/// lock-step — 64 lanes per machine word (DESIGN §11).
+///
+/// The registers are stored *transposed*: row `p` of [`PrbsBank::state`]
+/// packs register bit `p` of every lane, lane `l` in bit `l % 64` of word
+/// `l / 64`. One step of all lanes is then a word-wide XOR of the two tap
+/// rows plus a one-row shift of the slab, instead of a per-lane
+/// shift-and-mask — the same LFSR update the scalar [`Prbs`] performs,
+/// evaluated 64 lanes at a time.
+///
+/// Lane counts need not be multiples of 64: tail bits above `lanes` start
+/// zero and stay zero, because the all-zero register is a fixed point of
+/// the LFSR update (tail-lane masking is free).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrbsBank {
+    /// Transposed registers, row-major: `state[p * words + w]`.
+    state: Vec<u64>,
+    taps: (u32, u32),
+    order: u32,
+    lanes: usize,
+    /// Words per row / per output slab: `lanes.div_ceil(64)`.
+    words: usize,
+}
+
+impl PrbsBank {
+    /// Build a bank whose lane `l` reproduces `generators[l]` exactly.
+    /// All generators must come from the same PRBS family (same taps and
+    /// order).
+    ///
+    /// # Panics
+    /// Panics on an empty slice or mixed families.
+    pub fn new(generators: &[Prbs]) -> Self {
+        assert!(!generators.is_empty(), "PRBS bank needs at least one lane");
+        let taps = generators[0].taps;
+        let order = generators[0].order;
+        assert!(
+            generators
+                .iter()
+                .all(|g| g.taps == taps && g.order == order),
+            "all lanes of a PRBS bank must share one family"
+        );
+        let lanes = generators.len();
+        let words = lanes.div_ceil(64);
+        let mut state = vec![0u64; order as usize * words];
+        for (l, g) in generators.iter().enumerate() {
+            for (p, row) in state.chunks_exact_mut(words).enumerate() {
+                row[l / 64] |= ((g.state >> p) & 1) << (l % 64);
+            }
+        }
+        PrbsBank {
+            state,
+            taps,
+            order,
+            lanes,
+            words,
+        }
+    }
+
+    /// A bank of `lanes` copies of `template` with per-lane seeds
+    /// `seed_of(l)` (masked to the register width; must be non-zero).
+    pub fn with_seeds(template: &Prbs, lanes: usize, seed_of: impl Fn(usize) -> u64) -> Self {
+        let gens: Vec<Prbs> = (0..lanes)
+            .map(|l| template.clone().with_seed(seed_of(l)))
+            .collect();
+        PrbsBank::new(&gens)
+    }
+
+    /// Number of lanes in the bank.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Output slab size in words: `lanes.div_ceil(64)`.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Advance every lane one bit. `out[w]` bit `l` receives the bit lane
+    /// `w*64 + l` would have produced from [`Prbs::next_bit`]; bits at or
+    /// above [`PrbsBank::lanes`] are zero.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == self.words()`.
+    #[inline]
+    pub fn next_bits(&mut self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.words, "output slab must be words() long");
+        let (a, b) = self.taps;
+        let row_a = (a as usize - 1) * self.words;
+        let row_b = (b as usize - 1) * self.words;
+        // Feedback (= output) for all lanes: one XOR per 64 lanes.
+        for (w, o) in out.iter_mut().enumerate() {
+            *o = self.state[row_a + w] ^ self.state[row_b + w];
+        }
+        // Register shift `(state << 1) | fb`, transposed: every row moves
+        // up one (row p ← row p−1, the top row falls off), and the
+        // feedback becomes row 0.
+        let top = (self.order as usize - 1) * self.words;
+        self.state.copy_within(0..top, self.words);
+        self.state[..self.words].copy_from_slice(out);
+    }
+
+    /// Generate `n` steps into `out`, slab after slab
+    /// (`out.len() == n * self.words()`).
+    ///
+    /// # Panics
+    /// Panics unless `out.len()` is exactly `n` slabs.
+    pub fn bits_into(&mut self, n: usize, out: &mut [u64]) {
+        assert_eq!(out.len(), n * self.words, "need n slabs of words() each");
+        for slab in out.chunks_exact_mut(self.words) {
+            self.next_bits(slab);
+        }
+    }
+}
+
 /// A self-synchronizing PRBS checker: seeds its reference LFSR from the
 /// first `order` received bits, then counts mismatches. Mirrors how
 /// hardware checkers lock without side-band seed exchange.
@@ -215,7 +329,77 @@ mod tests {
         assert!(result.is_err());
     }
 
+    /// Step a bank and N scalar generators together, checking every lane
+    /// bit and that tail bits stay zero.
+    fn assert_bank_matches_scalars(gens: Vec<Prbs>, steps: usize) {
+        let mut bank = PrbsBank::new(&gens);
+        let mut scalars = gens;
+        let mut slab = vec![0u64; bank.words()];
+        for step in 0..steps {
+            bank.next_bits(&mut slab);
+            for (l, g) in scalars.iter_mut().enumerate() {
+                let got = (slab[l / 64] >> (l % 64)) & 1;
+                assert_eq!(got as u8, g.next_bit(), "lane {l} step {step}");
+            }
+            let lanes = bank.lanes();
+            let tail = lanes % 64;
+            if tail != 0 {
+                assert_eq!(
+                    slab[lanes / 64] >> tail,
+                    0,
+                    "tail lanes must stay zero at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_matches_scalar_lanes_at_boundary_counts() {
+        for lanes in [1usize, 63, 64, 65, 130] {
+            let gens: Vec<Prbs> = (0..lanes)
+                .map(|l| Prbs::prbs7().with_seed(1 + (l as u64 % 126)))
+                .collect();
+            // 260 steps covers two full PRBS7 periods.
+            assert_bank_matches_scalars(gens, 260);
+        }
+    }
+
+    #[test]
+    fn bank_rejects_mixed_families() {
+        let result = std::panic::catch_unwind(|| PrbsBank::new(&[Prbs::prbs7(), Prbs::prbs15()]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bank_bits_into_is_next_bits_repeated() {
+        let mut a = PrbsBank::with_seeds(&Prbs::prbs15(), 70, |l| 1 + l as u64);
+        let mut b = a.clone();
+        let n = 37;
+        let mut bulk = vec![0u64; n * a.words()];
+        a.bits_into(n, &mut bulk);
+        let mut slab = vec![0u64; b.words()];
+        for chunk in bulk.chunks_exact(b.words()) {
+            b.next_bits(&mut slab);
+            assert_eq!(chunk, &slab[..]);
+        }
+        assert_eq!(a, b);
+    }
+
     proptest! {
+        #[test]
+        fn bank_matches_scalar_lanes_random(
+            lanes in 1usize..100,
+            seed0 in 1u64..0x7FFF_FFFF,
+            steps in 1usize..80,
+        ) {
+            let gens: Vec<Prbs> = (0..lanes)
+                .map(|l| Prbs::prbs31().with_seed(
+                    1 + (seed0.wrapping_add(l as u64 * 0x9E37_79B9)) % (0x7FFF_FFFF - 1),
+                ))
+                .collect();
+            assert_bank_matches_scalars(gens, steps);
+        }
+
         #[test]
         fn checker_ber_matches_flip_prob(seed in 1u64..1000, flips in 0usize..50) {
             let mut tx = Prbs::prbs31().with_seed(seed);

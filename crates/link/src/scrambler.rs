@@ -49,8 +49,82 @@ impl Scrambler {
         out as u8
     }
 
-    /// Scramble a 64-bit word LSB-first.
+    /// Scramble a 64-bit word LSB-first. Dispatches to the word-parallel
+    /// kernel by default; `--features scalar-kernels` retains the bit
+    /// loop as the differential oracle.
+    #[inline]
     pub fn scramble_word(&mut self, word: u64) -> u64 {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            self.scramble_word_scalar(word)
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            self.scramble_word_sliced(word)
+        }
+    }
+
+    /// Descramble a 64-bit word LSB-first. Dispatches like
+    /// [`Scrambler::scramble_word`].
+    #[inline]
+    pub fn descramble_word(&mut self, word: u64) -> u64 {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            self.descramble_word_scalar(word)
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            self.descramble_word_sliced(word)
+        }
+    }
+
+    /// The 58-bit history window in *stream order*: bit `k` is the line
+    /// bit from 58−k steps ago (register bit 57−k). The register holds
+    /// the newest bit at its LSB, so stream order is the register
+    /// reversed — `reverse_bits()` maps bit 57 → bit 6, then `>> 6`
+    /// aligns the oldest bit to position 0.
+    #[inline]
+    fn history_window(&self) -> u128 {
+        (self.state.reverse_bits() >> 6) as u128
+    }
+
+    /// Word-parallel scramble: all 64 output bits in a handful of shifts
+    /// and XORs (DESIGN §11). With the stream window
+    /// `window = history | out << 58`, each output bit is
+    /// `out_i = word_i ^ window_i ^ window_{i+19}` (the taps at stream
+    /// distances 58 and 39). The feedback distance 39 < 64 makes out bits
+    /// 39.. depend on out bits 0..25 of the *same* word, so the closed
+    /// form is iterated twice: pass 1 settles bits 0..39 (history only),
+    /// pass 2 settles the rest (chain depth ⌈64/39⌉ = 2).
+    #[inline]
+    pub fn scramble_word_sliced(&mut self, word: u64) -> u64 {
+        let h = self.history_window();
+        let mut out = 0u64;
+        for _ in 0..2 {
+            let window = h | (out as u128) << 58;
+            out = word ^ (window as u64) ^ ((window >> 19) as u64);
+        }
+        // The register now holds the last 58 emitted bits, newest at the
+        // LSB: reverse back out of stream order and mask to 58 bits.
+        self.state = out.reverse_bits() & ((1u64 << 58) - 1);
+        out
+    }
+
+    /// Word-parallel descramble. Self-synchronizing, so the window is
+    /// fed with *received* bits — no feedback dependency, single pass:
+    /// `out_i = word_i ^ window_i ^ window_{i+19}` with
+    /// `window = history | word << 58`.
+    #[inline]
+    pub fn descramble_word_sliced(&mut self, word: u64) -> u64 {
+        let window = self.history_window() | (word as u128) << 58;
+        let out = word ^ (window as u64) ^ ((window >> 19) as u64);
+        self.state = word.reverse_bits() & ((1u64 << 58) - 1);
+        out
+    }
+
+    /// Bit-at-a-time scramble, retained as the differential oracle for
+    /// [`Scrambler::scramble_word_sliced`].
+    pub fn scramble_word_scalar(&mut self, word: u64) -> u64 {
         let mut out = 0u64;
         for i in 0..64 {
             let b = ((word >> i) & 1) as u8;
@@ -59,8 +133,9 @@ impl Scrambler {
         out
     }
 
-    /// Descramble a 64-bit word LSB-first.
-    pub fn descramble_word(&mut self, word: u64) -> u64 {
+    /// Bit-at-a-time descramble, retained as the differential oracle for
+    /// [`Scrambler::descramble_word_sliced`].
+    pub fn descramble_word_scalar(&mut self, word: u64) -> u64 {
         let mut out = 0u64;
         for i in 0..64 {
             let b = ((word >> i) & 1) as u8;
@@ -144,6 +219,26 @@ mod tests {
             let mut rx = Scrambler::new();
             for &w in &words {
                 prop_assert_eq!(rx.descramble_word(tx.scramble_word(w)), w);
+            }
+        }
+
+        /// The word-parallel kernels must match the bit loop exactly —
+        /// every output word AND the register state after each word, from
+        /// any starting state.
+        #[test]
+        fn sliced_words_match_bit_loop(
+            state in 1u64..(1 << 58),
+            words in proptest::collection::vec(any::<u64>(), 1..32),
+        ) {
+            let mut tx_s = Scrambler { state };
+            let mut tx_b = Scrambler { state };
+            let mut rx_s = Scrambler { state };
+            let mut rx_b = Scrambler { state };
+            for &w in &words {
+                prop_assert_eq!(tx_s.scramble_word_sliced(w), tx_b.scramble_word_scalar(w));
+                prop_assert_eq!(tx_s.state, tx_b.state);
+                prop_assert_eq!(rx_s.descramble_word_sliced(w), rx_b.descramble_word_scalar(w));
+                prop_assert_eq!(rx_s.state, rx_b.state);
             }
         }
     }

@@ -118,19 +118,87 @@ pub fn default_config() -> Config {
                 func: "decode_scratch",
                 harness: Some("crates/fec/tests/alloc_free.rs"),
             },
-            // The batched OOK slicer and the symbol corruptor have no
-            // counting-allocator harness (they allocate nothing by
-            // construction — fixed arrays and in-place flips); their
-            // differential proptests pin values, this rule pins allocs.
+            // The fused syndrome kernels read host-side tables built at
+            // construction; they have no dedicated harness entry (the
+            // decode_scratch harness covers them transitively) but the
+            // static rule pins their bodies allocation-free.
+            RegistryFn {
+                file: "crates/fec/src/rs.rs",
+                func: "syndromes_into",
+                harness: None,
+            },
+            RegistryFn {
+                file: "crates/fec/src/bch.rs",
+                func: "syndromes_into",
+                harness: None,
+            },
+            // The bit-sliced Monte-Carlo kernels (slicer, injector,
+            // scrambler, PRBS bank) and their dispatchers: runtime-proved
+            // by the sim-side counting-allocator harness, statically
+            // pinned here. Differential proptests pin values, this rule
+            // pins allocs.
             RegistryFn {
                 file: "crates/sim/src/montecarlo.rs",
                 func: "count_errors",
-                harness: None,
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/sim/src/montecarlo.rs",
+                func: "count_errors_sliced",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/sim/src/inject.rs",
+                func: "corrupt_words",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/sim/src/inject.rs",
+                func: "corrupt_words_sliced",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
             },
             RegistryFn {
                 file: "crates/sim/src/inject.rs",
                 func: "corrupt_symbols",
-                harness: None,
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/sim/src/inject.rs",
+                func: "corrupt_lane",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/link/src/scrambler.rs",
+                func: "scramble_word_sliced",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/link/src/scrambler.rs",
+                func: "descramble_word_sliced",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/link/src/prbs.rs",
+                func: "next_bits",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/link/src/prbs.rs",
+                func: "bits_into",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            // Raw-draw RNG primitives the sliced kernels are built on:
+            // slab fill of whole ChaCha words and the packed Bernoulli
+            // thinning pass. Both operate on caller-provided buffers.
+            RegistryFn {
+                file: "crates/sim/src/rng.rs",
+                func: "fill_u64",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/sim/src/rng.rs",
+                func: "at_most",
+                harness: Some("crates/sim/tests/alloc_free.rs"),
             },
         ],
     }

@@ -10,6 +10,11 @@
 /// Uses the Chebyshev-fitted approximation from Numerical Recipes ("erfcc"),
 /// with fractional error below 1.2e-7 everywhere — far tighter than any
 /// device-parameter uncertainty in this workspace.
+///
+/// `#[inline]` (with [`erf`]/[`normal_tail`] below): these sit inside the
+/// figure sweeps' nested bisection solves, hundreds of calls per sweep
+/// point, and are otherwise opaque across the crate boundary.
+#[inline]
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
@@ -31,11 +36,13 @@ pub fn erfc(x: f64) -> f64 {
 }
 
 /// Error function, `erf(x) = 1 - erfc(x)`.
+#[inline]
 pub fn erf(x: f64) -> f64 {
     1.0 - erfc(x)
 }
 
 /// Standard normal upper-tail probability `Q(x) = P(N(0,1) > x)`.
+#[inline]
 pub fn normal_tail(x: f64) -> f64 {
     0.5 * erfc(x / core::f64::consts::SQRT_2)
 }

@@ -1,6 +1,7 @@
 //! Monte-Carlo lifetime simulation — the independent cross-check on the
 //! closed-form and Markov models.
 
+use mosaic_sim::rng::Bernoulli;
 use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
 use mosaic_units::{Duration, Fit};
 
@@ -66,20 +67,16 @@ pub fn simulate_pool_no_repair_with(
     // Each channel fails before `t` with p = 1 − e^{−λt}; order statistics
     // are not needed.
     let p_fail = 1.0 - (-lam * horizon.as_hours()).exp();
+    // Hoisted once per sweep config: the inner loop below runs
+    // trials × n times and must do no per-draw float preparation.
+    let fail = Bernoulli::new(p_fail);
     let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
     let survived = exec.par_trials_sum(chunks, seed, "pool-lifetime", |c, rng| {
         let mut survived = 0u64;
         for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
-            let mut failures = 0usize;
-            for _ in 0..n {
-                if rng.chance(p_fail) {
-                    failures += 1;
-                    if failures > spares {
-                        break;
-                    }
-                }
-            }
-            if failures <= spares {
+            // 64 channels per decision word; draw-for-draw identical to
+            // the sequential per-channel loop (see `Bernoulli::at_most`).
+            if fail.at_most(n, spares, rng) {
                 survived += 1;
             }
         }

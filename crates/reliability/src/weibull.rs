@@ -8,7 +8,7 @@
 //! simplification under- or over-states pool survival.
 
 use crate::montecarlo::POOL_CHUNK_TRIALS;
-use mosaic_sim::rng::DetRng;
+use mosaic_sim::rng::{Bernoulli, DetRng};
 use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
 use mosaic_units::{Duration, Fit};
 
@@ -102,20 +102,15 @@ pub fn pool_survival_weibull_with(
     assert!(k >= 1 && k <= n);
     let p_fail = lifetime.failure_prob(horizon);
     let spares = n - k;
+    // Hoisted once per sweep config (see DESIGN §11).
+    let fail = Bernoulli::new(p_fail);
     let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
     let partial = exec.par_trials(chunks, seed, "weibull-pool", |c, rng| {
         let mut survived = 0u64;
         for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
-            let mut failures = 0usize;
-            for _ in 0..n {
-                if rng.chance(p_fail) {
-                    failures += 1;
-                    if failures > spares {
-                        break;
-                    }
-                }
-            }
-            if failures <= spares {
+            // 64 channels per decision word; draw-for-draw identical to
+            // the sequential per-channel loop (see `Bernoulli::at_most`).
+            if fail.at_most(n, spares, rng) {
                 survived += 1;
             }
         }

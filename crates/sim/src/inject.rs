@@ -65,6 +65,60 @@ impl BitErrorInjector {
         flips
     }
 
+    /// Corrupt a whole slice of 64-bit words in place, treating it as one
+    /// contiguous bit stream; returns the number of flips.
+    ///
+    /// Dispatches to the batched kernel by default or the retained
+    /// word-at-a-time loop under `--features scalar-kernels`; draws,
+    /// flips, and carried gap are identical either way (pinned by the
+    /// `batched_words_path_equals_word_loop` proptest).
+    #[inline]
+    pub fn corrupt_words(&mut self, words: &mut [u64]) -> u64 {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            self.corrupt_words_scalar(words)
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            self.corrupt_words_sliced(words)
+        }
+    }
+
+    /// Batched corruption kernel: one geometric-skip loop across the
+    /// whole slice — the per-word boundary bookkeeping (`gap -= 64 − pos`
+    /// carried word to word) collapses into a single `pos >> 6` /
+    /// `pos & 63` index split per *error*, so low-BER slices cost one
+    /// table-free jump per flip regardless of word count.
+    #[cfg_attr(all(not(test), feature = "scalar-kernels"), allow(dead_code))]
+    pub fn corrupt_words_sliced(&mut self, words: &mut [u64]) -> u64 {
+        let n = words.len() as u64 * 64;
+        let mut flips = 0u64;
+        let mut pos = 0u64;
+        while pos + self.gap < n {
+            pos += self.gap;
+            words[(pos >> 6) as usize] ^= 1u64 << (pos & 63);
+            flips += 1;
+            pos += 1;
+            self.gap = self.rng.geometric(self.ber);
+        }
+        self.gap -= n - pos;
+        self.bits += n;
+        self.errors += flips;
+        flips
+    }
+
+    /// The retained word-at-a-time loop, the differential oracle for
+    /// [`BitErrorInjector::corrupt_words_sliced`]. Active as the
+    /// `corrupt_words` path under `--features scalar-kernels`.
+    #[cfg_attr(not(any(test, feature = "scalar-kernels")), allow(dead_code))]
+    pub fn corrupt_words_scalar(&mut self, words: &mut [u64]) -> u64 {
+        let mut flips = 0u64;
+        for w in words.iter_mut() {
+            flips += self.corrupt_word(w) as u64;
+        }
+        flips
+    }
+
     /// Corrupt a slice of 0/1 bits in place; returns the number of flips.
     pub fn corrupt_bits(&mut self, bits: &mut [u8]) -> u64 {
         let mut flips = 0u64;
@@ -109,14 +163,53 @@ impl BitErrorInjector {
     /// control blocks with their own heavy protection in hardware; we
     /// model them as error-free and account their loss separately via
     /// fault injection). Returns flips.
+    ///
+    /// The default build gathers runs of consecutive `Data` words into a
+    /// stack buffer and corrupts each run with the batched
+    /// [`BitErrorInjector::corrupt_words`] kernel; markers never consume
+    /// stream positions, so the bit stream — and every draw — is
+    /// identical to the retained word-at-a-time loop (`scalar-kernels`).
     pub fn corrupt_lane(&mut self, lane: &mut [LaneWord]) -> u64 {
-        let mut flips = 0u64;
-        for w in lane.iter_mut() {
-            if let LaneWord::Data(d) = w {
-                flips += self.corrupt_word(d) as u64;
+        #[cfg(feature = "scalar-kernels")]
+        {
+            let mut flips = 0u64;
+            for w in lane.iter_mut() {
+                if let LaneWord::Data(d) = w {
+                    flips += self.corrupt_word(d) as u64;
+                }
             }
+            flips
         }
-        flips
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            const RUN: usize = 64;
+            let mut buf = [0u64; RUN];
+            let mut flips = 0u64;
+            let mut i = 0;
+            while i < lane.len() {
+                if !matches!(lane[i], LaneWord::Data(_)) {
+                    i += 1;
+                    continue;
+                }
+                // Gather up to RUN consecutive data words.
+                let mut len = 0;
+                while len < RUN {
+                    match lane.get(i + len) {
+                        Some(LaneWord::Data(d)) => {
+                            buf[len] = *d;
+                            len += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                flips += self.corrupt_words(&mut buf[..len]);
+                for (w, &b) in lane[i..i + len].iter_mut().zip(&buf[..len]) {
+                    *w = LaneWord::Data(b);
+                }
+                i += len;
+            }
+            flips
+        }
     }
 }
 
@@ -224,6 +317,66 @@ mod tests {
             }
             prop_assert_eq!(inj_syms.bits, inj_bits.bits);
             prop_assert_eq!(inj_syms.errors, inj_bits.errors);
+        }
+
+        #[test]
+        fn batched_words_path_equals_word_loop(
+            seed in 0u64..200,
+            exp in -4f64..-0.8,
+            nwords in prop_oneof![Just(1usize), Just(15), Just(16), Just(17), 1usize..64],
+            rounds in 1usize..4,
+        ) {
+            // The batched kernel must replicate the word-at-a-time loop
+            // exactly: same flips, same counters, same residual gap
+            // carried across calls (rounds > 1 exercises the carry).
+            let ber = 10f64.powf(exp);
+            let mut inj_batch = BitErrorInjector::new(ber, DetRng::new(seed));
+            let mut inj_loop = BitErrorInjector::new(ber, DetRng::new(seed));
+            for round in 0..rounds {
+                let mut a = vec![round as u64; nwords];
+                let mut b = a.clone();
+                let fa = inj_batch.corrupt_words_sliced(&mut a);
+                let fb = inj_loop.corrupt_words_scalar(&mut b);
+                prop_assert_eq!(fa, fb);
+                prop_assert_eq!(&a, &b);
+            }
+            prop_assert_eq!(inj_batch.bits, inj_loop.bits);
+            prop_assert_eq!(inj_batch.errors, inj_loop.errors);
+            prop_assert_eq!(inj_batch.gap, inj_loop.gap);
+        }
+
+        #[test]
+        fn lane_batching_matches_word_loop(
+            seed in 0u64..200,
+            exp in -3f64..-0.8,
+            mask in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            // corrupt_lane's run gathering must reproduce the plain
+            // word-at-a-time loop under arbitrary marker/data patterns
+            // (markers consume no stream positions in either form).
+            let ber = 10f64.powf(exp);
+            let mut lane_a: Vec<LaneWord> = mask.iter().enumerate()
+                .map(|(i, &data)| if data {
+                    LaneWord::Data(i as u64)
+                } else {
+                    LaneWord::Marker(i as u32)
+                })
+                .collect();
+            let mut lane_b = lane_a.clone();
+            let mut inj_a = BitErrorInjector::new(ber, DetRng::new(seed));
+            let mut inj_b = BitErrorInjector::new(ber, DetRng::new(seed));
+            let fa = inj_a.corrupt_lane(&mut lane_a);
+            let mut fb = 0u64;
+            for w in lane_b.iter_mut() {
+                if let LaneWord::Data(d) = w {
+                    fb += inj_b.corrupt_word(d) as u64;
+                }
+            }
+            prop_assert_eq!(fa, fb);
+            prop_assert_eq!(&lane_a, &lane_b);
+            prop_assert_eq!(inj_a.bits, inj_b.bits);
+            prop_assert_eq!(inj_a.errors, inj_b.errors);
+            prop_assert_eq!(inj_a.gap, inj_b.gap);
         }
 
         #[test]

@@ -10,7 +10,7 @@
 //!    post-FEC rates against `mosaic_fec::analysis`.
 
 use crate::inject::BitErrorInjector;
-use crate::rng::DetRng;
+use crate::rng::{Bernoulli, DetRng};
 use crate::sweep::{chunk_count, chunk_len, Exec};
 use mosaic_fec::rs::{DecodeOutcome, ReedSolomon};
 use mosaic_fec::DecodeScratch;
@@ -77,17 +77,27 @@ pub fn wilson_ci(errors: u64, trials: u64) -> (f64, f64) {
 
 /// Decision-circuit operating point for the OOK slicer: rail currents,
 /// rail noises, and the optimum threshold between them.
+///
+/// Public so the kernel-equivalence proptests (sliced vs scalar, at lane
+/// counts that straddle the 64-bit word boundary) can drive the slicer
+/// directly; figure code goes through [`simulate_ook_ber_par`].
 #[derive(Debug, Clone, Copy)]
-struct SlicerPoint {
-    i1: f64,
-    i0: f64,
-    s1: f64,
-    s0: f64,
-    threshold: f64,
+pub struct SlicerPoint {
+    /// One-rail photocurrent (A).
+    pub i1: f64,
+    /// Zero-rail photocurrent (A).
+    pub i0: f64,
+    /// One-rail noise sigma (A).
+    pub s1: f64,
+    /// Zero-rail noise sigma (A).
+    pub s0: f64,
+    /// Decision threshold (A).
+    pub threshold: f64,
 }
 
 impl SlicerPoint {
-    fn of(rx: &OokReceiver, avg_power: Power) -> Self {
+    /// Operating point of a receiver at a given average power.
+    pub fn of(rx: &OokReceiver, avg_power: Power) -> Self {
         let (p1, p0) = rx.levels(avg_power);
         let i1 = rx.pd.photocurrent(p1) + rx.pd.dark_current_a;
         let i0 = rx.pd.photocurrent(p0) + rx.pd.dark_current_a;
@@ -106,43 +116,85 @@ impl SlicerPoint {
 
     /// Slice `bits` noisy samples from `rng`, returning the error count.
     ///
-    /// Batched: draws land in block buffers first (one `chance` then one
-    /// `standard_normal` per bit — the exact `DetRng` call sequence of
-    /// the scalar loop), then a second, branch-light pass computes the
-    /// identical float expression `level + sigma·z` and compares against
-    /// the threshold. Values are bit-identical to the scalar form; the
-    /// split lets the decision pass vectorize and keeps the RNG state
-    /// machine out of the comparison loop.
-    fn count_errors(&self, bits: u64, rng: &mut DetRng) -> u64 {
+    /// Dispatches to the bit-sliced kernel by default, or to the retained
+    /// scalar loop under `--features scalar-kernels`. Error counts and
+    /// RNG draw sequences are bit-identical either way (pinned by the
+    /// `sliced_slicer_matches_scalar_reference` proptest).
+    #[inline]
+    pub fn count_errors(&self, bits: u64, rng: &mut DetRng) -> u64 {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            self.count_errors_scalar(bits, rng)
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            self.count_errors_sliced(bits, rng)
+        }
+    }
+
+    /// Bit-sliced slicer kernel: transmitted bits and decisions are
+    /// packed 64 lanes per `u64` word and errors are counted with one
+    /// `popcount(tx ^ decided)` per word.
+    ///
+    /// The draw pass bulk-fills the block's raw words (three per bit, in
+    /// the scalar loop's exact order: transmit decision, then the two
+    /// Box-Muller uniforms) with one [`DetRng::fill_u64`] call, then
+    /// applies the identical per-draw transforms via [`Bernoulli::decide`]
+    /// and [`DetRng::standard_normal_of`] while packing the transmitted
+    /// bit into `tx[lane]`; the decision pass computes the identical
+    /// float expression `level + sigma·z`, packs the comparator output,
+    /// and XOR/popcounts. Tail blocks shorter than 64 lanes leave the
+    /// high lanes zero in *both* words, so the XOR contributes nothing —
+    /// the tail-lane masking rule of DESIGN §11.
+    #[cfg_attr(all(not(test), feature = "scalar-kernels"), allow(dead_code))]
+    pub fn count_errors_sliced(&self, bits: u64, rng: &mut DetRng) -> u64 {
+        const WORD: usize = 64;
         const BLOCK: usize = 256;
-        let mut ones = [false; BLOCK];
+        const DRAWS_PER_BIT: usize = 3;
+        let half = Bernoulli::new(0.5);
+        let mut tx = [0u64; BLOCK / WORD];
         let mut zs = [0f64; BLOCK];
+        let mut draws = [0u64; DRAWS_PER_BIT * BLOCK];
         let mut errors = 0u64;
         let mut remaining = bits;
         while remaining > 0 {
             let len = remaining.min(BLOCK as u64) as usize;
+            let words = len.div_ceil(WORD);
+            tx[..words].fill(0);
+            rng.fill_u64(&mut draws[..DRAWS_PER_BIT * len]);
             for j in 0..len {
-                ones[j] = rng.chance(0.5);
-                zs[j] = rng.standard_normal();
+                let one = half.decide(draws[DRAWS_PER_BIT * j]);
+                tx[j / WORD] |= (one as u64) << (j % WORD);
+                zs[j] = DetRng::standard_normal_of(
+                    draws[DRAWS_PER_BIT * j + 1],
+                    draws[DRAWS_PER_BIT * j + 2],
+                );
             }
-            for j in 0..len {
-                let (level, sigma) = if ones[j] {
-                    (self.i1, self.s1)
-                } else {
-                    (self.i0, self.s0)
-                };
-                let sample = level + sigma * zs[j];
-                errors += ((sample > self.threshold) != ones[j]) as u64;
+            for (w, &txw) in tx[..words].iter().enumerate() {
+                let lanes = (len - w * WORD).min(WORD);
+                let mut decided = 0u64;
+                for l in 0..lanes {
+                    let one = (txw >> l) & 1 != 0;
+                    let (level, sigma) = if one {
+                        (self.i1, self.s1)
+                    } else {
+                        (self.i0, self.s0)
+                    };
+                    let sample = level + sigma * zs[w * WORD + l];
+                    decided |= ((sample > self.threshold) as u64) << l;
+                }
+                errors += (decided ^ txw).count_ones() as u64;
             }
             remaining -= len as u64;
         }
         errors
     }
 
-    /// The scalar reference slicer (pre-batching), retained as the
-    /// differential oracle for [`SlicerPoint::count_errors`].
-    #[cfg(test)]
-    fn count_errors_reference(&self, bits: u64, rng: &mut DetRng) -> u64 {
+    /// The retained scalar slicer: one bit at a time, the differential
+    /// oracle for [`SlicerPoint::count_errors_sliced`]. Active as the
+    /// `count_errors` path under `--features scalar-kernels`.
+    #[cfg_attr(not(any(test, feature = "scalar-kernels")), allow(dead_code))]
+    pub fn count_errors_scalar(&self, bits: u64, rng: &mut DetRng) -> u64 {
         let mut errors = 0u64;
         for _ in 0..bits {
             let (level, sigma, is_one) = if rng.chance(0.5) {
@@ -400,15 +452,16 @@ mod tests {
 
     proptest::proptest! {
         #[test]
-        fn batched_slicer_matches_scalar_reference(
+        fn sliced_slicer_matches_scalar_reference(
             seed in 0u64..500,
             bits in 0u64..2000,
             snr in 1.0f64..8.0,
         ) {
-            // The batched slicer must reproduce the scalar loop exactly:
-            // same error count AND same final RNG state (so downstream
-            // draws are unaffected). `snr` spaces the rails in units of
-            // the noise sigma, sweeping error rates from ~0.5 to ~1e-4.
+            // The bit-sliced slicer must reproduce the scalar loop
+            // exactly: same error count AND same final RNG state (so
+            // downstream draws are unaffected). `snr` spaces the rails in
+            // units of the noise sigma, sweeping error rates from ~0.5 to
+            // ~1e-4.
             let point = SlicerPoint {
                 i1: 10e-6 + snr * 1e-6,
                 i0: 10e-6 - snr * 1e-6,
@@ -416,12 +469,12 @@ mod tests {
                 s0: 0.9e-6,
                 threshold: 10e-6,
             };
-            let mut rng_batch = DetRng::new(seed);
+            let mut rng_sliced = DetRng::new(seed);
             let mut rng_ref = DetRng::new(seed);
-            let batched = point.count_errors(bits, &mut rng_batch);
-            let scalar = point.count_errors_reference(bits, &mut rng_ref);
-            proptest::prop_assert_eq!(batched, scalar);
-            proptest::prop_assert_eq!(rng_batch.next_u64(), rng_ref.next_u64());
+            let sliced = point.count_errors_sliced(bits, &mut rng_sliced);
+            let scalar = point.count_errors_scalar(bits, &mut rng_ref);
+            proptest::prop_assert_eq!(sliced, scalar);
+            proptest::prop_assert_eq!(rng_sliced.next_u64(), rng_ref.next_u64());
         }
     }
 

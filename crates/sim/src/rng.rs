@@ -37,6 +37,150 @@ pub struct DetRng {
     inner: ChaCha8Rng,
 }
 
+/// Precomputed integer threshold for a Bernoulli draw: the unique `T`
+/// with `chance(p) ⟺ (next_u64() >> 11) < T`.
+///
+/// Exactness argument: `chance(p)` compares `m·2⁻⁵³ < p` where
+/// `m = next_u64() >> 11 < 2⁵³`. Both `m·2⁻⁵³` and `p·2⁵³` are exact in
+/// f64 (power-of-two scaling shifts only the exponent), and for integer
+/// `m`, `m < x ⟺ m < ⌈x⌉`, so `T = ⌈p·2⁵³⌉` reproduces every `chance(p)`
+/// decision bit-for-bit while hoisting the float conversion out of the
+/// inner loop. Hot sweep loops build this once per sweep point — the
+/// "host-side table" discipline of DESIGN §11.
+#[inline]
+pub fn bernoulli_threshold(p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    (p * (1u64 << 53) as f64).ceil() as u64
+}
+
+/// A Bernoulli distribution prepared once per sweep config for hot
+/// Monte-Carlo loops. The default build precomputes the integer
+/// threshold (the host-side-table discipline of DESIGN §11) so the
+/// per-draw work is one shift and one compare; `--features
+/// scalar-kernels` retains the original float-compare form. Both consume
+/// one `next_u64` per sample and return identical decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    #[cfg(feature = "scalar-kernels")]
+    p: f64,
+    #[cfg(not(feature = "scalar-kernels"))]
+    threshold: u64,
+}
+
+impl Bernoulli {
+    /// Prepare a Bernoulli(p) draw.
+    #[inline]
+    pub fn new(p: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&p));
+        #[cfg(feature = "scalar-kernels")]
+        {
+            Bernoulli { p }
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            Bernoulli {
+                threshold: bernoulli_threshold(p),
+            }
+        }
+    }
+
+    /// One trial; exactly equivalent to `rng.chance(p)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> bool {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            rng.chance(self.p)
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            rng.chance_with_threshold(self.threshold)
+        }
+    }
+
+    /// The decision for one raw [`DetRng::next_u64`] draw `d` — exactly
+    /// the comparison [`Bernoulli::sample`] performs after drawing `d`.
+    /// Lets slab-filled kernels (see [`DetRng::fill_u64`]) decide without
+    /// per-trial generator calls.
+    #[inline]
+    pub fn decide(&self, d: u64) -> bool {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            DetRng::uniform_of(d) < self.p
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            (d >> 11) < self.threshold
+        }
+    }
+
+    /// Run up to `n` trials and report whether at most `cap` succeeded,
+    /// stopping as soon as the `(cap + 1)`-th success occurs — the
+    /// k-of-n pool-survival inner loop (`n` channels, `cap` spares).
+    ///
+    /// Draw consumption is exactly that of the sequential early-break
+    /// loop: all `n` draws on success, one draw past the `(cap + 1)`-th
+    /// success on failure — so downstream consumers of the stream see
+    /// identical values either way.
+    ///
+    /// The default build packs 64 decisions per `u64` word (DESIGN §11):
+    /// a slab of raw draws is bulk-filled, the threshold compares pack
+    /// into a decision word, and a popcount counts successes 64 trials
+    /// at a time. An early break overdraws the slab, so the kernel
+    /// rewinds the stream to the sequential loop's exact stopping point
+    /// via [`DetRng::set_word_pos`]. `--features scalar-kernels` retains
+    /// the one-draw-per-trial loop as the differential oracle.
+    pub fn at_most(&self, n: usize, cap: usize, rng: &mut DetRng) -> bool {
+        #[cfg(feature = "scalar-kernels")]
+        {
+            let mut successes = 0usize;
+            for _ in 0..n {
+                if self.sample(rng) {
+                    successes += 1;
+                    if successes > cap {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        #[cfg(not(feature = "scalar-kernels"))]
+        {
+            const SLAB: usize = 64;
+            let start = rng.word_pos();
+            let mut draws = [0u64; SLAB];
+            let mut successes = 0usize;
+            let mut done = 0usize;
+            while done < n {
+                let take = SLAB.min(n - done);
+                rng.fill_u64(&mut draws[..take]);
+                // Pack this slab's decisions: bit j = trial (done + j)
+                // succeeded. Tail slabs leave high bits zero.
+                let mut word = 0u64;
+                for (j, &d) in draws[..take].iter().enumerate() {
+                    word |= u64::from(self.decide(d)) << j;
+                }
+                let c = word.count_ones() as usize;
+                if successes + c > cap {
+                    // Locate the (cap + 1 − successes)-th set bit: clear
+                    // the lower ones, then index the survivor. The
+                    // sequential loop would have stopped right after
+                    // that trial, so rewind to its draw position.
+                    let mut w = word;
+                    for _ in 0..(cap - successes) {
+                        w &= w - 1;
+                    }
+                    let idx = w.trailing_zeros() as usize;
+                    rng.set_word_pos(start + 2 * (done + idx + 1) as u64);
+                    return false;
+                }
+                successes += c;
+                done += take;
+            }
+            true
+        }
+    }
+}
+
 impl DetRng {
     /// Root stream for a master seed.
     pub fn new(seed: u64) -> Self {
@@ -73,38 +217,102 @@ impl DetRng {
     }
 
     /// Uniform f64 in [0, 1).
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
         self.inner.gen::<f64>()
     }
 
     /// Uniform u64.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.inner.gen()
     }
 
+    /// Bulk draw: fill `out` with exactly the values [`DetRng::next_u64`]
+    /// would return called `out.len()` times, amortizing the generator's
+    /// buffer bookkeeping over the whole slab.
+    #[inline]
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        self.inner.fill_u64s(out);
+    }
+
+    /// Absolute stream position in 32-bit keystream words. Every
+    /// [`DetRng`] drawing method consumes whole `u64`s (two words), so
+    /// the position advances by 2 per draw; the word granularity is the
+    /// generator's, not a commitment of this API.
+    #[inline]
+    pub fn word_pos(&self) -> u64 {
+        self.inner.word_pos()
+    }
+
+    /// Seek to an absolute stream position previously read with
+    /// [`DetRng::word_pos`] — the rewind primitive that lets a batched
+    /// kernel overdraw and then restore the exact draw consumption of
+    /// its sequential oracle.
+    #[inline]
+    pub fn set_word_pos(&mut self, w: u64) {
+        self.inner.set_word_pos(w);
+    }
+
     /// Uniform integer in [0, n).
+    #[inline]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0);
         self.inner.gen_range(0..n)
     }
 
     /// Bernoulli trial.
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p));
         self.inner.gen::<f64>() < p
     }
 
+    /// Bernoulli trial against a [`bernoulli_threshold`]-precomputed
+    /// threshold: consumes exactly one `next_u64` draw, like
+    /// [`DetRng::chance`], and returns the identical decision (see the
+    /// exactness argument on `bernoulli_threshold`; pinned by the
+    /// `threshold_chance_is_bit_identical` proptest).
+    #[inline]
+    pub fn chance_with_threshold(&mut self, threshold: u64) -> bool {
+        (self.next_u64() >> 11) < threshold
+    }
+
     /// Standard normal via Box-Muller (one value per call; simple and
     /// deterministic rather than cached-pair clever).
+    #[inline]
     pub fn standard_normal(&mut self) -> f64 {
         let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
         let u2: f64 = self.inner.gen();
         (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
     }
 
+    /// The uniform `[0, 1)` value [`DetRng::uniform`] derives from one
+    /// raw [`DetRng::next_u64`] draw `d` — the exact 53-mantissa-bit
+    /// transform of the `rand` shim, for slab-filled kernels.
+    #[inline]
+    pub fn uniform_of(d: u64) -> f64 {
+        (d >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The [`DetRng::standard_normal`] value for two raw draws `(d1, d2)`
+    /// in stream order — bit-identical to calling `standard_normal` when
+    /// the generator would return `d1` then `d2` (pinned by the
+    /// `raw_word_transforms_match_sequential` proptest). The `u1` clamp
+    /// replays the shim's half-open-range guard float for float.
+    #[inline]
+    pub fn standard_normal_of(d1: u64, d2: u64) -> f64 {
+        let u = Self::uniform_of(d1);
+        let v = f64::MIN_POSITIVE + u * (1.0 - f64::MIN_POSITIVE);
+        let u1 = if v >= 1.0 { 1.0f64.next_down() } else { v };
+        let u2 = Self::uniform_of(d2);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+
     /// Geometric sample: number of failures before the first success with
     /// probability `p` — i.e. the gap to the next bit error at BER `p`.
     /// Saturates at `u64::MAX` for p ≈ 0.
+    #[inline]
     pub fn geometric(&mut self, p: f64) -> u64 {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         if p <= 0.0 {
@@ -125,6 +333,7 @@ impl DetRng {
     }
 
     /// Exponential inter-arrival sample with rate `lambda` (per unit time).
+    #[inline]
     pub fn exponential(&mut self, lambda: f64) -> f64 {
         assert!(lambda > 0.0, "rate must be positive");
         let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
@@ -196,5 +405,125 @@ mod tests {
         let mut r = DetRng::new(1);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+        let mut r = DetRng::new(1);
+        assert!(!r.chance_with_threshold(bernoulli_threshold(0.0)));
+        assert!(r.chance_with_threshold(bernoulli_threshold(1.0)));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The integer-threshold Bernoulli must reproduce `chance(p)`
+            /// decision-for-decision AND draw-for-draw (identical RNG
+            /// state afterwards), for arbitrary p including the extremes
+            /// and tiny sub-normal-adjacent values.
+            #[test]
+            fn threshold_chance_is_bit_identical(
+                seed in any::<u64>(),
+                p in prop_oneof![
+                    Just(0.0),
+                    Just(1.0),
+                    Just(1e-300),
+                    Just(f64::MIN_POSITIVE),
+                    0.0f64..=1.0,
+                ],
+                draws in 1usize..200,
+            ) {
+                let mut a = DetRng::new(seed);
+                let mut b = DetRng::new(seed);
+                let t = bernoulli_threshold(p);
+                for _ in 0..draws {
+                    prop_assert_eq!(a.chance(p), b.chance_with_threshold(t));
+                }
+                // Same stream position afterwards.
+                prop_assert_eq!(a.next_u64(), b.next_u64());
+            }
+
+            /// `Bernoulli::at_most` (packed 64-trials-per-word in the
+            /// default build) must match the sequential early-break loop
+            /// in both verdict and exact draw consumption, across slab
+            /// boundaries (n = 1, 63..65, 128) and arbitrary caps —
+            /// including caps the trial count can never exceed.
+            #[test]
+            fn at_most_matches_sequential_loop(
+                seed in any::<u64>(),
+                p in prop_oneof![Just(0.0), Just(1.0), Just(1e-4), 0.0f64..=1.0],
+                n in prop_oneof![Just(0usize), Just(1), Just(63), Just(64), Just(65), Just(128), 0usize..200],
+                cap in 0usize..80,
+                rounds in 1usize..4,
+            ) {
+                let mut a = DetRng::new(seed);
+                let mut b = DetRng::new(seed);
+                let bern = Bernoulli::new(p);
+                for _ in 0..rounds {
+                    let expect = {
+                        let mut successes = 0usize;
+                        let mut ok = true;
+                        for _ in 0..n {
+                            if a.chance(p) {
+                                successes += 1;
+                                if successes > cap {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        ok
+                    };
+                    prop_assert_eq!(bern.at_most(n, cap, &mut b), expect);
+                    prop_assert_eq!(a.word_pos(), b.word_pos());
+                }
+                // Downstream draws agree after interleaved early breaks.
+                prop_assert_eq!(a.next_u64(), b.next_u64());
+            }
+
+            /// The raw-word transforms must reproduce the sequential
+            /// draw methods bit for bit: `uniform_of` vs `uniform`/
+            /// `chance`, and `standard_normal_of` vs `standard_normal`,
+            /// from any stream position.
+            #[test]
+            fn raw_word_transforms_match_sequential(
+                seed in any::<u64>(),
+                pre in 0usize..40,
+                p in 0.0f64..=1.0,
+            ) {
+                let mut a = DetRng::new(seed);
+                let mut b = DetRng::new(seed);
+                for _ in 0..pre {
+                    prop_assert_eq!(a.next_u64(), b.next_u64());
+                }
+                let d = b.next_u64();
+                prop_assert_eq!(a.uniform(), DetRng::uniform_of(d));
+                let d = b.next_u64();
+                prop_assert_eq!(a.chance(p), DetRng::uniform_of(d) < p);
+                let (d1, d2) = (b.next_u64(), b.next_u64());
+                let z_seq = a.standard_normal();
+                let z_raw = DetRng::standard_normal_of(d1, d2);
+                prop_assert_eq!(z_seq.to_bits(), z_raw.to_bits());
+                prop_assert_eq!(a.next_u64(), b.next_u64());
+            }
+
+            /// Bulk `fill_u64` is a pure batching of `next_u64`.
+            #[test]
+            fn fill_u64_matches_sequential_draws(
+                seed in any::<u64>(),
+                len in prop_oneof![Just(0usize), Just(1), Just(31), Just(32), Just(33), 0usize..100],
+                pre in 0usize..40,
+            ) {
+                let mut a = DetRng::new(seed);
+                let mut b = DetRng::new(seed);
+                for _ in 0..pre {
+                    prop_assert_eq!(a.next_u64(), b.next_u64());
+                }
+                let mut got = vec![0u64; len];
+                a.fill_u64(&mut got);
+                for (i, &w) in got.iter().enumerate() {
+                    prop_assert_eq!(w, b.next_u64(), "word {}", i);
+                }
+                prop_assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
     }
 }
