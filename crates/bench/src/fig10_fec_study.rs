@@ -8,7 +8,8 @@ use crate::table::Table;
 use mosaic::config::FecChoice;
 use mosaic_fec::analysis::{binary_performance, rs_performance};
 use mosaic_fec::rs::ReedSolomon;
-use mosaic_sim::montecarlo::run_rs_channel_with;
+use mosaic_sim::fidelity::{Assessment, Exactness, FidelityController};
+use mosaic_sim::montecarlo::{run_rs_channel_with, wilson_ci};
 use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_sim::telemetry::Stopwatch;
 
@@ -73,18 +74,44 @@ pub fn run() -> String {
     // validated is identical.
     let rs = ReedSolomon::new(8, 31, 23);
     let exec = Exec::from_env();
+    let ctrl = FidelityController::new(runcfg::fidelity());
     let codewords = runcfg::trials(4000, 600);
     let start = Stopwatch::start();
+    let mut word_failure = Vec::new();
+    let mut word_lo = Vec::new();
+    let mut word_hi = Vec::new();
+    let mut mc_words = 0u64;
     for &ber in &[1e-2, 2e-2, 4e-2] {
-        let run = run_rs_channel_with(&exec, &rs, ber, codewords, 17);
         let analytic = rs_performance(rs.n(), rs.t(), rs.symbol_bits(), ber);
+        // The analytic word-failure curve ignores miscorrection, so it is
+        // a model, not the sampler's exact mean; margin-zero assessment
+        // (threshold = prediction) keeps the point on the MC tier at an
+        // events-targeted budget.
+        let assessment = Assessment {
+            analytic_p: analytic.codeword_failure_prob,
+            threshold: analytic.codeword_failure_prob,
+            full_trials: codewords,
+            exactness: Exactness::Model,
+            tail_available: false,
+        };
+        let decision = ctrl.classify(&assessment);
+        ctrl.note_decision(codewords, &decision);
+        let run = run_rs_channel_with(&exec, &rs, ber, decision.trials, 17);
+        mc_words += decision.trials;
+        let (lo, hi) = wilson_ci(run.failures + run.miscorrected, run.codewords);
+        word_failure.push(run.failure_prob());
+        word_lo.push(lo);
+        word_hi.push(hi);
         out.push_str(&format!(
             "  RS(31,23) @BER {ber:.0e}: measured word-failure {:.3e}, analytic {:.3e}\n",
             run.failure_prob(),
             analytic.codeword_failure_prob
         ));
     }
-    RunStats::new(3 * codewords, start.elapsed(), exec.threads()).report("F10");
+    RunStats::new(mc_words, start.elapsed(), exec.threads()).report("F10");
+    mosaic_sim::telemetry::record_series("f10.rs_word_failure", &word_failure);
+    mosaic_sim::telemetry::record_series("f10.rs_word_failure_ci_lo", &word_lo);
+    mosaic_sim::telemetry::record_series("f10.rs_word_failure_ci_hi", &word_hi);
 
     out.push_str("\nF10c: FEC threshold (pre-FEC BER for 1e-15 output)\n");
     for (name, fec) in &codes {

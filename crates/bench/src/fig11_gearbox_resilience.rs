@@ -2,9 +2,11 @@
 //! channels survive skew and channel kills via hot sparing.
 
 use crate::cells;
+use crate::runcfg;
 use crate::table::Table;
 use mosaic_sim::faults::{Fault, FaultSchedule};
-use mosaic_sim::link_sim::{simulate_link_with, LinkSimConfig};
+use mosaic_sim::fidelity::FidelityController;
+use mosaic_sim::link_sim::{simulate_link_at_fidelity, LinkSimConfig};
 use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_sim::telemetry::Stopwatch;
 
@@ -38,6 +40,7 @@ pub fn run() -> String {
         "silent corruption",
     ]);
     let exec = Exec::from_env();
+    let ctrl = FidelityController::new(runcfg::fidelity());
     let mut frames = 0u64;
     let start = Stopwatch::start();
     for spares in [0usize, 1, 2, 4, 8] {
@@ -46,7 +49,7 @@ pub fn run() -> String {
             .at(3, Fault::Kill { channel: 10 })
             .at(6, Fault::Kill { channel: 20 })
             .at(9, Fault::Kill { channel: 30 });
-        let r = simulate_link_with(&exec, &cfg);
+        let r = simulate_link_at_fidelity(&ctrl, &exec, &cfg);
         frames += r.frames_sent;
         t.row(cells![
             spares,
@@ -64,7 +67,7 @@ pub fn run() -> String {
     let mut cfg = base(4);
     cfg.frame_size = 2048; // enough bits per channel to close monitor windows
     cfg.per_channel_ber[5] = 1e-3;
-    let r = simulate_link_with(&exec, &cfg);
+    let r = simulate_link_at_fidelity(&ctrl, &exec, &cfg);
     frames += r.frames_sent;
     RunStats::new(frames, start.elapsed(), exec.threads()).report("F11");
     out.push_str(&format!(

@@ -2,11 +2,13 @@
 //! none versus FEC overprovisioning.
 
 use crate::cells;
+use crate::runcfg;
 use crate::table::Table;
 use mosaic::reliability_model::channel_fit;
 use mosaic_reliability::sparing::{spares_for_target, sparing_table};
 use mosaic_sim::faults::{Fault, FaultSchedule};
-use mosaic_sim::link_sim::{simulate_link_with, LinkSimConfig};
+use mosaic_sim::fidelity::FidelityController;
+use mosaic_sim::link_sim::{simulate_link_at_fidelity, LinkSimConfig};
 use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_sim::telemetry::Stopwatch;
 use mosaic_units::Duration;
@@ -65,8 +67,11 @@ pub fn run() -> String {
     // run sequential inside (no nested fan-out). Results come back in
     // policy order, so the table is thread-count invariant.
     let exec = Exec::from_env();
+    let ctrl = FidelityController::new(runcfg::fidelity());
     let start = Stopwatch::start();
-    let runs = exec.par_sweep(&cfgs, |cfg| simulate_link_with(&Exec::with_threads(1), cfg));
+    let runs = exec.par_sweep(&cfgs, |cfg| {
+        simulate_link_at_fidelity(&ctrl, &Exec::with_threads(1), cfg)
+    });
     let frames: u64 = runs.iter().map(|r| r.frames_sent).sum();
     RunStats::new(frames, start.elapsed(), exec.threads()).report("F12");
     for ((name, _, _), r) in policies.iter().zip(&runs) {

@@ -10,6 +10,8 @@ use mosaic::reliability_model::channel_fit;
 use mosaic_reliability::markov::SparedPool;
 use mosaic_reliability::montecarlo::simulate_pool_no_repair_with;
 use mosaic_reliability::system::KofN;
+use mosaic_sim::fidelity::{Assessment, Exactness, FidelityController, Tier};
+use mosaic_sim::montecarlo::wilson_ci;
 use mosaic_sim::sweep::{Exec, RunStats};
 use mosaic_sim::telemetry::Stopwatch;
 use mosaic_units::{BitRate, Duration};
@@ -34,6 +36,7 @@ pub fn run() -> String {
     );
     let horizon = Duration::from_years(7.0);
     let exec = Exec::from_env();
+    let ctrl = FidelityController::new(runcfg::fidelity());
     let trials = runcfg::trials(100_000, 10_000);
     let start = Stopwatch::start();
     let mut t = Table::new(&[
@@ -43,28 +46,62 @@ pub fn run() -> String {
         "Monte-Carlo (100k)",
         "effective FIT",
     ]);
+    let mut mc_survival = Vec::new();
+    let mut mc_lo = Vec::new();
+    let mut mc_hi = Vec::new();
+    let mut mc_trials = 0u64;
     for spares in [0usize, 2, 4, 8, 16] {
         let pool = KofN::new(428, 428 + spares, channel_fit());
         let closed = pool.survival(horizon);
         let markov = SparedPool::new(428, 428 + spares, channel_fit(), 0.0).survival(horizon);
-        let mc = simulate_pool_no_repair_with(
-            &exec,
-            428,
-            428 + spares,
-            channel_fit(),
-            horizon,
-            trials,
-            6,
-        );
+        // The binomial closed form *is* the exact mean of the pool
+        // sampler (Exactness::Exact, DESIGN §12): adaptive fidelity
+        // reports it directly instead of re-estimating it by simulation.
+        let assessment = Assessment {
+            analytic_p: 1.0 - closed,
+            threshold: 1.0 - closed,
+            full_trials: trials,
+            exactness: Exactness::Exact,
+            tail_available: false,
+        };
+        let decision = ctrl.classify(&assessment);
+        ctrl.note_decision(trials, &decision);
+        let (mc_cell, value, ci) = if decision.tier == Tier::Analytic {
+            (format!("{closed:.6} <analytic>"), closed, (closed, closed))
+        } else {
+            let mc = simulate_pool_no_repair_with(
+                &exec,
+                428,
+                428 + spares,
+                channel_fit(),
+                horizon,
+                decision.trials,
+                6,
+            );
+            mc_trials += decision.trials;
+            let died = mc.trials - mc.survived;
+            let (flo, fhi) = wilson_ci(died, mc.trials);
+            (
+                format!("{:.6}", mc.survival()),
+                mc.survival(),
+                (1.0 - fhi, 1.0 - flo),
+            )
+        };
+        mc_survival.push(value);
+        mc_lo.push(ci.0);
+        mc_hi.push(ci.1);
         t.row(cells![
             spares,
             format!("{closed:.6}"),
             format!("{markov:.6}"),
-            format!("{:.6}", mc.survival()),
+            mc_cell,
             format!("{:.2}", pool.effective_fit(horizon).as_fit())
         ]);
     }
-    RunStats::new(5 * trials, start.elapsed(), exec.threads()).report("F6");
+    RunStats::new(mc_trials, start.elapsed(), exec.threads()).report("F6");
+    mosaic_sim::telemetry::record_series("f6.pool_mc_survival", &mc_survival);
+    mosaic_sim::telemetry::record_series("f6.pool_mc_survival_ci_lo", &mc_lo);
+    mosaic_sim::telemetry::record_series("f6.pool_mc_survival_ci_hi", &mc_hi);
     out.push_str(&t.render());
     out.push_str("\nF6c: with monthly repair (µ = 1/720 h)\n");
     let mut t = Table::new(&["spares", "7-yr survival", "steady-state availability"]);

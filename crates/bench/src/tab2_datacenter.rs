@@ -35,8 +35,28 @@ pub fn run() -> String {
         ),
     ];
     let exec = Exec::from_env();
-    let replicas = runcfg::trials(8, 3);
+    let fidelity = runcfg::fidelity();
+    let full_replicas = runcfg::trials(8, 3);
+    // Fleet histories have no closed form and no tail regime, so the
+    // adaptive tier's only lever is the replica budget: half the
+    // ensemble (the replica streams are a prefix of the full set, and
+    // the gate compares means within the ensembles' own spread).
+    let replicas = if fidelity.is_adaptive() {
+        (full_replicas / 2).max(2)
+    } else {
+        full_replicas
+    };
+    if fidelity.is_adaptive() {
+        mosaic_sim::telemetry::counter_add("fidelity.tier.full_mc", 9);
+        mosaic_sim::telemetry::counter_add("fidelity.trials_saved", 9 * (full_replicas - replicas));
+    }
     let mut histories = 0u64;
+    let mut tickets_mean = Vec::new();
+    let mut tickets_lo = Vec::new();
+    let mut tickets_hi = Vec::new();
+    let mut avail_mean = Vec::new();
+    let mut avail_lo = Vec::new();
+    let mut avail_hi = Vec::new();
     let start = Stopwatch::start();
     for (label, size, classes) in fabrics {
         let total_links: usize = classes.iter().map(|c| c.count).sum();
@@ -66,6 +86,25 @@ pub fn run() -> String {
             let min_tickets = sims.iter().map(|s| s.tickets).min().unwrap_or(0);
             let max_tickets = sims.iter().map(|s| s.tickets).max().unwrap_or(0);
             let mean_avail = sims.iter().map(|s| s.availability).sum::<f64>() / sims.len() as f64;
+            // Mean ± 1.96·(standard error of the mean) companions let the
+            // fidelity gate compare the half-ensemble against the full
+            // ensemble on the ensembles' own statistics.
+            let se = |vals: &[f64]| {
+                let n = vals.len() as f64;
+                let mean = vals.iter().sum::<f64>() / n;
+                let var =
+                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0).max(1.0);
+                (var / n).sqrt()
+            };
+            let t_vals: Vec<f64> = sims.iter().map(|s| s.tickets as f64).collect();
+            let a_vals: Vec<f64> = sims.iter().map(|s| s.availability).collect();
+            let (t_se, a_se) = (se(&t_vals), se(&a_vals));
+            tickets_mean.push(mean_tickets);
+            tickets_lo.push(mean_tickets - 1.96 * t_se);
+            tickets_hi.push(mean_tickets + 1.96 * t_se);
+            avail_mean.push(mean_avail);
+            avail_lo.push(mean_avail - 1.96 * a_se);
+            avail_hi.push(mean_avail + 1.96 * a_se);
             t.row(cells![
                 name,
                 format!("{:.1}", fleet.total_power.as_watts() / 1000.0),
@@ -90,5 +129,11 @@ pub fn run() -> String {
         out.push('\n');
     }
     RunStats::new(histories, start.elapsed(), exec.threads()).report("T2");
+    mosaic_sim::telemetry::record_series("t2.tickets_mean", &tickets_mean);
+    mosaic_sim::telemetry::record_series("t2.tickets_mean_ci_lo", &tickets_lo);
+    mosaic_sim::telemetry::record_series("t2.tickets_mean_ci_hi", &tickets_hi);
+    mosaic_sim::telemetry::record_series("t2.avail_mean", &avail_mean);
+    mosaic_sim::telemetry::record_series("t2.avail_mean_ci_lo", &avail_lo);
+    mosaic_sim::telemetry::record_series("t2.avail_mean_ci_hi", &avail_hi);
     out
 }

@@ -177,12 +177,14 @@ fn cross_check_registry(root: &Path, cfg: &Config, report: &mut Report) -> io::R
     Ok(())
 }
 
-/// `.name(` method-call sites in a source file, with lines.
+/// Call sites in a source file, with lines: `.name(` method calls and
+/// `::name(` path calls (free functions reached through a module path,
+/// like the no-alloc registry's `fidelity::tail_batch`).
 fn method_calls(src: &str) -> Vec<(String, u32)> {
     let toks = lexer::lex(src).tokens;
     let mut out = Vec::new();
     for i in 0..toks.len() {
-        if toks[i].tok == Tok::Sym('.') {
+        if toks[i].tok == Tok::Sym('.') || toks[i].tok == Tok::Sym(':') {
             if let (Some(Tok::Ident(name)), Some(Tok::Sym('('))) = (
                 toks.get(i + 1).map(|t| &t.tok),
                 toks.get(i + 2).map(|t| &t.tok),
@@ -203,5 +205,11 @@ mod tests {
         let calls = method_calls("fn t() {\n  rs.decode_scratch(&mut w, &mut s);\n  x.k();\n}");
         assert!(calls.contains(&("decode_scratch".into(), 2)));
         assert!(calls.contains(&("k".into(), 3)));
+    }
+
+    #[test]
+    fn method_calls_sees_path_calls() {
+        let calls = method_calls("fn t() {\n  let (w, q) = fidelity::tail_batch(d, 64, rng);\n}");
+        assert!(calls.contains(&("tail_batch".into(), 2)));
     }
 }

@@ -8,7 +8,7 @@
 use crate::assignment::Assignment;
 use mosaic_sim::event::EventQueue;
 use mosaic_sim::rng::DetRng;
-use mosaic_sim::sweep::Exec;
+use mosaic_sim::sweep::{Exec, TrialPlan};
 use mosaic_units::Duration;
 
 /// Result of a fleet failure simulation.
@@ -83,8 +83,8 @@ pub fn simulate_fleet_ensemble(
     seed: u64,
     replicas: u64,
 ) -> Vec<FailureSimReport> {
-    exec.run_tasks(replicas as usize, |r| {
-        simulate_fleet_replica(assignments, years, mttr, seed, r as u64)
+    TrialPlan::new().trials(replicas).run(exec, |ctx| {
+        simulate_fleet_replica(assignments, years, mttr, seed, ctx.trial())
     })
 }
 

@@ -32,4 +32,4 @@ pub mod sparing;
 pub mod system;
 pub mod weibull;
 
-pub use system::{KofN, SeriesBudget};
+pub use system::{binomial_survival, KofN, SeriesBudget};

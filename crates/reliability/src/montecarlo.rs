@@ -2,7 +2,7 @@
 //! closed-form and Markov models.
 
 use mosaic_sim::rng::Bernoulli;
-use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
+use mosaic_sim::sweep::{chunk_count, chunk_len, Exec, TrialPlan};
 use mosaic_units::{Duration, Fit};
 
 /// Fixed Monte-Carlo chunk: trials per parallel task. A constant of the
@@ -71,17 +71,22 @@ pub fn simulate_pool_no_repair_with(
     // trials × n times and must do no per-draw float preparation.
     let fail = Bernoulli::new(p_fail);
     let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
-    let survived = exec.par_trials_sum(chunks, seed, "pool-lifetime", |c, rng| {
-        let mut survived = 0u64;
-        for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
-            // 64 channels per decision word; draw-for-draw identical to
-            // the sequential per-channel loop (see `Bernoulli::at_most`).
-            if fail.at_most(n, spares, rng) {
-                survived += 1;
+    let survived = TrialPlan::new()
+        .trials(chunks)
+        .seed(seed)
+        .label("pool-lifetime")
+        .sum(exec, |ctx| {
+            let mut rng = ctx.rng();
+            let mut survived = 0u64;
+            for _ in 0..chunk_len(ctx.trial(), trials, POOL_CHUNK_TRIALS) {
+                // 64 channels per decision word; draw-for-draw identical to
+                // the sequential per-channel loop (see `Bernoulli::at_most`).
+                if fail.at_most(n, spares, &mut rng) {
+                    survived += 1;
+                }
             }
-        }
-        survived
-    });
+            survived
+        });
     PoolLifetime { trials, survived }
 }
 
@@ -129,37 +134,43 @@ pub fn simulate_pool_with_repair_with(
     let lam = fit.per_hour();
     let horizon_h = horizon.as_hours();
     let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
-    let survived = exec.par_trials_sum(chunks, seed, "pool-repair", |c, rng| {
-        let mut survived = 0u64;
-        for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
-            let mut t = 0.0f64;
-            let mut failed = 0usize;
-            let ok = loop {
-                let rate_fail = (n - failed) as f64 * lam;
-                let rate_rep = failed as f64 * repair_per_hour;
-                let total = rate_fail + rate_rep;
-                if total == 0.0 {
-                    break true;
-                }
-                t += rng.exponential(total);
-                if t >= horizon_h {
-                    break true;
-                }
-                if rng.chance(rate_fail / total) {
-                    failed += 1;
-                    if n - failed < k {
-                        break false;
+    let survived = TrialPlan::new()
+        .trials(chunks)
+        .seed(seed)
+        .label("pool-repair")
+        .sum(exec, |ctx| {
+            let mut rng = ctx.rng();
+            let c = ctx.trial();
+            let mut survived = 0u64;
+            for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
+                let mut t = 0.0f64;
+                let mut failed = 0usize;
+                let ok = loop {
+                    let rate_fail = (n - failed) as f64 * lam;
+                    let rate_rep = failed as f64 * repair_per_hour;
+                    let total = rate_fail + rate_rep;
+                    if total == 0.0 {
+                        break true;
                     }
-                } else {
-                    failed -= 1;
+                    t += rng.exponential(total);
+                    if t >= horizon_h {
+                        break true;
+                    }
+                    if rng.chance(rate_fail / total) {
+                        failed += 1;
+                        if n - failed < k {
+                            break false;
+                        }
+                    } else {
+                        failed -= 1;
+                    }
+                };
+                if ok {
+                    survived += 1;
                 }
-            };
-            if ok {
-                survived += 1;
             }
-        }
-        survived
-    });
+            survived
+        });
     PoolLifetime { trials, survived }
 }
 

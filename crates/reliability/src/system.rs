@@ -40,6 +40,29 @@ impl SeriesBudget {
     }
 }
 
+/// `P(alive ≥ k)` for `n` independent channels each alive with
+/// probability `p_alive`: the log-domain binomial sum shared by
+/// [`KofN::survival`] (exponential lifetimes) and the Weibull pool
+/// closed form. This is the *exact* mean of the Monte-Carlo pool
+/// estimators (which draw per-channel Bernoulli failures and count
+/// survivors), which is what lets the adaptive fidelity tier replace
+/// those simulations outright (DESIGN §12).
+pub fn binomial_survival(k: usize, n: usize, p_alive: f64) -> f64 {
+    let p = p_alive;
+    if p == 1.0 {
+        return 1.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for alive in k..=n {
+        let ln = ln_choose(n, alive) + alive as f64 * p.ln() + (n - alive) as f64 * (1.0 - p).ln();
+        total += ln.exp();
+    }
+    total.min(1.0)
+}
+
 /// A k-of-n block: `n` identical channels, the block works while at least
 /// `k` are alive. No repair (closed-form binomial).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,21 +90,7 @@ impl KofN {
     /// Probability the block is alive at `t`: `P(alive ≥ k)` with each
     /// channel surviving independently (log-domain binomial sum).
     pub fn survival(&self, t: Duration) -> f64 {
-        let p = self.channel_fit.survival_prob(t);
-        if p == 1.0 {
-            return 1.0;
-        }
-        if p == 0.0 {
-            return 0.0;
-        }
-        let mut total = 0.0f64;
-        for alive in self.k..=self.n {
-            let ln = ln_choose(self.n, alive)
-                + alive as f64 * p.ln()
-                + (self.n - alive) as f64 * (1.0 - p).ln();
-            total += ln.exp();
-        }
-        total.min(1.0)
+        binomial_survival(self.k, self.n, self.channel_fit.survival_prob(t))
     }
 
     /// Probability the block has failed by `t`.

@@ -9,7 +9,7 @@
 
 use crate::montecarlo::POOL_CHUNK_TRIALS;
 use mosaic_sim::rng::{Bernoulli, DetRng};
-use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
+use mosaic_sim::sweep::{chunk_count, chunk_len, Exec, TrialPlan};
 use mosaic_units::{Duration, Fit};
 
 /// A Weibull lifetime distribution.
@@ -72,6 +72,23 @@ impl Weibull {
     }
 }
 
+/// Closed-form survival of a k-of-n pool with Weibull channel lifetimes
+/// (no repair): each channel independently survives the horizon with
+/// probability `1 − failure_prob(horizon)`, so the pool survival is the
+/// exact binomial sum [`crate::system::binomial_survival`] — the same
+/// quantity [`pool_survival_weibull`] estimates by sampling. The
+/// adaptive fidelity tier uses this form directly (`Exactness::Exact`
+/// in DESIGN §12 terms); the Monte-Carlo form remains as the
+/// full-fidelity cross-check.
+pub fn pool_survival_weibull_analytic(
+    k: usize,
+    n: usize,
+    lifetime: Weibull,
+    horizon: Duration,
+) -> f64 {
+    crate::system::binomial_survival(k, n, 1.0 - lifetime.failure_prob(horizon))
+}
+
 /// Monte-Carlo survival of a k-of-n pool with Weibull channel lifetimes
 /// (no repair): the pool dies when more than `n − k` channels have failed
 /// by the horizon. Runs on the ambient (`MOSAIC_THREADS`) execution
@@ -105,18 +122,23 @@ pub fn pool_survival_weibull_with(
     // Hoisted once per sweep config (see DESIGN §11).
     let fail = Bernoulli::new(p_fail);
     let chunks = chunk_count(trials, POOL_CHUNK_TRIALS);
-    let partial = exec.par_trials(chunks, seed, "weibull-pool", |c, rng| {
-        let mut survived = 0u64;
-        for _ in 0..chunk_len(c, trials, POOL_CHUNK_TRIALS) {
-            // 64 channels per decision word; draw-for-draw identical to
-            // the sequential per-channel loop (see `Bernoulli::at_most`).
-            if fail.at_most(n, spares, rng) {
-                survived += 1;
+    let survived = TrialPlan::new()
+        .trials(chunks)
+        .seed(seed)
+        .label("weibull-pool")
+        .sum(exec, |ctx| {
+            let mut rng = ctx.rng();
+            let mut survived = 0u64;
+            for _ in 0..chunk_len(ctx.trial(), trials, POOL_CHUNK_TRIALS) {
+                // 64 channels per decision word; draw-for-draw identical to
+                // the sequential per-channel loop (see `Bernoulli::at_most`).
+                if fail.at_most(n, spares, &mut rng) {
+                    survived += 1;
+                }
             }
-        }
-        survived
-    });
-    partial.iter().sum::<u64>() as f64 / trials as f64
+            survived
+        });
+    survived as f64 / trials as f64
 }
 
 #[cfg(test)]
@@ -124,6 +146,20 @@ mod tests {
     use super::*;
     use crate::system::KofN;
     use proptest::prelude::*;
+
+    #[test]
+    fn analytic_pool_is_the_monte_carlo_mean() {
+        // The binomial closed form and the Bernoulli-sampling estimator
+        // target the same quantity; 200k trials pins them to ~3 sigma.
+        let horizon = Duration::from_years(12.0);
+        let lt = Weibull::matching_fit_at(Fit::new(2000.0), 2.5, Duration::from_years(7.0));
+        let mc = pool_survival_weibull(40, 44, lt, horizon, 200_000, 9);
+        let analytic = pool_survival_weibull_analytic(40, 44, lt, horizon);
+        assert!(
+            (mc - analytic).abs() < 0.005,
+            "mc {mc} vs analytic {analytic}"
+        );
+    }
 
     #[test]
     fn shape_one_is_exponential() {

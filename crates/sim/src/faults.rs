@@ -74,6 +74,11 @@ impl FaultSchedule {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// The last epoch any fault fires in, if the schedule is non-empty.
+    pub fn last_epoch(&self) -> Option<usize> {
+        self.events.iter().map(|(e, _)| *e).max()
+    }
 }
 
 /// Which component a fault strikes, across the phy → fiber → link stack.

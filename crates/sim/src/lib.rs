@@ -17,6 +17,10 @@
 //!   scripts plus seeded [`faults::FaultCampaign`] schedule generation;
 //! * [`campaign`] — fault-campaign replay against the link, with and
 //!   without the graceful-degradation controller (experiment F17);
+//! * [`fidelity`] — the adaptive-fidelity engine: a controller that
+//!   promotes measurements between an analytic fast path, full
+//!   Monte-Carlo at adapted budgets, and rare-event tail importance
+//!   sampling, deterministically from `(config, seed)` (DESIGN §12);
 //! * [`link_sim`] — the end-to-end frame-level link simulation driving the
 //!   real gearbox + FEC code paths;
 //! * [`sweep`] — the deterministic parallel execution engine: Monte-Carlo
@@ -35,6 +39,7 @@
 pub mod campaign;
 pub mod event;
 pub mod faults;
+pub mod fidelity;
 pub mod inject;
 pub mod json;
 pub mod link_sim;
@@ -46,8 +51,9 @@ pub mod telemetry;
 pub use campaign::{run_campaign, CampaignOutcome, CampaignRunConfig};
 pub use event::EventQueue;
 pub use faults::{CampaignConfig, FaultCampaign};
+pub use fidelity::{FidelityController, FidelityMode, Tier};
 pub use inject::BitErrorInjector;
 pub use json::Json;
 pub use link_sim::{simulate_link, LinkSimConfig, LinkSimReport};
 pub use rng::DetRng;
-pub use sweep::{Exec, RunStats};
+pub use sweep::{Exec, RunStats, TrialPlan};

@@ -11,7 +11,7 @@
 
 use crate::inject::BitErrorInjector;
 use crate::rng::{Bernoulli, DetRng};
-use crate::sweep::{chunk_count, chunk_len, Exec};
+use crate::sweep::{chunk_count, chunk_len, Exec, TrialPlan};
 use mosaic_fec::rs::{DecodeOutcome, ReedSolomon};
 use mosaic_fec::DecodeScratch;
 use mosaic_phy::ber::OokReceiver;
@@ -112,6 +112,24 @@ impl SlicerPoint {
             s0,
             threshold,
         }
+    }
+
+    /// Closed-form BER of this operating point: the *exact* mean of the
+    /// estimator [`SlicerPoint::count_errors`] samples,
+    /// `(Q(d1) + Q(d0)) / 2` with `d1 = (i1 − threshold)/s1` and
+    /// `d0 = (threshold − i0)/s0`.
+    ///
+    /// Error-budget note (DESIGN §12): this is *not* the single-Q
+    /// approximation `Q((i1 − i0)/(s1 + s0))` that
+    /// [`OokReceiver::ber_at`] reports — at the optimum threshold the
+    /// two agree to within a few percent, which is exactly the model
+    /// mismatch the Monte-Carlo column of F4 makes visible. The adaptive
+    /// analytic tier therefore uses this two-sided form, whose only
+    /// deviation from a correct kernel's measurement is sampling noise.
+    pub fn model_ber(&self) -> f64 {
+        let d1 = (self.i1 - self.threshold) / self.s1;
+        let d0 = (self.threshold - self.i0) / self.s0;
+        0.5 * (mosaic_phy::math::normal_tail(d1) + mosaic_phy::math::normal_tail(d0))
     }
 
     /// Slice `bits` noisy samples from `rng`, returning the error count.
@@ -246,9 +264,14 @@ pub fn simulate_ook_ber_par(
     let chunks = chunk_count(bits, OOK_CHUNK_BITS);
     // Exact integer sum over chunk counters: no intermediate collection,
     // thread-count invariant by the fold's commutativity contract.
-    let errors = exec.par_trials_sum(chunks, seed, "ook-ber", |c, rng| {
-        point.count_errors(chunk_len(c, bits, OOK_CHUNK_BITS), rng)
-    });
+    let errors = TrialPlan::new()
+        .trials(chunks)
+        .seed(seed)
+        .label("ook-ber")
+        .sum(exec, |ctx| {
+            let mut rng = ctx.rng();
+            point.count_errors(chunk_len(ctx.trial(), bits, OOK_CHUNK_BITS), &mut rng)
+        });
     BerMeasurement::from_counts(bits, errors)
 }
 
@@ -331,18 +354,17 @@ pub fn run_rs_channel_with(
         bits: 0,
         residual_symbol_errors: 0,
     };
-    let mut out = exec.fold_tasks_commutative(
-        codewords as usize,
+    let mut out = TrialPlan::new().trials(codewords).seed(seed).fold(
+        exec,
         || RsChannelScratch {
             decode: DecodeScratch::new(),
             data: Vec::new(),
             word: Vec::new(),
         },
         zero,
-        |w, st, acc| {
-            let mut data_rng = DetRng::substream_indexed(seed, "rs-data", w as u64);
-            let mut inj =
-                BitErrorInjector::new(ber, DetRng::substream_indexed(seed, "rs-noise", w as u64));
+        |ctx, st, acc| {
+            let mut data_rng = ctx.stream("rs-data");
+            let mut inj = BitErrorInjector::new(ber, ctx.stream("rs-noise"));
             st.data.clear();
             st.data
                 .extend((0..rs.k()).map(|_| (data_rng.next_u64() as u16) & mask));

@@ -1,35 +1,11 @@
-//! Deterministic parallel execution engine for Monte-Carlo trials and
-//! parameter sweeps.
+//! The execution core: scoped worker threads, self-scheduling off an
+//! atomic counter, index-ordered reassembly.
 //!
-//! Every evaluation artifact in this repo is a fan-out of *independent*
-//! work — Monte-Carlo trials, per-channel corruption, per-point sweep
-//! cells. This module runs that fan-out on a pool of scoped threads with
-//! one hard invariant:
-//!
-//! > **Parallel output is bit-identical to sequential output for the
-//! > same seed.**
-//!
-//! Three rules enforce it:
-//!
-//! 1. *Counter-based streams*: task `i` draws from
-//!    [`DetRng::stream`]`(seed, i)` — a pure function of the task index,
-//!    never of scheduling order (see `rng.rs`).
-//! 2. *Fixed decomposition*: work is split into chunks whose size is a
-//!    constant of the call site, never derived from the thread count.
-//! 3. *Index-ordered reassembly*: results are reassembled and reduced in
-//!    task-index order, regardless of completion order.
-//!
-//! The engine is built directly on `std::thread::scope` (the build
-//! environment vendors all dependencies, so rayon is unavailable; a
-//! work-stealing pool would buy nothing here anyway — tasks are coarse
-//! and self-scheduled off an atomic counter).
-//!
-//! Thread count resolves from the `MOSAIC_THREADS` environment variable
-//! (`1` = sequential fallback, no threads spawned), defaulting to the
-//! machine's available parallelism. Tests pin it explicitly with
-//! [`Exec::with_threads`].
+//! Everything here is *mechanism* — how a fixed task set fans out over a
+//! worker pool deterministically. Policy (trial counts, seeds, retry
+//! budgets, fidelity hints) lives in [`super::scheduler`], and the
+//! panic-tolerant retry machinery in [`super::resilience`].
 
-use crate::rng::DetRng;
 use crate::telemetry::Stopwatch;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,7 +16,7 @@ pub const THREADS_ENV: &str = "MOSAIC_THREADS";
 
 /// Render a panic payload as text (panics carry `&str` or `String` in
 /// practice; anything else gets a placeholder).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -127,18 +103,11 @@ impl Exec {
         self.threads
     }
 
-    /// Run `n` independent tasks and return their results in task order.
-    ///
-    /// Tasks self-schedule off an atomic counter (coarse tasks of uneven
-    /// cost still balance), collect `(index, result)` pairs per worker,
-    /// and the results are reassembled by index — so the output is
-    /// independent of which worker ran what.
-    ///
-    /// # Panics
-    /// Panics (once, with the [`mosaic_units::MosaicError::WorkerFailed`]
-    /// message) if a task closure panics; use [`Exec::try_run_tasks`] to
-    /// handle the failure as a `Result` instead.
-    pub fn run_tasks<T, F>(&self, n: usize, f: F) -> Vec<T>
+    /// Infallible task fan-out for internal callers (the sweep/resilience
+    /// machinery itself): panics once with the `WorkerFailed` message.
+    /// The public entry points are [`super::TrialPlan::run`] and
+    /// [`Exec::try_run_tasks`].
+    pub(crate) fn run_tasks_infallible<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -150,9 +119,15 @@ impl Exec {
         }
     }
 
-    /// Fallible [`Exec::run_tasks`]: a panicking task closure surfaces as
+    /// Fallible task fan-out: run `n` independent tasks and return their
+    /// results in task order; a panicking task closure surfaces as
     /// `Err(WorkerFailed)` carrying the worker index and the panic
-    /// payload message, instead of the former double panic at `join()`.
+    /// payload message.
+    ///
+    /// Tasks self-schedule off an atomic counter (coarse tasks of uneven
+    /// cost still balance), collect `(index, result)` pairs per worker,
+    /// and the results are reassembled by index — so the output is
+    /// independent of which worker ran what.
     ///
     /// When several tasks panic, the reported failure is the one with the
     /// smallest task index — a pure function of the task set, so the
@@ -228,37 +203,18 @@ impl Exec {
         Ok(tagged.into_iter().map(|(_, v)| v).collect())
     }
 
-    /// [`Exec::run_tasks`] with one reusable scratch state per *worker*
+    /// Fallible task fan-out with one reusable scratch state per *worker*
     /// (not per task): `make_state` runs once per worker, and every task
     /// the worker claims folds through the same `&mut S`. This is how the
     /// Monte-Carlo kernels reuse decode buffers across codewords without
-    /// per-word allocation.
+    /// per-word allocation. Panicking task closures (and panicking
+    /// `make_state`) surface as `Err(WorkerFailed)`; failure selection
+    /// follows [`Exec::try_run_tasks`]: smallest panicking task index
+    /// wins.
     ///
     /// The state must not carry information between tasks that affects
     /// results (scratch buffers are overwritten, RNGs are rebuilt per
     /// task) — otherwise output would depend on the task→worker mapping.
-    ///
-    /// # Panics
-    /// Panics (once, with the [`mosaic_units::MosaicError::WorkerFailed`]
-    /// message) if a task closure panics; use [`Exec::try_run_tasks_with`]
-    /// to handle the failure as a `Result` instead.
-    pub fn run_tasks_with<S, T, FS, F>(&self, n: usize, make_state: FS, f: F) -> Vec<T>
-    where
-        T: Send,
-        FS: Fn() -> S + Sync,
-        F: Fn(usize, &mut S) -> T + Sync,
-    {
-        match self.try_run_tasks_with(n, make_state, f) {
-            Ok(v) => v,
-            // lint: allow(R3) reason=documented panicking wrapper over try_run_tasks_with
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible [`Exec::run_tasks_with`]: panicking task closures (and
-    /// panicking `make_state`) surface as `Err(WorkerFailed)` instead of
-    /// the former double panic at `join()`. Failure selection follows
-    /// [`Exec::try_run_tasks`]: smallest panicking task index wins.
     pub fn try_run_tasks_with<S, T, FS, F>(
         &self,
         n: usize,
@@ -347,7 +303,8 @@ impl Exec {
     /// claim, so the fold and `merge` must be *exactly* commutative and
     /// associative — integer adds, xor, min/max. Floating-point sums do
     /// **not** qualify (rounding is order-dependent); for those, use
-    /// [`Exec::run_tasks`] and fold the returned vector in index order.
+    /// [`super::TrialPlan::run`] and fold the returned vector in index
+    /// order.
     ///
     /// # Panics
     /// Panics (once, with the [`mosaic_units::MosaicError::WorkerFailed`]
@@ -457,146 +414,6 @@ impl Exec {
         Ok(total)
     }
 
-    /// Monte-Carlo fan-out summing a `u64` statistic per trial: the
-    /// allocation-free form of [`Exec::par_trials`]`(..).iter().sum()`.
-    /// Trial `i` draws from stream `(seed, label, i)`; the sum is exact
-    /// integer addition, so the total is thread-count invariant. Same
-    /// telemetry as [`Exec::par_trials`].
-    pub fn par_trials_sum<F>(&self, n: u64, seed: u64, label: &str, f: F) -> u64
-    where
-        F: Fn(u64, &mut DetRng) -> u64 + Sync,
-    {
-        crate::telemetry::counter_add(&format!("trials.{label}"), n);
-        crate::telemetry::stage(&format!("par_trials.{label}"), n, || {
-            self.fold_tasks_commutative(
-                n as usize,
-                || (),
-                || 0u64,
-                |i, _state, acc| {
-                    let mut rng = DetRng::substream_indexed(seed, label, i as u64);
-                    *acc += f(i as u64, &mut rng);
-                },
-                |total, part| *total += part,
-            )
-        })
-    }
-
-    /// Monte-Carlo fan-out: `n` trials, trial `i` running against its own
-    /// counter-derived stream `(seed, label, i)`. Results come back in
-    /// trial order.
-    ///
-    /// Telemetry: bumps the `trials.{label}` counter and records a timed
-    /// `par_trials.{label}` stage — counter values are pure integer adds,
-    /// so they stay thread-count invariant.
-    pub fn par_trials<T, F>(&self, n: u64, seed: u64, label: &str, f: F) -> Vec<T>
-    where
-        T: Send,
-        F: Fn(u64, &mut DetRng) -> T + Sync,
-    {
-        crate::telemetry::counter_add(&format!("trials.{label}"), n);
-        crate::telemetry::stage(&format!("par_trials.{label}"), n, || {
-            self.run_tasks(n as usize, |i| {
-                let mut rng = DetRng::substream_indexed(seed, label, i as u64);
-                f(i as u64, &mut rng)
-            })
-        })
-    }
-
-    /// Panic-tolerant Monte-Carlo fan-out: like [`Exec::par_trials`],
-    /// but a panicking trial is caught, counted in
-    /// [`ResilientRun::stats`], and retried on a **fresh substream**
-    /// (`"{label}#retry{attempt}"`) under a bounded per-trial retry
-    /// budget. A trial that fails every attempt yields `None` and a
-    /// [`TrialFailure`] record instead of aborting the sweep.
-    ///
-    /// The closure receives `(trial, attempt, rng)`; attempt `0` draws
-    /// from the exact stream [`Exec::par_trials`] would use, so a run
-    /// where nothing panics is bit-identical to the non-resilient path.
-    ///
-    /// **Determinism**: the retry budget is *per trial* — a pure
-    /// function of the trial index — never a shared global pool, which
-    /// would hand retries out in completion order and make results
-    /// scheduling-dependent. Whether a given `(trial, attempt)` panics
-    /// is a property of the closure alone, so `values`, `failures`, and
-    /// the fault counters are all thread-count invariant.
-    pub fn par_trials_resilient<T, F>(
-        &self,
-        n: u64,
-        seed: u64,
-        label: &str,
-        retry_budget: u32,
-        f: F,
-    ) -> ResilientRun<T>
-    where
-        T: Send,
-        F: Fn(u64, u32, &mut DetRng) -> T + Sync,
-    {
-        crate::telemetry::counter_add(&format!("trials.{label}"), n);
-        let outcomes: Vec<(Option<T>, u32, Option<String>)> =
-            crate::telemetry::stage(&format!("par_trials.{label}"), n, || {
-                self.run_tasks(n as usize, |i| {
-                    let i = i as u64;
-                    let mut panics = 0u32;
-                    let mut last_msg: Option<String> = None;
-                    for attempt in 0..=retry_budget {
-                        let mut rng = if attempt == 0 {
-                            DetRng::substream_indexed(seed, label, i)
-                        } else {
-                            DetRng::substream_indexed(seed, &format!("{label}#retry{attempt}"), i)
-                        };
-                        match catch_unwind(AssertUnwindSafe(|| f(i, attempt, &mut rng))) {
-                            Ok(v) => return (Some(v), panics, last_msg),
-                            Err(p) => {
-                                panics += 1;
-                                last_msg = Some(panic_message(p));
-                            }
-                        }
-                    }
-                    (None, panics, last_msg)
-                })
-            });
-        let mut values = Vec::with_capacity(outcomes.len());
-        let mut failures = Vec::new();
-        let mut total_panics = 0u64;
-        for (i, (value, panics, last_msg)) in outcomes.into_iter().enumerate() {
-            total_panics += u64::from(panics);
-            if value.is_none() {
-                failures.push(TrialFailure {
-                    trial: i as u64,
-                    attempts: retry_budget + 1,
-                    message: last_msg.unwrap_or_else(|| "no attempt recorded".to_string()),
-                });
-            }
-            values.push(value);
-        }
-        let failed_trials = failures.len() as u64;
-        let retries = total_panics - failed_trials.min(total_panics);
-        // Fault counters are deterministic (which (trial, attempt) pairs
-        // panic is a property of the closure), so they are safe to put in
-        // value-checked telemetry.
-        if total_panics > 0 {
-            crate::telemetry::counter_add(&format!("trial_panics.{label}"), total_panics);
-        }
-        if retries > 0 {
-            crate::telemetry::counter_add(&format!("trial_retries.{label}"), retries);
-        }
-        if failed_trials > 0 {
-            crate::telemetry::counter_add(&format!("trial_failures.{label}"), failed_trials);
-        }
-        ResilientRun {
-            values,
-            failures,
-            stats: RunStats {
-                trials: n,
-                wall: Duration::ZERO,
-                threads: self.threads,
-                panics: total_panics,
-                retries,
-                failed_trials,
-            },
-        }
-    }
-
     /// Parameter sweep: map `f` over `points`, in parallel, preserving
     /// input order in the output.
     pub fn par_sweep<I, T, F>(&self, points: &[I], f: F) -> Vec<T>
@@ -605,7 +422,7 @@ impl Exec {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
-        self.run_tasks(points.len(), |i| f(&points[i]))
+        self.run_tasks_infallible(points.len(), |i| f(&points[i]))
     }
 
     /// In-place parallel update of independent elements (e.g. one state
@@ -710,32 +527,6 @@ impl RunStats {
     }
 }
 
-/// One trial that exhausted its retry budget in
-/// [`Exec::par_trials_resilient`] without a successful attempt.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TrialFailure {
-    /// Trial index in the fan-out.
-    pub trial: u64,
-    /// Attempts made (`1 + retry_budget`).
-    pub attempts: u32,
-    /// Panic message of the *last* attempt.
-    pub message: String,
-}
-
-/// Outcome of a [`Exec::par_trials_resilient`] fan-out: per-trial values
-/// (`None` where the retry budget ran dry), the exhausted trials, and
-/// run statistics including fault counters.
-#[derive(Debug, Clone)]
-pub struct ResilientRun<T> {
-    /// Trial results in trial order; `None` marks an exhausted trial.
-    pub values: Vec<Option<T>>,
-    /// Trials that failed every attempt, in trial order.
-    pub failures: Vec<TrialFailure>,
-    /// Trial/fault statistics for the run (wall time left at zero — the
-    /// caller's [`measured_as`] wrapper owns timing).
-    pub stats: RunStats,
-}
-
 /// Run `f`, timing it into a [`RunStats`] with the given trial count and
 /// the ambient thread configuration. Also records a `measured` telemetry
 /// stage so manifest timings cover figure-level work.
@@ -756,51 +547,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn run_tasks_preserves_order() {
-        let exec = Exec::with_threads(4);
-        let out = exec.run_tasks(100, |i| i * 3);
-        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn par_equals_seq_for_run_tasks() {
+    fn par_equals_seq_for_tasks() {
         let work = |i: usize| {
             // Uneven task cost to exercise self-scheduling.
             let spin = (i * 7919) % 97;
             (0..spin).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64))
         };
-        let seq = Exec::with_threads(1).run_tasks(257, work);
+        let seq = Exec::with_threads(1).try_run_tasks(257, work).unwrap();
         for threads in [2, 3, 8, 32] {
-            assert_eq!(seq, Exec::with_threads(threads).run_tasks(257, work));
-        }
-    }
-
-    #[test]
-    fn par_trials_streams_are_per_trial() {
-        let exec = Exec::with_threads(4);
-        let draws = exec.par_trials(16, 9, "t", |_i, rng| rng.next_u64());
-        // Distinct trials draw from distinct streams.
-        let mut uniq = draws.clone();
-        uniq.sort_unstable();
-        uniq.dedup();
-        assert_eq!(uniq.len(), draws.len());
-        // And trial i's stream matches a direct derivation.
-        let direct = DetRng::substream_indexed(9, "t", 3).next_u64();
-        assert_eq!(draws[3], direct);
-    }
-
-    #[test]
-    fn run_tasks_with_matches_run_tasks() {
-        // Worker-scoped scratch must not change results: the buffer is
-        // overwritten per task, so output equals the scratch-free path.
-        let plain = Exec::with_threads(1).run_tasks(97, |i| (i as u64).wrapping_mul(2654435761));
-        for threads in [1, 3, 8] {
-            let with = Exec::with_threads(threads).run_tasks_with(97, Vec::<u64>::new, |i, buf| {
-                buf.clear();
-                buf.push((i as u64).wrapping_mul(2654435761));
-                buf[0]
-            });
-            assert_eq!(plain, with, "threads={threads}");
+            assert_eq!(
+                seq,
+                Exec::with_threads(threads)
+                    .try_run_tasks(257, work)
+                    .unwrap()
+            );
         }
     }
 
@@ -818,19 +578,6 @@ mod tests {
         let seq = fold(&Exec::with_threads(1));
         for threads in [2, 5, 16] {
             assert_eq!(seq, fold(&Exec::with_threads(threads)), "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn par_trials_sum_matches_par_trials() {
-        let seq: u64 = Exec::with_threads(1)
-            .par_trials(40, 7, "sum-t", |_i, rng| rng.next_u64() >> 40)
-            .iter()
-            .sum();
-        for threads in [1, 4, 9] {
-            let summed = Exec::with_threads(threads)
-                .par_trials_sum(40, 7, "sum-t", |_i, rng| rng.next_u64() >> 40);
-            assert_eq!(seq, summed, "threads={threads}");
         }
     }
 
@@ -947,7 +694,7 @@ mod tests {
         let exec = Exec::with_threads(4);
         assert_eq!(
             exec.try_run_tasks(50, |i| i * 2).unwrap(),
-            exec.run_tasks(50, |i| i * 2)
+            exec.run_tasks_infallible(50, |i| i * 2)
         );
         let folded = exec
             .try_fold_tasks_commutative(
@@ -959,79 +706,5 @@ mod tests {
             )
             .unwrap();
         assert_eq!(folded, (0..50u64).sum::<u64>());
-    }
-
-    #[test]
-    fn resilient_trials_no_panic_matches_par_trials() {
-        // With nothing panicking, attempt 0 uses the exact par_trials
-        // stream, so values match bit-for-bit and counters stay zero.
-        let plain = Exec::with_threads(1).par_trials(32, 11, "res-a", |_i, rng| rng.next_u64());
-        for threads in [1, 8] {
-            let run = Exec::with_threads(threads).par_trials_resilient(
-                32,
-                11,
-                "res-a",
-                2,
-                |_i, _attempt, rng| rng.next_u64(),
-            );
-            let got: Vec<u64> = run.values.iter().map(|v| v.unwrap()).collect();
-            assert_eq!(plain, got, "threads={threads}");
-            assert_eq!(run.stats.panics, 0);
-            assert_eq!(run.stats.retries, 0);
-            assert_eq!(run.stats.failed_trials, 0);
-            assert!(run.failures.is_empty());
-        }
-    }
-
-    #[test]
-    fn resilient_trials_retry_uses_fresh_substream_deterministically() {
-        // Trial 7 panics on attempt 0 only; its retry must draw from the
-        // "{label}#retry1" substream, identically at every thread count.
-        let run_at = |threads: usize| {
-            Exec::with_threads(threads).par_trials_resilient(
-                24,
-                5,
-                "res-b",
-                1,
-                |i, attempt, rng| {
-                    if i == 7 && attempt == 0 {
-                        panic!("transient fault");
-                    }
-                    rng.next_u64()
-                },
-            )
-        };
-        let seq = run_at(1);
-        assert_eq!(seq.stats.panics, 1);
-        assert_eq!(seq.stats.retries, 1);
-        assert_eq!(seq.stats.failed_trials, 0);
-        let expected = DetRng::substream_indexed(5, "res-b#retry1", 7).next_u64();
-        assert_eq!(seq.values[7], Some(expected));
-        for threads in [2, 8] {
-            let par = run_at(threads);
-            assert_eq!(seq.values, par.values, "threads={threads}");
-            assert_eq!(seq.stats.panics, par.stats.panics);
-        }
-    }
-
-    #[test]
-    fn resilient_trials_budget_exhaustion_yields_none() {
-        let run =
-            Exec::with_threads(4).par_trials_resilient(16, 3, "res-c", 2, |i, _attempt, rng| {
-                if i == 4 {
-                    panic!("permanent fault on trial {i}");
-                }
-                rng.next_u64()
-            });
-        assert_eq!(run.values[4], None);
-        assert_eq!(run.stats.failed_trials, 1);
-        assert_eq!(run.stats.panics, 3); // attempts 0..=2 all panicked
-        assert_eq!(run.stats.retries, 2);
-        assert_eq!(run.failures.len(), 1);
-        assert_eq!(run.failures[0].trial, 4);
-        assert_eq!(run.failures[0].attempts, 3);
-        assert!(run.failures[0].message.contains("permanent fault"));
-        // Every other trial still delivered its value.
-        assert_eq!(run.values.iter().filter(|v| v.is_some()).count(), 15);
     }
 }

@@ -74,6 +74,19 @@ fn sliced_kernel_paths_do_not_allocate() {
     });
     assert_eq!(n, 0, "slicer kernels allocated {n} times");
 
+    // --- Tail importance sampler: the tilted-draw batch is pure
+    //     register arithmetic over the warmed RNG ------------------------
+    let mut tail_rng = DetRng::substream(3, "alloc-free-tail");
+    let mut tail_mass = 0.0f64;
+    let n = allocs_during(|| {
+        for d in [0.0f64, 2.0, 6.0, 8.5] {
+            let (w, w2) = mosaic_sim::fidelity::tail_batch(d, 4096, &mut tail_rng);
+            tail_mass += w + w2;
+        }
+    });
+    assert_eq!(n, 0, "tail_batch allocated {n} times");
+    assert!(tail_mass > 0.0, "tail batches must have drawn real mass");
+
     // --- Bit-error injector: batched word and symbol corruption ---------
     let mut inj = BitErrorInjector::new(1e-3, DetRng::substream(3, "alloc-free-inject"));
     let mut words = vec![0u64; 1024];

@@ -1,0 +1,250 @@
+//! Integration tests for the adaptive-fidelity engine (DESIGN §12).
+//!
+//! Three families of checks:
+//!
+//! 1. *Tier purity* — [`FidelityController::classify`] is a pure
+//!    function of the assessment, and a full adaptive measurement
+//!    through [`ook_ber_with_fidelity`] is bit-identical at every
+//!    thread count, whichever tier the controller picks.
+//! 2. *Differential* — the analytic tier ([`SlicerPoint::model_ber`])
+//!    agrees with the full Monte-Carlo kernel within the kernel's own
+//!    Wilson interval, including at the boundary bit counts the sliced
+//!    kernels special-case (1 / 63 / 64 / 65 bits).
+//! 3. *Tail* — the importance sampler stays unbiased against the closed
+//!    Gaussian tail deep in the regime naive sampling cannot reach
+//!    (Q(d) ≈ 1e-15).
+
+use mosaic_phy::ber::OokReceiver;
+use mosaic_phy::noise::NoiseBudget;
+use mosaic_phy::photodiode::Photodiode;
+use mosaic_sim::fidelity::{
+    ook_ber_with_fidelity, Assessment, Exactness, FidelityController, FidelityMode, TailBer, Tier,
+};
+use mosaic_sim::montecarlo::{simulate_ook_ber_par, SlicerPoint};
+use mosaic_sim::sweep::Exec;
+use mosaic_units::Frequency;
+use proptest::prelude::*;
+
+/// KP4 pre-FEC BER threshold — the decision line every assessment here
+/// argues against.
+const KP4: f64 = 2.4e-4;
+
+/// The 2 GBd-class receiver the bench figures use (silicon photodiode,
+/// thermal-noise-limited TIA).
+fn mosaic_rx() -> OokReceiver {
+    OokReceiver {
+        pd: Photodiode::silicon_blue(),
+        noise: NoiseBudget {
+            thermal_a: 3.0e-12 * (1.4e9f64).sqrt(),
+            bandwidth: Frequency::from_ghz(1.4),
+            rin_db_per_hz: None,
+        },
+        extinction_ratio: 6.0,
+    }
+}
+
+proptest! {
+    /// Tier selection is a pure function of the assessment: two
+    /// controller instances classify any assessment identically, and
+    /// repeated classification never drifts. (The assessment itself is
+    /// derived from `(config, seed)` upstream, so this is the purity
+    /// leg of the determinism argument.)
+    #[test]
+    fn classification_is_pure_in_the_assessment(
+        exp in -12.0f64..0.0,
+        full_trials in 1u64..100_000_000,
+        exact in any::<bool>(),
+        tail in any::<bool>(),
+    ) {
+        let a = Assessment {
+            analytic_p: 10f64.powf(exp),
+            threshold: KP4,
+            full_trials,
+            exactness: if exact { Exactness::Exact } else { Exactness::Model },
+            tail_available: tail,
+        };
+        let ctrl = FidelityController::new(FidelityMode::Adaptive);
+        let twin = FidelityController::new(FidelityMode::Adaptive);
+        let first = ctrl.classify(&a);
+        for _ in 0..8 {
+            prop_assert_eq!(ctrl.classify(&a), first);
+            prop_assert_eq!(twin.classify(&a), first);
+        }
+    }
+
+    /// Budget invariants every decision must satisfy: adapted budgets
+    /// never exceed the full budget, Monte-Carlo tiers always run at
+    /// least one trial, and zero-trial tiers report zero.
+    #[test]
+    fn decisions_respect_the_trial_budget(
+        exp in -12.0f64..0.0,
+        full_trials in 1u64..100_000_000,
+        exact in any::<bool>(),
+        tail in any::<bool>(),
+    ) {
+        let a = Assessment {
+            analytic_p: 10f64.powf(exp),
+            threshold: KP4,
+            full_trials,
+            exactness: if exact { Exactness::Exact } else { Exactness::Model },
+            tail_available: tail,
+        };
+        for mode in [FidelityMode::Full, FidelityMode::Adaptive] {
+            let d = FidelityController::new(mode).classify(&a);
+            match d.tier {
+                Tier::FullMc => {
+                    prop_assert!(d.trials >= 1);
+                    prop_assert!(d.trials <= full_trials);
+                }
+                Tier::Analytic | Tier::TailMc => prop_assert_eq!(d.trials, 0),
+            }
+            if mode == FidelityMode::Full {
+                prop_assert_eq!(d.tier, Tier::FullMc);
+                prop_assert_eq!(d.trials, full_trials);
+            }
+        }
+    }
+}
+
+/// A full adaptive measurement is bit-identical at 1, 2, and 8 threads,
+/// for an operating point on each tier. This is the end-to-end leg of
+/// the determinism argument: classification never consults the thread
+/// count, and every tier's estimator folds counter-derived substreams
+/// in fixed order.
+#[test]
+fn adaptive_measurement_is_thread_count_invariant_on_every_tier() {
+    let rx = mosaic_rx();
+    let ctrl = FidelityController::new(FidelityMode::Adaptive);
+    // (target BER, expected tier): far above threshold → analytic; near
+    // → adapted full MC; far below → tail sampling.
+    let cases = [
+        (5.0e-2, Tier::Analytic),
+        (8.0e-4, Tier::FullMc),
+        (1.0e-8, Tier::TailMc),
+    ];
+    for (idx, (target, tier)) in cases.into_iter().enumerate() {
+        let p = rx.sensitivity(target).unwrap();
+        let seed = 900 + idx as u64;
+        let base = ook_ber_with_fidelity(&ctrl, &Exec::with_threads(1), &rx, p, KP4, 400_000, seed);
+        assert_eq!(base.tier, tier, "target {target}");
+        for threads in [2, 8] {
+            let other = ook_ber_with_fidelity(
+                &ctrl,
+                &Exec::with_threads(threads),
+                &rx,
+                p,
+                KP4,
+                400_000,
+                seed,
+            );
+            assert_eq!(base, other, "target {target}, threads {threads}");
+        }
+    }
+}
+
+/// Differential check at the sliced kernels' boundary bit counts: the
+/// full Monte-Carlo estimate must bracket the analytic model inside its
+/// own Wilson interval at 1, 63, 64, 65, and 1024 bits. Everything is
+/// seeded, so this pins the exact boundary-block behavior, not a
+/// statistical hope.
+#[test]
+fn analytic_model_sits_inside_the_mc_wilson_interval_at_boundary_bit_counts() {
+    let rx = mosaic_rx();
+    // BER ≈ 0.1: high enough that even one bit carries information and
+    // the Wilson interval at tiny n still contains the model.
+    let p = rx.sensitivity(0.1).unwrap();
+    let model = SlicerPoint::of(&rx, p).model_ber();
+    let exec = Exec::with_threads(4);
+    for bits in [1u64, 63, 64, 65, 1024] {
+        let m = simulate_ook_ber_par(&exec, &rx, p, bits, 7001);
+        let (lo, hi) = m.ci95;
+        assert!(
+            lo <= model && model <= hi,
+            "model {model} outside Wilson CI [{lo}, {hi}] at {bits} bits (mc {})",
+            m.ber
+        );
+    }
+}
+
+/// Tight differential at a large budget: 2M bits at BER ≈ 1e-3 give
+/// ~2000 events, so the kernel must land within its ~±4.5 % Wilson
+/// interval of the model *and* within 10 % relative.
+#[test]
+fn analytic_model_matches_full_mc_tightly_at_large_budgets() {
+    let rx = mosaic_rx();
+    let p = rx.sensitivity(1e-3).unwrap();
+    let model = SlicerPoint::of(&rx, p).model_ber();
+    let m = simulate_ook_ber_par(&Exec::with_threads(4), &rx, p, 2_000_000, 7002);
+    let (lo, hi) = m.ci95;
+    assert!(
+        lo <= model && model <= hi,
+        "model {model} outside [{lo}, {hi}]"
+    );
+    assert!(
+        (m.ber - model).abs() < 0.1 * model,
+        "mc {} vs model {model}",
+        m.ber
+    );
+}
+
+/// The analytic tier returns exactly the model value with a degenerate
+/// interval — no kernel, no trials, no noise.
+#[test]
+fn analytic_tier_returns_the_exact_model_value() {
+    let rx = mosaic_rx();
+    let ctrl = FidelityController::new(FidelityMode::Adaptive);
+    let p = rx.sensitivity(5.0e-2).unwrap();
+    let out = ook_ber_with_fidelity(&ctrl, &Exec::with_threads(2), &rx, p, KP4, 4_000_000, 11);
+    let model = SlicerPoint::of(&rx, p).model_ber();
+    assert_eq!(out.tier, Tier::Analytic);
+    assert_eq!(out.ber, model);
+    assert_eq!(out.ci95, (model, model));
+    assert_eq!(out.trials, 0);
+}
+
+/// Importance sampling deep in the tail: Q(7.94) ≈ 1.0e-15, fourteen
+/// decades below anything a trial budget can observe. The tilted
+/// estimator must stay unbiased (within 5 standard errors of the closed
+/// tail) with O(1) relative variance.
+#[test]
+fn tail_sampler_is_unbiased_at_the_1e15_regime() {
+    let d = 7.94f64;
+    let exact = mosaic_phy::math::normal_tail(d);
+    assert!(exact < 1e-14, "test premise: deep tail (got {exact})");
+    let t = TailBer { d1: d, d0: d };
+    let est = t.estimate_with(&Exec::with_threads(4), 64, 4096, 13, "deep-tail");
+    assert!(est.ber > 0.0);
+    assert!(
+        (est.ber - exact).abs() < 5.0 * est.std_err,
+        "tail estimate {} vs exact {exact} (se {})",
+        est.ber,
+        est.std_err
+    );
+    assert!(
+        est.std_err < 0.05 * exact,
+        "relative se {} must stay O(1) in p",
+        est.std_err / exact
+    );
+}
+
+/// End-to-end tail measurement through the fidelity API: at an operating
+/// point whose BER is unresolvable by ordinary sampling, the adaptive
+/// outcome must come from the tail tier and agree with the closed model
+/// within its reported interval.
+#[test]
+fn adaptive_tail_outcome_brackets_the_model() {
+    let rx = mosaic_rx();
+    let ctrl = FidelityController::new(FidelityMode::Adaptive);
+    let p = rx.sensitivity(1e-9).unwrap();
+    let model = SlicerPoint::of(&rx, p).model_ber();
+    let out = ook_ber_with_fidelity(&ctrl, &Exec::with_threads(2), &rx, p, KP4, 4_000_000, 17);
+    assert_eq!(out.tier, Tier::TailMc);
+    let (lo, hi) = out.ci95;
+    // 95 % interval widened ×2 — same rule the CI fidelity gate applies.
+    let h = (hi - lo) / 2.0;
+    assert!(
+        (out.ber - model).abs() <= 2.0 * h.max(f64::MIN_POSITIVE),
+        "tail outcome {} vs model {model} (ci [{lo}, {hi}])",
+        out.ber
+    );
+}

@@ -12,9 +12,12 @@
 // HashSet here is set-equality of raw u64 draws; iteration order is
 // never observed, so the determinism ban does not apply.
 #![allow(clippy::disallowed_types)]
+// The deprecated Exec entry points stay covered until they are removed:
+// the gate must hold for the wrappers AND for TrialPlan.
+#![allow(deprecated)]
 
 use mosaic_sim::rng::DetRng;
-use mosaic_sim::sweep::{chunk_count, chunk_len, Exec};
+use mosaic_sim::sweep::{chunk_count, chunk_len, Exec, TrialPlan};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -111,5 +114,64 @@ proptest! {
     fn run_tasks_order_is_stable(n in 0usize..300, threads in 2usize..9) {
         let out = Exec::with_threads(threads).run_tasks(n, |i| i);
         prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    /// TrialPlan::run is bit-identical to sequential execution at every
+    /// thread count — the schedule-invariance gate holds for the new API
+    /// exactly as it does for the deprecated wrappers above.
+    #[test]
+    fn trial_plan_run_equals_sequential(
+        seed: u64,
+        n in 0u64..200,
+        draws in 1usize..32,
+        threads in 2usize..17,
+    ) {
+        let run_at = |t: usize| {
+            TrialPlan::new().trials(n).seed(seed).label("plan-prop").run(
+                &Exec::with_threads(t),
+                |ctx| {
+                    let mut rng = ctx.rng();
+                    let mut acc = 0u64;
+                    for _ in 0..draws {
+                        acc = acc.wrapping_add(rng.next_u64());
+                    }
+                    (ctx.trial(), acc)
+                },
+            )
+        };
+        prop_assert_eq!(run_at(1), run_at(threads));
+    }
+
+    /// TrialPlan::run draws the exact streams the deprecated par_trials
+    /// drew: migrating a call site never changes its numbers.
+    #[test]
+    fn trial_plan_matches_deprecated_par_trials(
+        seed: u64,
+        n in 0u64..128,
+        threads in 1usize..9,
+    ) {
+        let exec = Exec::with_threads(threads);
+        let old = exec.par_trials(n, seed, "compat", |_i, rng| rng.next_u64());
+        let new = TrialPlan::new().trials(n).seed(seed).label("compat").run(
+            &exec,
+            |ctx| ctx.rng().next_u64(),
+        );
+        prop_assert_eq!(old, new);
+    }
+
+    /// TrialPlan::sum (exact integer fold) is thread-count invariant and
+    /// equal to summing TrialPlan::run's per-trial values.
+    #[test]
+    fn trial_plan_sum_is_thread_invariant(
+        seed: u64,
+        n in 0u64..300,
+        threads in 2usize..9,
+    ) {
+        let stat = |ctx: &mut mosaic_sim::sweep::TrialCtx| ctx.rng().next_u64() >> 32;
+        let seq: u64 = TrialPlan::new().trials(n).seed(seed).label("plan-sum")
+            .run(&Exec::with_threads(1), |ctx| stat(ctx)).iter().sum();
+        let par = TrialPlan::new().trials(n).seed(seed).label("plan-sum")
+            .sum(&Exec::with_threads(threads), stat);
+        prop_assert_eq!(seq, par);
     }
 }
