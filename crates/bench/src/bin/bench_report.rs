@@ -27,8 +27,9 @@
 //! `trend` renders a per-figure wall-time history across manifests given
 //! oldest-first (e.g. the previous CI run's artifact followed by the
 //! current run) as a GitHub-flavored markdown table, ready to append to
-//! `$GITHUB_STEP_SUMMARY`. It never fails on timing — it is a report,
-//! not a gate.
+//! `$GITHUB_STEP_SUMMARY`, with a final peak-RSS row (from
+//! `run.timings.peak_rss_bytes`). It never fails on timing — it is a
+//! report, not a gate.
 //!
 //! Exit codes: 0 = clean, 1 = regression found, 2 = usage/parse error.
 
@@ -325,6 +326,31 @@ fn cmd_trend(paths: &[String]) {
         "| **total** | {} | {} |",
         cells.join(" | "),
         ratio_cell(prev, totals[n - 1])
+    );
+    // Peak RSS (MB): a resource row, not a timing row — it is how CI sees
+    // that the hyperfleet figure stays memory-bounded as the fleet grows.
+    // Manifests predating the field (or non-Linux runs reporting 0)
+    // render as `-`.
+    let rss_of = |doc: &Json| -> Option<u64> {
+        doc.get("run")?
+            .get("timings")?
+            .get("peak_rss_bytes")?
+            .as_u64()
+            .filter(|&b| b > 0)
+    };
+    let rss: Vec<Option<u64>> = docs.iter().map(rss_of).collect();
+    let cells: Vec<String> = rss
+        .iter()
+        .map(|&b| match b {
+            Some(b) => format!("{:.1}", b as f64 / (1024.0 * 1024.0)),
+            None => "-".to_string(),
+        })
+        .collect();
+    let prev = if n >= 2 { rss[n - 2] } else { None };
+    println!(
+        "| **peak RSS (MB)** | {} | {} |",
+        cells.join(" | "),
+        ratio_cell(prev, rss[n - 1])
     );
 }
 

@@ -185,6 +185,7 @@ fn main() {
         figures,
         total_wall_ns: run_start.elapsed().as_nanos() as u64,
         total_cpu_ns: telemetry::process_cpu_ns().saturating_sub(cpu_start),
+        peak_rss_bytes: telemetry::peak_rss_bytes(),
     };
     let path =
         manifest_out.unwrap_or_else(|| format!("results/manifests/run_all-{frag_mode}.json"));

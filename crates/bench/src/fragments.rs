@@ -250,6 +250,200 @@ pub fn clear_fragments(dir: &Path) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Hyperfleet batch checkpoints (F18).
+//
+// `hyperfleet::simulate_with` streams its cumulative per-batch rollup
+// through a `RollupStore`; this store persists each checkpoint as
+// `hf-<tag>-b<batch>.json` next to the figure fragments, under the same
+// atomic-write discipline. Every field of the rollup is an exact
+// integer, so the wire format stores them as fixed-width hex strings
+// (the JSON number layer is f64-backed and would silently round above
+// 2^53). A checkpoint is keyed by the config digest: a load whose
+// stored digest does not match is ignored, so a stale checkpoint from a
+// different config/seed/fidelity can never seed a resume. Figure
+// fragments and hyperfleet checkpoints share `clear_fragments` (both
+// are `*.json`), so run_all's fresh-start and successful-completion
+// sweeps clear them together.
+
+/// The hyperfleet checkpoint schema identifier.
+pub const ROLLUP_SCHEMA: &str = "mosaic-hyperfleet-rollup/v1";
+
+use mosaic_netsim::hyperfleet::{FleetRollup, RollupStore, SPARE_BUCKETS};
+
+/// A [`RollupStore`] over per-batch JSON files in a fragment directory.
+/// The `tag` keeps concurrent simulations (e.g. F18's two policies) in
+/// separate file families within the same directory.
+#[derive(Debug, Clone)]
+pub struct FragmentRollupStore {
+    dir: PathBuf,
+    tag: String,
+}
+
+fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn hex128(v: u128) -> String {
+    format!("{v:032x}")
+}
+
+fn parse_hex64(doc: &Json, key: &str) -> Result<u64, String> {
+    let s = doc
+        .get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("{key}: missing or not a string"))?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("{key}: not a hex integer"))
+}
+
+fn parse_hex128(doc: &Json, key: &str) -> Result<u128, String> {
+    let s = doc
+        .get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("{key}: missing or not a string"))?;
+    u128::from_str_radix(s, 16).map_err(|_| format!("{key}: not a hex integer"))
+}
+
+impl FragmentRollupStore {
+    /// A store writing checkpoints under `dir` (created on first save).
+    pub fn new(dir: impl Into<PathBuf>, tag: &str) -> Self {
+        FragmentRollupStore {
+            dir: dir.into(),
+            tag: tag.to_string(),
+        }
+    }
+
+    /// Checkpoint path for one batch.
+    pub fn path(&self, batch: u64) -> PathBuf {
+        self.dir.join(format!("hf-{}-b{batch}.json", self.tag))
+    }
+
+    /// Delete this store's checkpoint files (leaves figure fragments and
+    /// other tags alone) — what F18 calls once a simulation completes.
+    pub fn clear(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let prefix = format!("hf-{}-b", self.tag);
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with(&prefix) && name.ends_with(".json") {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+
+    fn rollup_to_json(batch: u64, digest: u64, r: &FleetRollup) -> Json {
+        let occupancy: Vec<Json> = r
+            .spare_occupancy
+            .iter()
+            .map(|&c| Json::from(hex64(c)))
+            .collect();
+        Json::object()
+            .with("schema", ROLLUP_SCHEMA)
+            .with("batch", hex64(batch))
+            .with("digest", hex64(digest))
+            .with("shards", hex64(r.shards))
+            .with("links", hex64(r.links))
+            .with("event_sourced_links", hex64(r.event_sourced_links))
+            .with("tickets", hex64(r.tickets))
+            .with("hard_failures", hex64(r.hard_failures))
+            .with("rebuilds", hex64(r.rebuilds))
+            .with("channel_faults", hex64(r.channel_faults))
+            .with("spares_activated", hex64(r.spares_activated))
+            .with("lanes_shed", hex64(r.lanes_shed))
+            .with("exhausted_links", hex64(r.exhausted_links))
+            .with("downtime_q", hex128(r.downtime_q))
+            .with("degraded_q", hex128(r.degraded_q))
+            .with("capacity_lost_q", hex128(r.capacity_lost_q))
+            .with("spare_occupancy", Json::Arr(occupancy))
+    }
+
+    fn rollup_from_json(doc: &Json, batch: u64, digest: u64) -> Result<FleetRollup, String> {
+        match doc.get("schema").and_then(|s| s.as_str()) {
+            Some(s) if s == ROLLUP_SCHEMA => {}
+            other => return Err(format!("schema: expected {ROLLUP_SCHEMA:?}, got {other:?}")),
+        }
+        if parse_hex64(doc, "batch")? != batch {
+            return Err("batch mismatch".into());
+        }
+        if parse_hex64(doc, "digest")? != digest {
+            return Err("config digest mismatch".into());
+        }
+        let occ = doc
+            .get("spare_occupancy")
+            .and_then(|v| v.as_arr())
+            .ok_or("spare_occupancy: missing or not an array")?;
+        if occ.len() != SPARE_BUCKETS {
+            return Err(format!(
+                "spare_occupancy: expected {SPARE_BUCKETS} buckets, got {}",
+                occ.len()
+            ));
+        }
+        let mut spare_occupancy = [0u64; SPARE_BUCKETS];
+        for (i, v) in occ.iter().enumerate() {
+            let s = v
+                .as_str()
+                .ok_or_else(|| format!("spare_occupancy[{i}]: not a string"))?;
+            spare_occupancy[i] = u64::from_str_radix(s, 16)
+                .map_err(|_| format!("spare_occupancy[{i}]: not a hex integer"))?;
+        }
+        Ok(FleetRollup {
+            shards: parse_hex64(doc, "shards")?,
+            links: parse_hex64(doc, "links")?,
+            event_sourced_links: parse_hex64(doc, "event_sourced_links")?,
+            tickets: parse_hex64(doc, "tickets")?,
+            hard_failures: parse_hex64(doc, "hard_failures")?,
+            rebuilds: parse_hex64(doc, "rebuilds")?,
+            channel_faults: parse_hex64(doc, "channel_faults")?,
+            spares_activated: parse_hex64(doc, "spares_activated")?,
+            lanes_shed: parse_hex64(doc, "lanes_shed")?,
+            exhausted_links: parse_hex64(doc, "exhausted_links")?,
+            downtime_q: parse_hex128(doc, "downtime_q")?,
+            degraded_q: parse_hex128(doc, "degraded_q")?,
+            capacity_lost_q: parse_hex128(doc, "capacity_lost_q")?,
+            spare_occupancy,
+        })
+    }
+}
+
+impl RollupStore for FragmentRollupStore {
+    fn load(&mut self, batch: u64, digest: u64) -> Option<FleetRollup> {
+        let path = self.path(batch);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        match Self::rollup_from_json(&doc, batch, digest) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!(
+                    "[hyperfleet] ignoring invalid checkpoint {}: {e}",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn save(&mut self, batch: u64, digest: u64, rollup: &FleetRollup) -> mosaic_units::Result<()> {
+        let write = |store: &FragmentRollupStore| -> std::io::Result<()> {
+            std::fs::create_dir_all(&store.dir)?;
+            let tmp = store.dir.join(format!(".hf-{}-b{batch}.tmp", store.tag));
+            std::fs::write(
+                &tmp,
+                Self::rollup_to_json(batch, digest, rollup).to_string_pretty(),
+            )?;
+            std::fs::rename(&tmp, store.path(batch))
+        };
+        write(self).map_err(|e| {
+            mosaic_units::MosaicError::invalid_config(
+                "hyperfleet_checkpoint",
+                format!("cannot write checkpoint for batch {batch}: {e}"),
+            )
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +523,34 @@ mod tests {
         assert!(load_fragment(&dir, "F1", "quick").is_none());
         clear_fragments(&dir);
         assert!(load_fragment(&dir, "F9", "quick").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollup_checkpoints_round_trip_exactly() {
+        let dir = std::env::temp_dir().join(format!("mosaic-hf-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = FragmentRollupStore::new(&dir, "test");
+        let r = FleetRollup {
+            shards: 3,
+            links: 1_277_952,
+            tickets: 42,
+            // Above 2^53: a float-backed number field would round these.
+            downtime_q: (1u128 << 77) + 12345,
+            capacity_lost_q: u128::MAX / 7,
+            spare_occupancy: [9, 8, 7, 6, 5, 4, 3, 2],
+            ..FleetRollup::default()
+        };
+        store.save(4, 0xdead_beef, &r).unwrap();
+        assert_eq!(store.load(4, 0xdead_beef), Some(r));
+        // Wrong digest, wrong batch, corrupt file: all ignored.
+        assert_eq!(store.load(4, 0xdead_beee), None);
+        assert_eq!(store.load(3, 0xdead_beef), None);
+        std::fs::write(store.path(4), "{not json").unwrap();
+        assert_eq!(store.load(4, 0xdead_beef), None);
+        store.save(4, 0xdead_beef, &r).unwrap();
+        store.clear();
+        assert_eq!(store.load(4, 0xdead_beef), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -110,6 +110,10 @@ pub struct RunManifest {
     pub total_wall_ns: u64,
     /// Total process CPU time, nanoseconds.
     pub total_cpu_ns: u64,
+    /// Peak resident-set size of the run, bytes (0 = unknown). Lives in
+    /// the timings block: a resource metric, never a value, so it is
+    /// excluded from `values_view` and the determinism gates.
+    pub peak_rss_bytes: u64,
 }
 
 impl RunManifest {
@@ -145,7 +149,8 @@ impl RunManifest {
                         "timings",
                         Json::object()
                             .with("total_wall_ns", self.total_wall_ns)
-                            .with("total_cpu_ns", self.total_cpu_ns),
+                            .with("total_cpu_ns", self.total_cpu_ns)
+                            .with("peak_rss_bytes", self.peak_rss_bytes),
                     ),
             )
             .with(
@@ -351,6 +356,9 @@ const BUDGET_METRIC_PREFIXES: &[&str] = &[
     "link_sim.frames_",
     "link_sim.deskew_",
     "link_sim.bit_errors_",
+    // Hyperfleet aggregates scale with which classes run event-sourced,
+    // which is exactly what adaptive fidelity decides per class.
+    "hyperfleet.",
 ];
 
 fn budget_dependent(name: &str) -> bool {
@@ -592,6 +600,7 @@ mod tests {
             }],
             total_wall_ns: wall,
             total_cpu_ns: wall * 2,
+            peak_rss_bytes: 64 * 1024 * 1024,
         }
     }
 

@@ -414,6 +414,28 @@ impl DegradeController {
         }
     }
 
+    /// Return the controller to its just-constructed state — all
+    /// channels Active with clean monitors, full spare pool, empty
+    /// transition log, epoch zero — without releasing any allocation.
+    ///
+    /// Hyperfleet rebuild tickets model a hardware swap: the replacement
+    /// link starts fresh, but the simulation reuses the controller so
+    /// the inner event loop stays allocation-free.
+    pub fn reset(&mut self) {
+        for ch in &mut self.channels {
+            ch.state = CtlState::Active;
+            ch.health.reset();
+            ch.dwell = 0;
+            ch.clean_streak = 0;
+            ch.pending_dead = false;
+        }
+        self.map.reset();
+        self.transitions.clear();
+        self.epoch = 0;
+        self.spares_activated = 0;
+        self.lost_lanes = 0;
+    }
+
     /// Current state of a physical channel (`Retired` for out-of-range
     /// indices, the conservative reading).
     pub fn state(&self, physical: usize) -> CtlState {
@@ -597,6 +619,36 @@ mod tests {
             ctl.step();
         }
         assert_eq!(ctl.state(0), CtlState::Retired);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let fresh = DegradeController::try_new(4, 6, quick_cfg()).unwrap();
+        let mut ctl = fresh.clone();
+        // Abuse: kill enough channels to spare and shed.
+        for ch in [0, 1, 2, 3] {
+            ctl.mark_dead(ch);
+        }
+        ctl.step();
+        assert!(ctl.spares_activated() > 0);
+        assert!(!ctl.transitions().is_empty());
+        ctl.reset();
+        assert_eq!(ctl.epoch(), 0);
+        assert_eq!(ctl.spares_activated(), 0);
+        assert_eq!(ctl.lost_lanes(), 0);
+        assert!(ctl.transitions().is_empty());
+        assert_eq!(ctl.lane_map(), fresh.lane_map());
+        for ch in 0..6 {
+            assert_eq!(ctl.state(ch), CtlState::Active);
+        }
+        // A reset controller behaves exactly like a fresh one.
+        let mut again = fresh.clone();
+        ctl.mark_dead(2);
+        again.mark_dead(2);
+        let a = ctl.step();
+        let b = again.step();
+        assert_eq!(a, b);
+        assert_eq!(ctl.transitions(), again.transitions());
     }
 
     proptest! {

@@ -73,6 +73,15 @@ impl LaneHealth {
         }
     }
 
+    /// Forget all observations, keeping the allocated history storage.
+    /// Used when a link is rebuilt in place (hardware swap): the new
+    /// channel starts with a clean monitor but no fresh allocation.
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.cur_bits = 0;
+        self.cur_errors = 0;
+    }
+
     /// BER estimate over the retained history (plus the open window),
     /// or `None` before any data.
     pub fn ber(&self) -> Option<f64> {
@@ -167,6 +176,23 @@ impl LaneMap {
     /// Channels retired so far.
     pub fn retired(&self) -> &[(usize, FailureKind)] {
         &self.retired
+    }
+
+    /// Restore the pristine assignment (lane `i` → channel `i`, surplus
+    /// as spares, nothing retired) without releasing allocated storage.
+    ///
+    /// The original geometry is recovered from the containers: every
+    /// physical channel lives in exactly one of `assignment`, `spares`,
+    /// or `retired` (swaps move channels between them one-for-one), so
+    /// their combined length is the provisioned channel count.
+    pub fn reset(&mut self) {
+        let logical = self.assignment.len();
+        let physical = logical + self.spares.len() + self.retired.len();
+        self.assignment.clear();
+        self.assignment.extend(0..logical);
+        self.spares.clear();
+        self.spares.extend(logical..physical);
+        self.retired.clear();
     }
 
     /// Report a physical-channel failure. If the channel is active, a

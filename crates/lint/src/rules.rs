@@ -211,6 +211,19 @@ pub fn default_config() -> Config {
                 func: "at_most",
                 harness: Some("crates/sim/tests/alloc_free.rs"),
             },
+            // The hyperfleet inner event loops: 10⁶+ links stream through
+            // these per shard, so a per-link allocation would dominate the
+            // run. Runtime-proved by the netsim counting-allocator harness.
+            RegistryFn {
+                file: "crates/netsim/src/hyperfleet.rs",
+                func: "drain_hard_failures",
+                harness: Some("crates/netsim/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/netsim/src/hyperfleet.rs",
+                func: "replay_fault_window",
+                harness: Some("crates/netsim/tests/alloc_free.rs"),
+            },
         ],
     }
 }

@@ -9,7 +9,46 @@ use crate::assignment::Assignment;
 use mosaic_sim::event::EventQueue;
 use mosaic_sim::rng::DetRng;
 use mosaic_sim::sweep::{Exec, TrialPlan};
-use mosaic_units::Duration;
+use mosaic_units::{Duration, Fit};
+
+/// Class-level Poisson hard-failure process: `count` statistically
+/// identical links, each failing at `link_fit`, superpose to one
+/// exponential stream at the summed rate. Exact for exponential
+/// lifetimes — this is the analytic tier both [`simulate_fleet`] and
+/// `hyperfleet`'s demoted link classes run on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassFailureProcess {
+    rate_per_hour: f64,
+}
+
+impl ClassFailureProcess {
+    /// Process for `count` links at `link_fit` each.
+    pub fn new(link_fit: Fit, count: u64) -> Self {
+        ClassFailureProcess {
+            rate_per_hour: link_fit.per_hour() * count as f64,
+        }
+    }
+
+    /// Superposed failure rate in events per hour.
+    pub fn rate_per_hour(&self) -> f64 {
+        self.rate_per_hour
+    }
+
+    /// Time of the first failure, or `None` for a zero-rate class.
+    /// Draws exactly one exponential when the rate is positive.
+    pub fn first_failure(&self, rng: &mut DetRng) -> Option<f64> {
+        if self.rate_per_hour > 0.0 {
+            Some(rng.exponential(self.rate_per_hour))
+        } else {
+            None
+        }
+    }
+
+    /// Time of the next failure after one at `now`.
+    pub fn next_failure(&self, now: f64, rng: &mut DetRng) -> f64 {
+        now + rng.exponential(self.rate_per_hour)
+    }
+}
 
 /// Result of a fleet failure simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,9 +138,9 @@ fn simulate_fleet_core(
 
     // Seed the first failure for each class.
     for (i, a) in assignments.iter().enumerate() {
-        let rate = a.choice.link_fit.per_hour() * a.class.count as f64;
-        if rate > 0.0 {
-            q.schedule(rng.exponential(rate), Event::Fail { class: i });
+        let proc = ClassFailureProcess::new(a.choice.link_fit, a.class.count as u64);
+        if let Some(t) = proc.first_failure(&mut rng) {
+            q.schedule(t, Event::Fail { class: i });
         }
     }
 
@@ -121,8 +160,8 @@ fn simulate_fleet_core(
                 q.schedule(end, Event::Repair);
                 // Next failure in this class.
                 let a = &assignments[class];
-                let rate = a.choice.link_fit.per_hour() * a.class.count as f64;
-                q.schedule(t + rng.exponential(rate), Event::Fail { class });
+                let proc = ClassFailureProcess::new(a.choice.link_fit, a.class.count as u64);
+                q.schedule(proc.next_failure(t, &mut rng), Event::Fail { class });
             }
             Event::Repair => {}
         }

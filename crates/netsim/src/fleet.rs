@@ -1,7 +1,6 @@
 //! Fleet-wide rollups: power, energy per bit, expected failures.
 
 use crate::assignment::Assignment;
-use mosaic_sim::sweep::Exec;
 use mosaic_units::{Fit, Power};
 use std::collections::BTreeMap;
 
@@ -22,22 +21,18 @@ pub struct FleetReport {
     pub links_by_tech: BTreeMap<String, usize>,
 }
 
-/// Roll up an assignment into fleet totals. Runs on the ambient
-/// (`MOSAIC_THREADS`) execution context; see [`rollup_with`].
-pub fn rollup(assignments: &[Assignment]) -> FleetReport {
-    rollup_with(&Exec::from_env(), assignments)
-}
-
-/// [`rollup`] on an explicit execution context.
+/// Roll up an assignment into fleet totals.
 ///
 /// The fold runs sequentially in assignment order: each partial is two
 /// multiplications, so any parallel decomposition costs more in
 /// collection and reassembly than it saves (the earlier `par_sweep`
-/// form also cloned every technology name into an intermediate vector).
-/// Assignment-order accumulation is exactly what the parallel form
-/// reassembled to, so the report — including float accumulation order —
-/// is unchanged, and trivially identical at every thread count.
-pub fn rollup_with(_exec: &Exec, assignments: &[Assignment]) -> FleetReport {
+/// form also cloned every technology name into an intermediate vector;
+/// its successor `rollup_with` took an `Exec` it never used, so the
+/// dead parameter is gone). Assignment-order accumulation is exactly
+/// what the parallel form reassembled to, so the report — including
+/// float accumulation order — is unchanged, and trivially identical at
+/// every thread count.
+pub fn rollup(assignments: &[Assignment]) -> FleetReport {
     let mut total_power = Power::ZERO;
     let mut total_fit = Fit::ZERO;
     let mut links = 0usize;

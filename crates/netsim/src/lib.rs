@@ -11,7 +11,10 @@
 //!   the cheapest candidate that reaches (per `mosaic::compare`);
 //! * [`fleet`] — fleet-wide power, energy/bit and failure-rate rollups;
 //! * [`failure_sim`] — a multi-year discrete-event failure/repair
-//!   simulation over the whole fleet.
+//!   simulation over the whole fleet;
+//! * [`hyperfleet`] — the sharded, event-sourced fleet engine: 10⁶+
+//!   links with per-channel fault campaigns feeding per-link degrade
+//!   controllers, memory bounded by shard size, kill/resume-safe.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,8 +22,11 @@
 pub mod assignment;
 pub mod failure_sim;
 pub mod fleet;
+pub mod hyperfleet;
 pub mod topology;
 
 pub use assignment::{assign, Policy};
+pub use failure_sim::ClassFailureProcess;
 pub use fleet::FleetReport;
+pub use hyperfleet::{FleetRollup, HyperClass, HyperFleetConfig, HyperFleetReport, RollupStore};
 pub use topology::{ClosTopology, LinkClass, RailTopology};

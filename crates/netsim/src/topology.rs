@@ -55,6 +55,20 @@ impl ClosTopology {
         }
     }
 
+    /// A hyperscale region: 786,432 servers across 192 pods — about
+    /// 1.28 M links, the scale where spare exhaustion and ticket rates
+    /// diverge from small-fleet extrapolation (experiment F18).
+    pub fn hyperscale() -> Self {
+        ClosTopology {
+            servers_per_rack: 32,
+            racks_per_pod: 128,
+            pods: 192,
+            tor_uplinks: 16,
+            agg_uplinks: 16,
+            aggs_per_pod: 32,
+        }
+    }
+
     /// Total servers.
     pub fn servers(&self) -> usize {
         self.servers_per_rack * self.racks_per_pod * self.pods
@@ -213,5 +227,19 @@ mod tests {
         let t = ClosTopology::large();
         assert_eq!(t.servers(), 65536);
         assert!(t.total_links() > 90_000);
+    }
+
+    #[test]
+    fn hyperscale_cluster_exceeds_one_million_links() {
+        let t = ClosTopology::hyperscale();
+        assert_eq!(t.servers(), 786_432);
+        assert!(
+            t.total_links() > 1_000_000,
+            "links {} must exceed 1M for F18",
+            t.total_links()
+        );
+        // tor-agg (the Mosaic band at 20 m) is the dominant non-server tier.
+        let classes = t.link_classes();
+        assert_eq!(classes[1].count, 128 * 192 * 16);
     }
 }

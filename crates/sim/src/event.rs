@@ -28,11 +28,15 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour on (time, order).
+        // Reverse for min-heap behaviour on (time, order). `total_cmp`
+        // is a total order even for NaN, so a non-finite time that
+        // somehow bypassed the `schedule` assertion (e.g. via a future
+        // unchecked constructor) degrades to a deterministic — if
+        // surprising — position instead of corrupting the heap
+        // invariant the way `partial_cmp(..).unwrap_or(Equal)` did.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.order.cmp(&self.order))
     }
 }
@@ -58,6 +62,30 @@ impl<E> EventQueue<E> {
             next_order: 0,
             now: 0.0,
         }
+    }
+
+    /// An empty queue at time zero with pre-sized storage.
+    ///
+    /// Hyperfleet shards schedule a known number of campaign events per
+    /// link; pre-sizing keeps the inner event loop allocation-free.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_order: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Number of events the heap can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reset to an empty queue at time zero, keeping allocated storage.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_order = 0;
+        self.now = 0.0;
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -153,5 +181,35 @@ mod tests {
         q.schedule(2.0, ());
         q.pop();
         q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scheduling_nan_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scheduling_infinity_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_and_reset_keeps_storage() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.capacity() >= 16);
+        for i in 0..16 {
+            q.schedule(i as f64, i);
+        }
+        while q.pop().is_some() {}
+        q.reset();
+        assert_eq!(q.now(), 0.0);
+        assert!(q.is_empty());
+        assert!(q.capacity() >= 16);
+        q.schedule(0.5, 99);
+        assert_eq!(q.pop(), Some((0.5, 99)));
     }
 }

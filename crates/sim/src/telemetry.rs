@@ -236,6 +236,25 @@ pub fn process_cpu_ns() -> u64 {
     total
 }
 
+/// Peak resident-set size of this process so far, in bytes. Reads the
+/// `VmHWM` line of `/proc/self/status` (reported in kB); returns 0 where
+/// that interface is unavailable, so callers must treat 0 as "unknown".
+/// The hyperfleet memory gate uses this to show that 10⁶-link runs stay
+/// bounded by shard size, not fleet size.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            if let Some(kb) = rest.split_whitespace().next() {
+                return kb.parse::<u64>().unwrap_or(0) * 1024;
+            }
+        }
+    }
+    0
+}
+
 /// The sanctioned wall-clock for advisory timings. This module is the
 /// only place allowed to touch `std::time::Instant` (lint rule R2, see
 /// DESIGN.md §9): every figure pipeline and the sweep engine measure

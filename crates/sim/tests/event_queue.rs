@@ -1,0 +1,65 @@
+//! Property tests for the discrete-event queue: FIFO among simultaneous
+//! events is the ordering guarantee every event-sourced replay (the
+//! hyperfleet engine above all) leans on for determinism.
+
+use mosaic_sim::event::EventQueue;
+use proptest::prelude::*;
+
+proptest! {
+    /// Events scheduled at equal times pop in insertion order, whatever
+    /// the interleaving with other times — i.e. the queue is a stable
+    /// priority queue over (time, insertion index).
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order(
+        times in proptest::collection::vec(0u8..4, 1..64)
+    ) {
+        // Degenerate time domain (4 distinct values) forces many ties.
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t as f64, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t, id));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            let ((t0, i0), (t1, i1)) = (w[0], w[1]);
+            prop_assert!(t0 <= t1, "times out of order: {t0} then {t1}");
+            if t0 == t1 {
+                prop_assert!(i0 < i1, "tie at t={t0} broke insertion order: {i0} then {i1}");
+            }
+        }
+    }
+
+    /// `reset` keeps the queue usable and the FIFO guarantee intact, and
+    /// restarts insertion-order numbering from scratch.
+    #[test]
+    fn reset_preserves_fifo_semantics(
+        first in proptest::collection::vec(0u8..3, 1..16),
+        second in proptest::collection::vec(0u8..3, 1..16),
+    ) {
+        let mut q = EventQueue::with_capacity(32);
+        for (i, &t) in first.iter().enumerate() {
+            q.schedule(t as f64, i);
+        }
+        q.reset();
+        prop_assert!(q.is_empty());
+        for (i, &t) in second.iter().enumerate() {
+            q.schedule(t as f64, i);
+        }
+        let mut prev: Option<(f64, usize)> = None;
+        let mut count = 0usize;
+        while let Some((t, id)) = q.pop() {
+            if let Some((pt, pid)) = prev {
+                prop_assert!(pt <= t);
+                if pt == t {
+                    prop_assert!(pid < id);
+                }
+            }
+            prev = Some((t, id));
+            count += 1;
+        }
+        prop_assert_eq!(count, second.len());
+    }
+}
