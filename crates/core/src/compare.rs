@@ -136,7 +136,6 @@ pub fn candidates(aggregate: BitRate) -> Vec<LinkCandidate> {
         .bit_rate(aggregate)
         .reach(Length::from_m(10.0))
         .build()
-        // lint: allow(R3) reason=production preset invariant; builder validated by tests
         .expect("production preset at a positive rate is valid");
     let reach = crate::budget::max_reach(&cfg).unwrap_or(Length::ZERO);
     let power = power_model::link_power(&cfg);

@@ -107,7 +107,6 @@ impl MosaicConfig {
     pub fn new(aggregate: BitRate, length: Length) -> Self {
         match Self::builder().bit_rate(aggregate).reach(length).build() {
             Ok(cfg) => cfg,
-            // lint: allow(R3) reason=documented panicking wrapper over the builder
             Err(e) => panic!("{e}"),
         }
     }
@@ -226,7 +225,6 @@ impl MosaicConfig {
     pub fn evaluate(&self) -> crate::report::LinkReport {
         match self.try_evaluate() {
             Ok(r) => r,
-            // lint: allow(R3) reason=documented panicking wrapper over try_evaluate
             Err(e) => panic!("{e}"),
         }
     }

@@ -27,7 +27,6 @@ use mosaic_sim::link_sim::{simulate_link, LinkSimConfig, LinkSimReport};
 pub fn prototype_config() -> MosaicConfig {
     MosaicConfigBuilder::prototype()
         .build()
-        // lint: allow(R3) reason=prototype preset invariant; builder validated by tests
         .expect("the prototype preset is a valid configuration")
 }
 

@@ -57,7 +57,6 @@ impl Bch {
     pub fn new(m: u32, n: usize, t: usize) -> Self {
         match Self::try_new(m, n, t) {
             Ok(code) => code,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -190,7 +189,6 @@ impl Bch {
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
         match self.try_encode(data) {
             Ok(word) => word,
-            // lint: allow(R3) reason=documented panicking wrapper over try_encode
             Err(e) => panic!("{e}"),
         }
     }

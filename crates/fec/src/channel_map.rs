@@ -34,7 +34,6 @@ impl ChannelMap {
     pub fn new(n: usize, channels: usize) -> Self {
         match Self::try_new(n, channels) {
             Ok(map) => map,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -74,7 +73,6 @@ impl ChannelMap {
     pub fn erasures_for(&self, suspect_channels: &[usize]) -> Vec<usize> {
         match self.try_erasures_for(suspect_channels) {
             Ok(out) => out,
-            // lint: allow(R3) reason=documented panicking wrapper over try_erasures_for
             Err(e) => panic!("{e}"),
         }
     }

@@ -44,7 +44,6 @@ impl GaloisField {
     pub fn new(m: u32) -> Self {
         match Self::try_new(m) {
             Ok(f) => f,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -65,7 +64,6 @@ impl GaloisField {
     pub fn with_poly(m: u32, poly: u32) -> Self {
         match Self::try_with_poly(m, poly) {
             Ok(f) => f,
-            // lint: allow(R3) reason=documented panicking wrapper over try_with_poly
             Err(e) => panic!("{e}"),
         }
     }

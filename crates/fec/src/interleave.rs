@@ -26,7 +26,6 @@ impl BlockInterleaver {
     pub fn new(rows: usize, cols: usize) -> Self {
         match Self::try_new(rows, cols) {
             Ok(il) => il,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -61,7 +60,6 @@ impl BlockInterleaver {
     pub fn interleave<T: Copy>(&self, input: &[T]) -> Vec<T> {
         match self.try_interleave(input) {
             Ok(out) => out,
-            // lint: allow(R3) reason=documented panicking wrapper over try_interleave
             Err(e) => panic!("{e}"),
         }
     }
@@ -92,7 +90,6 @@ impl BlockInterleaver {
     pub fn deinterleave<T: Copy + Default>(&self, input: &[T]) -> Vec<T> {
         match self.try_deinterleave(input) {
             Ok(out) => out,
-            // lint: allow(R3) reason=documented panicking wrapper over try_deinterleave
             Err(e) => panic!("{e}"),
         }
     }

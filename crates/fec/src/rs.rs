@@ -52,7 +52,6 @@ impl ReedSolomon {
     pub fn new(m: u32, n: usize, k: usize) -> Self {
         match Self::try_new(m, n, k) {
             Ok(rs) => rs,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -159,7 +158,6 @@ impl ReedSolomon {
     pub fn encode(&self, data: &[u16]) -> Vec<u16> {
         match self.try_encode(data) {
             Ok(word) => word,
-            // lint: allow(R3) reason=documented panicking wrapper over try_encode
             Err(e) => panic!("{e}"),
         }
     }

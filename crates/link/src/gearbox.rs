@@ -60,7 +60,6 @@ impl Gearbox {
     pub fn new(logical: usize, physical: usize, am_period: usize) -> Self {
         match Self::try_new(logical, physical, am_period) {
             Ok(g) => g,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }

@@ -28,7 +28,6 @@ impl LaneHealth {
     pub fn new(window_bits: u64, max_windows: usize) -> Self {
         match Self::try_new(window_bits, max_windows) {
             Ok(h) => h,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -133,7 +132,6 @@ impl LaneMap {
     pub fn new(logical: usize, physical: usize) -> Self {
         match Self::try_new(logical, physical) {
             Ok(map) => map,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }

@@ -30,7 +30,6 @@ impl StripeConfig {
     pub fn new(lanes: usize, am_period: usize) -> Self {
         match Self::try_new(lanes, am_period) {
             Ok(cfg) => cfg,
-            // lint: allow(R3) reason=documented panicking wrapper over try_new
             Err(e) => panic!("{e}"),
         }
     }

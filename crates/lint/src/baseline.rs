@@ -1,0 +1,244 @@
+//! Baseline ratchet (schema `mosaic-lint-baseline/v1`).
+//!
+//! A baseline file pins the *audited* state of the workspace: the number
+//! of `// lint: allow(...)` escapes and the fingerprint set of every
+//! diagnostic (denied or allowed). `--baseline` mode then enforces a
+//! one-way ratchet: runs may shrink both sets but never grow them — a
+//! new fingerprint or an extra allow fails CI until it is either fixed
+//! or the baseline is deliberately re-written (`--write-baseline`) in
+//! the same reviewed change.
+//!
+//! Fingerprints come from [`crate::report`] and are line-insensitive, so
+//! unrelated edits that shift code around do not churn the baseline.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+pub const SCHEMA: &str = "mosaic-lint-baseline/v1";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Audited count of active `lint: allow` escapes.
+    pub allowed: usize,
+    /// Fingerprints of every known diagnostic (denied + allowed).
+    pub fingerprints: BTreeSet<String>,
+}
+
+/// Outcome of checking a run against a baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Fingerprints present in the run but absent from the baseline.
+    pub new_fingerprints: Vec<String>,
+    /// Allow-count regression, if any: (baseline, current).
+    pub allow_regression: Option<(usize, usize)>,
+    /// Fingerprints the baseline still carries but the run no longer
+    /// produces — candidates for a tightening re-write.
+    pub retired: Vec<String>,
+}
+
+impl RatchetReport {
+    pub fn is_ok(&self) -> bool {
+        self.new_fingerprints.is_empty() && self.allow_regression.is_none()
+    }
+}
+
+impl Baseline {
+    pub fn new(allowed: usize, fingerprints: impl IntoIterator<Item = String>) -> Baseline {
+        Baseline {
+            allowed,
+            fingerprints: fingerprints.into_iter().collect(),
+        }
+    }
+
+    /// Ratchet check: the current run must introduce no fingerprint the
+    /// baseline does not know, and must not grow the allow count.
+    pub fn check(&self, allowed: usize, fingerprints: &[String]) -> RatchetReport {
+        let current: BTreeSet<&str> = fingerprints.iter().map(String::as_str).collect();
+        let mut rep = RatchetReport::default();
+        for fp in &current {
+            if !self.fingerprints.contains(*fp) {
+                rep.new_fingerprints.push((*fp).to_string());
+            }
+        }
+        if allowed > self.allowed {
+            rep.allow_regression = Some((self.allowed, allowed));
+        }
+        for fp in &self.fingerprints {
+            if !current.contains(fp.as_str()) {
+                rep.retired.push(fp.clone());
+            }
+        }
+        rep
+    }
+
+    /// Serialize as a small stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str(&format!("  \"allowed\": {},\n", self.allowed));
+        s.push_str("  \"fingerprints\": [\n");
+        let n = self.fingerprints.len();
+        for (i, fp) in self.fingerprints.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{fp}\"{}\n",
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the JSON emitted by [`Baseline::to_json`]. A tiny
+    /// hand-rolled reader (the crate is dependency-free); returns `None`
+    /// on schema mismatch or malformed input.
+    pub fn from_json(text: &str) -> Option<Baseline> {
+        if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+            return None;
+        }
+        let allowed = text
+            .split("\"allowed\":")
+            .nth(1)?
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .ok()?;
+        let mut fingerprints = BTreeSet::new();
+        let list = text.split("\"fingerprints\"").nth(1)?;
+        let open = list.find('[')?;
+        let close = list.find(']')?;
+        for part in list[open + 1..close].split(',') {
+            let fp = part.trim().trim_matches('"');
+            if fp.is_empty() {
+                continue;
+            }
+            if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return None;
+            }
+            fingerprints.insert(fp.to_string());
+        }
+        Some(Baseline {
+            allowed,
+            fingerprints,
+        })
+    }
+
+    pub fn load(path: &Path) -> std::io::Result<Baseline> {
+        let text = std::fs::read_to_string(path)?;
+        Baseline::from_json(&text).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: not a {SCHEMA} document", path.display()),
+            )
+        })
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Diff two `mosaic-lint-report/v2` JSON documents by fingerprint and
+/// allow count. Returns (added, removed, allow_delta) where a positive
+/// delta means the new report allows more. Used by CI to compare the
+/// current run against the previous run's artifact.
+pub fn diff_reports(old_json: &str, new_json: &str) -> (Vec<String>, Vec<String>, i64) {
+    let old_fps = report_fingerprints(old_json);
+    let new_fps = report_fingerprints(new_json);
+    let added = new_fps.difference(&old_fps).cloned().collect();
+    let removed = old_fps.difference(&new_fps).cloned().collect();
+    let delta = report_allowed(new_json) as i64 - report_allowed(old_json) as i64;
+    (added, removed, delta)
+}
+
+fn report_fingerprints(json: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for part in json.split("\"fingerprint\": \"").skip(1) {
+        if let Some(end) = part.find('"') {
+            out.insert(part[..end].to_string());
+        }
+    }
+    out
+}
+
+fn report_allowed(json: &str) -> usize {
+    json.split("\"allowed\":")
+        .nth(1)
+        .map(|rest| {
+            rest.trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u8) -> String {
+        crate::report::hex16(crate::report::fnv64(&[n]))
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = Baseline::new(7, vec![fp(1), fp(2), fp(3)]);
+        let parsed = Baseline::from_json(&b.to_json()).expect("parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrip() {
+        let b = Baseline::new(0, Vec::new());
+        assert_eq!(Baseline::from_json(&b.to_json()), Some(b));
+    }
+
+    #[test]
+    fn ratchet_allows_shrink_but_not_growth() {
+        let b = Baseline::new(3, vec![fp(1), fp(2)]);
+        // Identical run: ok.
+        assert!(b.check(3, &[fp(1), fp(2)]).is_ok());
+        // Shrinking both: ok, with retirement candidates surfaced.
+        let rep = b.check(1, &[fp(1)]);
+        assert!(rep.is_ok());
+        assert_eq!(rep.retired, vec![fp(2)]);
+        // New fingerprint: fail.
+        let rep = b.check(3, &[fp(1), fp(2), fp(9)]);
+        assert!(!rep.is_ok());
+        assert_eq!(rep.new_fingerprints, vec![fp(9)]);
+        // Allow growth: fail.
+        let rep = b.check(4, &[fp(1)]);
+        assert_eq!(rep.allow_regression, Some((3, 4)));
+        assert!(!rep.is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Baseline::from_json("{}").is_none());
+        assert!(Baseline::from_json("{\"schema\": \"mosaic-lint-baseline/v1\"}").is_none());
+        let bad_fp = "{\n  \"schema\": \"mosaic-lint-baseline/v1\",\n  \"allowed\": 1,\n  \"fingerprints\": [\n    \"nothex\"\n  ]\n}\n";
+        assert!(Baseline::from_json(bad_fp).is_none());
+    }
+
+    #[test]
+    fn report_diff_by_fingerprint() {
+        let old = format!(
+            "{{\"summary\": {{\"allowed\": 2}}, \"diagnostics\": [{{\"fingerprint\": \"{}\"}}, {{\"fingerprint\": \"{}\"}}]}}",
+            fp(1),
+            fp(2)
+        );
+        let new = format!(
+            "{{\"summary\": {{\"allowed\": 3}}, \"diagnostics\": [{{\"fingerprint\": \"{}\"}}, {{\"fingerprint\": \"{}\"}}]}}",
+            fp(1),
+            fp(9)
+        );
+        let (added, removed, delta) = diff_reports(&old, &new);
+        assert_eq!(added, vec![fp(9)]);
+        assert_eq!(removed, vec![fp(2)]);
+        assert_eq!(delta, 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Incremental facts cache (schema `mosaic-lint-cache/v1`).
+//!
+//! The expensive part of a lint run is lexing + fact extraction; the
+//! global passes over [`FileFacts`](crate::symbols::FileFacts) are
+//! microseconds. So the cache stores the extracted facts per file, keyed
+//! by the FNV-1a content hash of the file bytes, under a header that
+//! pins the config digest (rule scopes, registries, and the engine
+//! revision). Any mismatch — config change, engine change, file edit —
+//! invalidates exactly the stale entries; a corrupt or unreadable cache
+//! is silently ignored. Warm runs re-extract nothing and must produce a
+//! byte-identical report (pinned by `tests/incremental.rs`).
+//!
+//! Format: one record per line, tab-separated, fields escaped (`\\`,
+//! `\t`, `\n`, and a literal tab as `\t`). Line-based on purpose — the
+//! cache must never require a JSON parser and stays diffable when
+//! debugging.
+
+use crate::report::{fnv64, hex16};
+use crate::scan::{Allow, BadAllow};
+use crate::symbols::{
+    CallSite, CallVia, FileFacts, FnDef, LocalFinding, PanicSite, RngKind, RngSite,
+};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Bump when fact extraction changes meaning without a config change, so
+/// stale caches from older binaries cannot leak through.
+pub const ENGINE_REV: &str = "mosaic-lint-engine/2";
+
+const SCHEMA: &str = "mosaic-lint-cache/v1";
+
+/// A loaded cache: rel path → (content hash, facts).
+#[derive(Debug, Default)]
+pub struct Cache {
+    pub entries: BTreeMap<String, (u64, FileFacts)>,
+}
+
+/// Digest of everything that affects extraction besides file contents.
+pub fn config_digest(cfg: &crate::rules::Config) -> u64 {
+    fnv64(format!("{ENGINE_REV}|{cfg:?}").as_bytes())
+}
+
+/// Load the cache file, discarding it wholesale on any mismatch or
+/// malformation. `None` means "cold start" — never an error.
+pub fn load(path: &Path, digest: u64) -> Option<Cache> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != SCHEMA {
+        return None;
+    }
+    if lines.next()? != format!("cfg\t{}", hex16(digest)) {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur: Option<(String, u64, FileFacts)> = None;
+    for line in lines {
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        let mut next = || parts.next().map(unesc);
+        match tag {
+            "file" => {
+                if let Some((rel, h, facts)) = cur.take() {
+                    cache.entries.insert(rel, (h, facts));
+                }
+                let hash = u64::from_str_radix(&next()?, 16).ok()?;
+                let crate_name = next()?;
+                let rel = next()?;
+                cur = Some((
+                    rel.clone(),
+                    hash,
+                    FileFacts {
+                        crate_name,
+                        rel_path: rel,
+                        ..FileFacts::default()
+                    },
+                ));
+            }
+            "fn" => {
+                let f = &mut cur.as_mut()?.2;
+                let name = next()?;
+                let impl_type = match next()?.as_str() {
+                    "-" => None,
+                    t => Some(t.to_string()),
+                };
+                let is_pub = next()? == "1";
+                let line_no = next()?.parse().ok()?;
+                f.fns.push(FnDef {
+                    name,
+                    impl_type,
+                    is_pub,
+                    line: line_no,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            "call" => {
+                let f = &mut cur.as_mut()?.2;
+                let via = match next()?.as_str() {
+                    "m" => CallVia::Method,
+                    "f" => CallVia::Free,
+                    p => CallVia::Path(p.strip_prefix("p:")?.to_string()),
+                };
+                let name = next()?;
+                let line_no = next()?.parse().ok()?;
+                f.fns.last_mut()?.calls.push(CallSite {
+                    name,
+                    via,
+                    line: line_no,
+                });
+            }
+            "panic" => {
+                let f = &mut cur.as_mut()?.2;
+                let line_no = next()?.parse().ok()?;
+                let what = next()?;
+                f.fns.last_mut()?.panics.push(PanicSite {
+                    line: line_no,
+                    what,
+                });
+            }
+            "rng" => {
+                let f = &mut cur.as_mut()?.2;
+                let kind = match next()?.as_str() {
+                    "s" => RngKind::Stream,
+                    "u" => RngKind::Substream,
+                    "x" => RngKind::SubstreamIndexed,
+                    _ => return None,
+                };
+                let line_no = next()?.parse().ok()?;
+                let label = next()?;
+                f.rng_sites.push(RngSite {
+                    kind,
+                    label,
+                    line: line_no,
+                });
+            }
+            "acc" => cur.as_mut()?.2.fold_acc_fns.push(next()?),
+            "loc" => {
+                let f = &mut cur.as_mut()?.2;
+                let rule = next()?;
+                let line_no = next()?.parse().ok()?;
+                let message = next()?;
+                f.local.push(LocalFinding {
+                    rule,
+                    line: line_no,
+                    message,
+                });
+            }
+            "allow" => {
+                let f = &mut cur.as_mut()?.2;
+                let line_no = next()?.parse().ok()?;
+                let rule = next()?;
+                let reason = next()?;
+                f.allows.push(Allow {
+                    line: line_no,
+                    rule,
+                    reason,
+                });
+            }
+            "bad" => {
+                let f = &mut cur.as_mut()?.2;
+                let line_no = next()?.parse().ok()?;
+                let message = next()?;
+                f.bad_allows.push(BadAllow {
+                    line: line_no,
+                    message,
+                });
+            }
+            "notes" => cur.as_mut()?.2.index_notes = next()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if let Some((rel, h, facts)) = cur.take() {
+        cache.entries.insert(rel, (h, facts));
+    }
+    Some(cache)
+}
+
+/// Serialize and atomically replace the cache file (tmp + rename).
+/// Best-effort: failure to persist must never fail the lint run.
+pub fn store(path: &Path, digest: u64, files: &[(u64, &FileFacts)]) {
+    let mut s = String::new();
+    s.push_str(SCHEMA);
+    s.push('\n');
+    s.push_str(&format!("cfg\t{}\n", hex16(digest)));
+    for (hash, f) in files {
+        s.push_str(&format!(
+            "file\t{}\t{}\t{}\n",
+            hex16(*hash),
+            esc(&f.crate_name),
+            esc(&f.rel_path)
+        ));
+        for d in &f.fns {
+            s.push_str(&format!(
+                "fn\t{}\t{}\t{}\t{}\n",
+                esc(&d.name),
+                d.impl_type
+                    .as_deref()
+                    .map(esc)
+                    .unwrap_or_else(|| "-".into()),
+                if d.is_pub { "1" } else { "0" },
+                d.line
+            ));
+            for c in &d.calls {
+                let via = match &c.via {
+                    CallVia::Method => "m".to_string(),
+                    CallVia::Free => "f".to_string(),
+                    CallVia::Path(q) => format!("p:{}", esc(q)),
+                };
+                s.push_str(&format!("call\t{via}\t{}\t{}\n", esc(&c.name), c.line));
+            }
+            for p in &d.panics {
+                s.push_str(&format!("panic\t{}\t{}\n", p.line, esc(&p.what)));
+            }
+        }
+        for r in &f.rng_sites {
+            let kind = match r.kind {
+                RngKind::Stream => "s",
+                RngKind::Substream => "u",
+                RngKind::SubstreamIndexed => "x",
+            };
+            s.push_str(&format!("rng\t{kind}\t{}\t{}\n", r.line, esc(&r.label)));
+        }
+        for a in &f.fold_acc_fns {
+            s.push_str(&format!("acc\t{}\n", esc(a)));
+        }
+        for l in &f.local {
+            s.push_str(&format!(
+                "loc\t{}\t{}\t{}\n",
+                esc(&l.rule),
+                l.line,
+                esc(&l.message)
+            ));
+        }
+        for a in &f.allows {
+            s.push_str(&format!(
+                "allow\t{}\t{}\t{}\n",
+                a.line,
+                esc(&a.rule),
+                esc(&a.reason)
+            ));
+        }
+        for b in &f.bad_allows {
+            s.push_str(&format!("bad\t{}\t{}\n", b.line, esc(&b.message)));
+        }
+        s.push_str(&format!("notes\t{}\n", f.index_notes));
+    }
+
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, s).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Config, CrateSet};
+
+    fn facts_of(src: &str) -> FileFacts {
+        let mut cfg = Config::empty();
+        cfg.r1_crates = CrateSet::All;
+        cfg.r5_crates = CrateSet::All;
+        cfg.r6_crates = CrateSet::All;
+        crate::symbols::extract(&cfg, "sim", "crates/sim/src/cache_t.rs", src)
+    }
+
+    #[test]
+    fn roundtrip_preserves_facts_exactly() {
+        let src = "use std::collections::HashMap;\n\
+                   // lint: allow(R1) reason=lookup only\n\
+                   struct P; impl P { pub fn try_x(&self) -> u8 { Self::y() } fn y() -> u8 { q.unwrap() } }\n\
+                   fn lab(s: u64) { DetRng::substream(s, \"tab\\there\"); }\n\
+                   // lint: allow(bogus\n";
+        let f = facts_of(src);
+        assert!(!f.fns.is_empty() && !f.rng_sites.is_empty() && !f.allows.is_empty());
+        let dir = std::env::temp_dir().join("mosaic-lint-cache-test");
+        let path = dir.join("v1");
+        let digest = 0xabcdu64;
+        store(&path, digest, &[(42, &f)]);
+        let loaded = load(&path, digest).expect("cache parses");
+        assert_eq!(loaded.entries.len(), 1);
+        let (h, g) = &loaded.entries["crates/sim/src/cache_t.rs"];
+        assert_eq!(*h, 42);
+        assert_eq!(g, &f);
+        // Wrong digest: whole cache discarded.
+        assert!(load(&path, digest + 1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,9 +23,12 @@ pub enum Tok {
     Ident(String),
     /// Single punctuation character (`::` arrives as two `:` tokens).
     Sym(char),
-    /// String, byte-string, or char literal (contents deliberately
-    /// dropped — rules must never match inside literals).
-    Str,
+    /// String, byte-string, or char literal. The raw contents (between
+    /// the delimiters, escapes unprocessed) are carried for the rules
+    /// that inspect literal *arguments* — R5 reads `DetRng` substream
+    /// labels — but literals never lex as identifiers, so token-pattern
+    /// rules still cannot match inside them.
+    Str(String),
     /// Numeric literal.
     Num,
 }
@@ -109,7 +112,7 @@ pub fn lex(src: &str) -> Lexed {
                 let end = scan_string(b, i);
                 bump_lines!(&src[i..end]);
                 out.tokens.push(Token {
-                    tok: Tok::Str,
+                    tok: Tok::Str(quoted_contents(src, i, end)),
                     line,
                 });
                 i = end;
@@ -129,7 +132,7 @@ pub fn lex(src: &str) -> Lexed {
                     let end = scan_char(b, i);
                     bump_lines!(&src[i..end]);
                     out.tokens.push(Token {
-                        tok: Tok::Str,
+                        tok: Tok::Str(quoted_contents(src, i, end)),
                         line,
                     });
                     i = end;
@@ -160,7 +163,7 @@ pub fn lex(src: &str) -> Lexed {
                         };
                         bump_lines!(&src[i..end]);
                         out.tokens.push(Token {
-                            tok: Tok::Str,
+                            tok: Tok::Str(quoted_contents(src, j, end)),
                             line,
                         });
                         i = end;
@@ -182,7 +185,7 @@ pub fn lex(src: &str) -> Lexed {
                             let end = scan_raw_string(b, j);
                             bump_lines!(&src[i..end]);
                             out.tokens.push(Token {
-                                tok: Tok::Str,
+                                tok: Tok::Str(raw_contents(src, j, end)),
                                 line,
                             });
                             i = end;
@@ -192,7 +195,7 @@ pub fn lex(src: &str) -> Lexed {
                         let end = scan_char(b, j);
                         bump_lines!(&src[i..end]);
                         out.tokens.push(Token {
-                            tok: Tok::Str,
+                            tok: Tok::Str(quoted_contents(src, j, end)),
                             line,
                         });
                         i = end;
@@ -249,7 +252,12 @@ fn scan_raw_string(b: &[u8], start: usize) -> usize {
         hashes += 1;
         j += 1;
     }
-    debug_assert!(b.get(j) == Some(&b'"'));
+    if b.get(j) != Some(&b'"') {
+        // Malformed (`r#` at end of file, or `r#1`): not a raw string
+        // after all. Consume just the hashes and keep lexing — the lexer
+        // must never fail, even in debug builds.
+        return j;
+    }
     j += 1;
     while j < b.len() {
         if b[j] == b'"'
@@ -265,6 +273,36 @@ fn scan_raw_string(b: &[u8], start: usize) -> usize {
         j += 1;
     }
     j
+}
+
+/// Contents of a plain quoted literal spanning `[start, end)`: the bytes
+/// between the delimiter at `start` and the closing delimiter (absent on
+/// an unterminated literal). Escapes are left raw.
+fn quoted_contents(src: &str, start: usize, end: usize) -> String {
+    let b = src.as_bytes();
+    let open = start + 1;
+    let close = if end > open && b.get(end - 1) == Some(&b[start]) {
+        end - 1
+    } else {
+        end
+    };
+    src.get(open..close).unwrap_or_default().to_string()
+}
+
+/// Contents of a raw string `#...#"..."#...#` spanning `[start, end)`
+/// where `start` is the first `#`.
+fn raw_contents(src: &str, start: usize, end: usize) -> String {
+    let b = src.as_bytes();
+    let mut hashes = 0usize;
+    while b.get(start + hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    let open = start + hashes + 1; // past the opening quote
+    let close = end.saturating_sub(hashes + 1); // before `"##...`
+    if open > end || close < open {
+        return String::new();
+    }
+    src.get(open..close).unwrap_or_default().to_string()
 }
 
 /// Scan a char literal `'x'`, `'\n'`, `'\u{1F600}'` starting at the quote.
@@ -365,6 +403,38 @@ mod tests {
             .count();
         // `..` (two) + `.max` (one); `2.5` keeps its dot inside the number.
         assert_eq!(dots, 3);
+    }
+
+    #[test]
+    fn string_tokens_carry_contents() {
+        let strs: Vec<String> =
+            lex(r###"let a = "plain"; let b = r#"raw "inner""#; let c = 'x';"###)
+                .tokens
+                .into_iter()
+                .filter_map(|t| match t.tok {
+                    Tok::Str(s) => Some(s),
+                    _ => None,
+                })
+                .collect();
+        assert_eq!(strs, vec!["plain", "raw \"inner\"", "x"]);
+    }
+
+    #[test]
+    fn malformed_raw_prefix_does_not_panic() {
+        // `r#` at end of file and `r#1` are invalid Rust; the lexer must
+        // consume them gracefully (contract: lexing never fails).
+        let _ = lex("let x = r#");
+        let lexed = lex("r#1");
+        assert!(lexed.tokens.iter().any(|t| t.tok == Tok::Num));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof() {
+        let lexed = lex("let s = \"never closed");
+        assert!(matches!(
+            lexed.tokens.last().map(|t| &t.tok),
+            Some(Tok::Str(c)) if c == "never closed"
+        ));
     }
 
     #[test]

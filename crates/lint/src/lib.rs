@@ -1,41 +1,75 @@
 //! `mosaic_lint` — the workspace invariant checker.
 //!
-//! Statically enforces the invariants PRs 1–3 established at runtime:
-//! deterministic iteration (R1), clock/entropy hygiene (R2),
-//! panic-freedom in the `Result`-based API crates (R3), and
-//! allocation-free Monte-Carlo kernels (R4). See `rules` for the
-//! catalogue, DESIGN.md §9 for the methodology, and
-//! `cargo run -p mosaic_lint` for the driver.
+//! Statically enforces the invariants the runtime crates established:
+//! deterministic iteration (R1), clock/entropy hygiene (R2), scoped
+//! panic-freedom (R3, superseded by R7 for the workspace), allocation-free
+//! Monte-Carlo kernels (R4), seed-stream discipline (R5), exact parallel
+//! reductions (R6), and panic reachability from fallible entry points
+//! (R7). See `rules` for the catalogue, DESIGN.md §9 and §14 for the
+//! methodology, and `cargo run -p mosaic_lint` for the driver.
 //!
 //! The engine is dependency-free (the build environment vendors
 //! everything and has no `syn`): a hand-rolled lexer (`lexer`), a
 //! structural pass for test spans / function bodies / allow annotations
-//! (`scan`), token-pattern rules (`rules`), and a deterministic report
-//! (`report`).
+//! (`scan`), per-file fact extraction (`symbols`), a workspace call
+//! graph for the interprocedural rules (`callgraph`), token-pattern
+//! rules (`rules`), an incremental facts cache (`cache`), a ratchet
+//! baseline (`baseline`), and a deterministic report (`report`).
+//!
+//! # Pipeline
+//!
+//! 1. **Collect**: every `.rs` file of every workspace member is lexed
+//!    into a [`symbols::FileFacts`] — local findings (R1–R4), function
+//!    definitions with call and panic sites, RNG derivation sites, and
+//!    allow annotations. This is the expensive phase and the unit of
+//!    incrementality: facts are cached per file keyed by content hash.
+//! 2. **Global passes**: duplicate-label detection (R5), panic
+//!    reachability over the call graph (R7), and exactness-registry
+//!    hygiene (R6) run over all facts and append findings per file.
+//! 3. **Resolve**: each file's local + global findings meet its allow
+//!    annotations; stale or malformed allows become `lint-allow` denials.
+//! 4. **Finish**: diagnostics are sorted and fingerprinted (stable,
+//!    line-insensitive) for the baseline ratchet and CI trend diffs.
 
+pub mod baseline;
+pub mod cache;
+pub mod callgraph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 use lexer::Tok;
-use report::{Diagnostic, Level, Report};
+use report::{fnv64, Diagnostic, Level, Report, SymbolStats};
 use rules::Config;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use symbols::{FileFacts, LocalFinding};
 
 pub use rules::default_config;
 
 /// Lint every crate of the workspace at `root` (each `crates/*` package
 /// plus the root package), returning the aggregated report.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
-    let mut report = Report::default();
+    lint_workspace_cached(root, cfg, None)
+}
 
+/// [`lint_workspace`] with an incremental facts cache. When `cache_path`
+/// is given, per-file facts are reused for files whose content hash and
+/// config digest match the previous run, and the cache is rewritten
+/// afterwards. The report is byte-identical with and without the cache.
+pub fn lint_workspace_cached(
+    root: &Path,
+    cfg: &Config,
+    cache_path: Option<&Path>,
+) -> io::Result<Report> {
+    let mut units: Vec<(String, PathBuf)> = Vec::new();
     // Root package (`src/`), scanned as crate "repro".
     if root.join("src").is_dir() {
-        lint_src_dir(cfg, "repro", root, &root.join("src"), &mut report)?;
+        units.push(("repro".to_string(), root.join("src")));
     }
-
     let crates_dir = root.join("crates");
     let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -51,8 +85,122 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
             .to_string();
         let src = member.join("src");
         if src.is_dir() {
-            lint_src_dir(cfg, &name, root, &src, &mut report)?;
+            units.push((name, src));
         }
+    }
+
+    let digest = cache::config_digest(cfg);
+    let cached = cache_path
+        .and_then(|p| cache::load(p, digest))
+        .unwrap_or_default();
+
+    let mut hashed: Vec<(u64, FileFacts)> = Vec::new();
+    for (crate_name, src_dir) in &units {
+        collect_facts(cfg, crate_name, root, src_dir, &cached, &mut hashed)?;
+    }
+
+    if let Some(path) = cache_path {
+        let refs: Vec<(u64, &FileFacts)> = hashed.iter().map(|(h, f)| (*h, f)).collect();
+        cache::store(path, digest, &refs);
+    }
+
+    let facts: Vec<FileFacts> = hashed.into_iter().map(|(_, f)| f).collect();
+    finalize(root, cfg, facts)
+}
+
+/// Lint one crate rooted at `src_dir`, reporting paths relative to
+/// `rel_root`. Public so fixture tests can run the full engine — global
+/// passes included — on a directory that is not a cargo workspace.
+pub fn lint_src_dir(
+    cfg: &Config,
+    crate_name: &str,
+    rel_root: &Path,
+    src_dir: &Path,
+) -> io::Result<Report> {
+    let mut hashed: Vec<(u64, FileFacts)> = Vec::new();
+    collect_facts(
+        cfg,
+        crate_name,
+        rel_root,
+        src_dir,
+        &cache::Cache::default(),
+        &mut hashed,
+    )?;
+    let facts: Vec<FileFacts> = hashed.into_iter().map(|(_, f)| f).collect();
+    finalize(rel_root, cfg, facts)
+}
+
+/// Phase 1: lex + extract facts for every `.rs` file under `src_dir`,
+/// reusing cached facts for unchanged files.
+fn collect_facts(
+    cfg: &Config,
+    crate_name: &str,
+    rel_root: &Path,
+    src_dir: &Path,
+    cached: &cache::Cache,
+    out: &mut Vec<(u64, FileFacts)>,
+) -> io::Result<()> {
+    let mut files = Vec::new();
+    collect_rs_files(src_dir, &mut files)?;
+    files.sort();
+    for path in files {
+        let rel = path
+            .strip_prefix(rel_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let hash = fnv64(src.as_bytes());
+        let facts = match cached.entries.get(&rel) {
+            Some((h, f)) if *h == hash && f.crate_name == crate_name => f.clone(),
+            _ => symbols::extract(cfg, crate_name, &rel, &src),
+        };
+        out.push((hash, facts));
+    }
+    Ok(())
+}
+
+/// Phases 2–4: global passes over the facts, per-file allow resolution,
+/// the R4 registry cross-check, and report finalization.
+fn finalize(root: &Path, cfg: &Config, facts: Vec<FileFacts>) -> io::Result<Report> {
+    let mut report = Report {
+        files: facts.len() as u64,
+        ..Report::default()
+    };
+
+    let mut extra: BTreeMap<String, Vec<LocalFinding>> = BTreeMap::new();
+    callgraph::check_duplicate_labels(&facts, &mut extra);
+    let graph = callgraph::CallGraph::build(&facts);
+    let stats = graph.check_reachable_panics(cfg, &mut extra);
+    callgraph::check_exactness_registry(Some(root), cfg, &facts, &mut extra);
+    report.symbols = SymbolStats {
+        functions: stats.functions,
+        call_edges: stats.call_edges,
+        entry_points: stats.entry_points,
+        reachable_fns: stats.reachable_fns,
+    };
+
+    for f in &facts {
+        let mut findings = f.local.clone();
+        if let Some(global) = extra.remove(&f.rel_path) {
+            findings.extend(global);
+        }
+        report.diagnostics.extend(rules::resolve_allows(
+            &f.allows,
+            &f.bad_allows,
+            &f.rel_path,
+            findings,
+        ));
+        if f.index_notes > 0 {
+            *report.index_notes.entry(f.rel_path.clone()).or_insert(0) += f.index_notes;
+        }
+    }
+    // Findings attributed to paths outside the scanned set (e.g. a stale
+    // exactness entry naming a deleted file) have no allows to consult.
+    for (rel, findings) in extra {
+        report
+            .diagnostics
+            .extend(rules::resolve_allows(&[], &[], &rel, findings));
     }
 
     cross_check_registry(root, cfg, &mut report)?;
@@ -67,38 +215,13 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
             )
         })
         .collect();
+    report.exactness = cfg
+        .exactness
+        .iter()
+        .map(|e| (e.file.to_string(), e.func.to_string(), e.proof.to_string()))
+        .collect();
     report.finish();
     Ok(report)
-}
-
-/// Lint one crate rooted at `src_dir`, reporting paths relative to
-/// `rel_root`. Public so fixture tests can run the engine on a directory
-/// that is not a cargo workspace.
-pub fn lint_src_dir(
-    cfg: &Config,
-    crate_name: &str,
-    rel_root: &Path,
-    src_dir: &Path,
-    report: &mut Report,
-) -> io::Result<()> {
-    let mut files = Vec::new();
-    collect_rs_files(src_dir, &mut files)?;
-    files.sort();
-    for path in files {
-        let rel = path
-            .strip_prefix(rel_root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = std::fs::read_to_string(&path)?;
-        let (diags, index_notes) = rules::check_file(cfg, crate_name, &rel, &src);
-        report.diagnostics.extend(diags);
-        if index_notes > 0 {
-            *report.index_notes.entry(rel).or_insert(0) += index_notes;
-        }
-        report.files += 1;
-    }
-    Ok(())
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -136,6 +259,7 @@ fn cross_check_registry(root: &Path, cfg: &Config, report: &mut Report) -> io::R
                 line: 1,
                 message: "registry cites this harness but the file does not exist".into(),
                 reason: None,
+                fingerprint: String::new(),
             });
             continue;
         };
@@ -154,6 +278,7 @@ fn cross_check_registry(root: &Path, cfg: &Config, report: &mut Report) -> io::R
                         entry.func
                     ),
                     reason: None,
+                    fingerprint: String::new(),
                 });
             }
         }
@@ -170,6 +295,7 @@ fn cross_check_registry(root: &Path, cfg: &Config, report: &mut Report) -> io::R
                          add it in crates/lint/src/rules.rs"
                     ),
                     reason: None,
+                    fingerprint: String::new(),
                 });
             }
         }

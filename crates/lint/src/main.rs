@@ -1,13 +1,20 @@
 //! `mosaic_lint` driver: lint the workspace, print the human table,
-//! optionally write the JSON report, and exit nonzero on violations.
+//! optionally write the JSON report, enforce the baseline ratchet, and
+//! exit nonzero on violations.
 //!
 //! ```text
 //! cargo run -p mosaic_lint [-- --root DIR] [--json-out PATH] [--quiet]
+//!     [--baseline PATH] [--write-baseline PATH] [--cache PATH | --no-cache]
+//! cargo run -p mosaic_lint -- --diff OLD.json NEW.json
 //! ```
 //!
-//! Exit codes: 0 clean (allows and notes are fine), 1 violations,
-//! 2 usage or I/O error.
+//! Exit codes: 0 clean (allows and notes are fine), 1 violations or
+//! ratchet regression or diff regression, 2 usage or I/O error.
+//!
+//! Note the driver itself is subject to R2: no `std::time::Instant`
+//! here. CI times warm runs with shell `date +%s%N` instead.
 
+use mosaic_lint::baseline::{diff_reports, Baseline};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,6 +22,11 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json_out: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut cache_override: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut diff: Option<(PathBuf, PathBuf)> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,6 +39,23 @@ fn main() -> ExitCode {
                 Some(v) => json_out = Some(PathBuf::from(v)),
                 None => return usage("--json-out needs a path"),
             },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(v) => write_baseline = Some(PathBuf::from(v)),
+                None => return usage("--write-baseline needs a path"),
+            },
+            "--cache" => match args.next() {
+                Some(v) => cache_override = Some(PathBuf::from(v)),
+                None => return usage("--cache needs a path"),
+            },
+            "--no-cache" => no_cache = true,
+            "--diff" => match (args.next(), args.next()) {
+                (Some(old), Some(new)) => diff = Some((PathBuf::from(old), PathBuf::from(new))),
+                _ => return usage("--diff needs OLD.json NEW.json"),
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 print!("{}", HELP);
@@ -34,6 +63,11 @@ fn main() -> ExitCode {
             }
             other => return usage(&format!("unknown argument {other:?}")),
         }
+    }
+
+    // Report-diff mode is self-contained: no workspace needed.
+    if let Some((old, new)) = diff {
+        return run_diff(&old, &new, quiet);
     }
 
     if !root.join("crates").is_dir() {
@@ -44,8 +78,14 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let cache_path = if no_cache {
+        None
+    } else {
+        Some(cache_override.unwrap_or_else(|| root.join("target/mosaic-lint-cache/v1")))
+    };
+
     let cfg = mosaic_lint::default_config();
-    let report = match mosaic_lint::lint_workspace(&root, &cfg) {
+    let report = match mosaic_lint::lint_workspace_cached(&root, &cfg, cache_path.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mosaic-lint: I/O error: {e}");
@@ -72,10 +112,92 @@ fn main() -> ExitCode {
     if !quiet {
         print!("{}", report.to_table());
     }
-    if report.deny_count() > 0 {
+
+    if let Some(path) = &write_baseline {
+        let b = Baseline::new(report.allowed_count() as usize, report.fingerprints());
+        if let Err(e) = b.save(path) {
+            eprintln!("mosaic-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            eprintln!(
+                "mosaic-lint: baseline written to {} ({} allows, {} fingerprints)",
+                path.display(),
+                b.allowed,
+                b.fingerprints.len()
+            );
+        }
+    }
+
+    let mut ratchet_failed = false;
+    if let Some(path) = &baseline_path {
+        let b = match Baseline::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("mosaic-lint: cannot load baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rep = b.check(report.allowed_count() as usize, &report.fingerprints());
+        for fp in &rep.new_fingerprints {
+            eprintln!("mosaic-lint: ratchet: new diagnostic fingerprint {fp} not in baseline");
+        }
+        if let Some((was, now)) = rep.allow_regression {
+            eprintln!("mosaic-lint: ratchet: allow count grew from {was} to {now}");
+        }
+        if !rep.is_ok() {
+            ratchet_failed = true;
+        } else if !quiet {
+            eprintln!(
+                "mosaic-lint: ratchet ok ({} fingerprints known, {} retired)",
+                b.fingerprints.len(),
+                rep.retired.len()
+            );
+        }
+    }
+
+    if report.deny_count() > 0 || ratchet_failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `--diff OLD NEW`: compare two `mosaic-lint-report/v2` documents by
+/// fingerprint; any added diagnostic or allow growth is a regression.
+fn run_diff(old: &std::path::Path, new: &std::path::Path, quiet: bool) -> ExitCode {
+    let old_json = match std::fs::read_to_string(old) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mosaic-lint: cannot read {}: {e}", old.display());
+            return ExitCode::from(2);
+        }
+    };
+    let new_json = match std::fs::read_to_string(new) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mosaic-lint: cannot read {}: {e}", new.display());
+            return ExitCode::from(2);
+        }
+    };
+    let (added, removed, allow_delta) = diff_reports(&old_json, &new_json);
+    if !quiet {
+        for fp in &removed {
+            println!("- {fp}");
+        }
+        for fp in &added {
+            println!("+ {fp}");
+        }
+        println!(
+            "mosaic-lint: diff: {} added, {} removed, allow delta {allow_delta:+}",
+            added.len(),
+            removed.len()
+        );
+    }
+    if added.is_empty() && allow_delta <= 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -85,19 +207,28 @@ fn usage(msg: &str) -> ExitCode {
 }
 
 const HELP: &str = "\
-mosaic_lint — workspace invariant checker (rules R1–R4; DESIGN.md §9)
+mosaic_lint — workspace invariant checker (rules R1–R7; DESIGN.md §9, §14)
 
 USAGE:
     cargo run -p mosaic_lint [-- OPTIONS]
 
 OPTIONS:
-    --root DIR        workspace root to lint (default: .)
-    --json-out PATH   write the machine-readable report (mosaic-lint-report/v1)
-    --quiet           suppress the human table
-    -h, --help        this text
+    --root DIR             workspace root to lint (default: .)
+    --json-out PATH        write the machine-readable report (mosaic-lint-report/v2)
+    --baseline PATH        enforce the ratchet: fail on any fingerprint not in
+                           the baseline or on allow-count growth
+    --write-baseline PATH  write the current run as the new baseline
+                           (mosaic-lint-baseline/v1)
+    --cache PATH           facts cache location
+                           (default: ROOT/target/mosaic-lint-cache/v1)
+    --no-cache             disable the incremental facts cache
+    --diff OLD NEW         compare two report JSONs by fingerprint; exit 1 if
+                           NEW adds any diagnostic or grows the allow count
+    --quiet                suppress the human table
+    -h, --help             this text
 
 EXIT CODES:
-    0  no unannotated violations
-    1  violations found
+    0  no unannotated violations (and ratchet/diff clean, if requested)
+    1  violations, ratchet regression, or diff regression
     2  usage or I/O error
 ";

@@ -2,6 +2,12 @@
 //! table. Output is deterministic: diagnostics sort by (file, line,
 //! rule), maps are BTreeMaps, and the JSON writer emits keys in a fixed
 //! order — so golden fixtures can pin exact bytes.
+//!
+//! Schema `mosaic-lint-report/v2` adds a per-diagnostic `fingerprint`:
+//! a line-number-insensitive stable id (rule | level | file | message,
+//! plus an ordinal among identical tuples) that survives unrelated edits
+//! shifting code up or down. The `--baseline` ratchet and the CI trend
+//! diff compare fingerprints, not positions.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -14,7 +20,7 @@ pub enum Level {
     /// A violation covered by a `// lint: allow(...)` annotation:
     /// counted and reported, does not fail the run.
     Allowed,
-    /// Advisory (the R3 index-without-bound-note census): never fails
+    /// Advisory (the index-without-bound-note census): never fails
     /// the run; aggregated per file in the report.
     Note,
 }
@@ -40,27 +46,50 @@ pub struct Diagnostic {
     pub message: String,
     /// The annotation's reason, for `Allowed` diagnostics.
     pub reason: Option<String>,
+    /// Stable id, filled in by [`Report::finish`].
+    pub fingerprint: String,
+}
+
+/// Call-graph summary counters (see `callgraph`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolStats {
+    pub functions: u64,
+    pub call_edges: u64,
+    pub entry_points: u64,
+    pub reachable_fns: u64,
 }
 
 /// The full run result.
 #[derive(Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
-    /// R3 index-census: file → count of index expressions lacking a
+    /// Index-census: file → count of index expressions lacking a
     /// bound note (advisory; see DESIGN.md §9).
     pub index_notes: BTreeMap<String, u64>,
     /// Files scanned.
     pub files: u64,
     /// The no-alloc registry as configured, for report consumers.
     pub registry: Vec<(String, String, Option<String>)>,
+    /// The R6 exactness registry: (file, function, proof).
+    pub exactness: Vec<(String, String, String)>,
+    /// Symbol-table / call-graph counters.
+    pub symbols: SymbolStats,
 }
 
 impl Report {
-    /// Sort diagnostics into canonical order. Call once after all files
-    /// are scanned.
+    /// Sort diagnostics into canonical order and assign fingerprints.
+    /// Call once after all files are scanned.
     pub fn finish(&mut self) {
-        self.diagnostics
-            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+        });
+        let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+        for d in &mut self.diagnostics {
+            let key = format!("{}|{}|{}|{}", d.rule, d.level.as_str(), d.file, d.message);
+            let ordinal = seen.entry(key.clone()).or_insert(0);
+            d.fingerprint = hex16(fnv64(format!("{key}#{ordinal}").as_bytes()));
+            *ordinal += 1;
+        }
     }
 
     pub fn deny_count(&self) -> u64 {
@@ -86,10 +115,18 @@ impl Report {
         out
     }
 
-    /// Machine-readable report (schema `mosaic-lint-report/v1`).
+    /// All fingerprints in canonical order.
+    pub fn fingerprints(&self) -> Vec<String> {
+        self.diagnostics
+            .iter()
+            .map(|d| d.fingerprint.clone())
+            .collect()
+    }
+
+    /// Machine-readable report (schema `mosaic-lint-report/v2`).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        let _ = writeln!(s, "  \"schema\": \"mosaic-lint-report/v1\",");
+        let _ = writeln!(s, "  \"schema\": \"mosaic-lint-report/v2\",");
         let _ = writeln!(s, "  \"summary\": {{");
         let _ = writeln!(s, "    \"deny\": {},", self.deny_count());
         let _ = writeln!(s, "    \"allowed\": {},", self.allowed_count());
@@ -98,7 +135,11 @@ impl Report {
             "    \"index_notes\": {},",
             self.index_notes.values().sum::<u64>()
         );
-        let _ = writeln!(s, "    \"files\": {}", self.files);
+        let _ = writeln!(s, "    \"files\": {},", self.files);
+        let _ = writeln!(s, "    \"functions\": {},", self.symbols.functions);
+        let _ = writeln!(s, "    \"call_edges\": {},", self.symbols.call_edges);
+        let _ = writeln!(s, "    \"entry_points\": {},", self.symbols.entry_points);
+        let _ = writeln!(s, "    \"reachable_fns\": {}", self.symbols.reachable_fns);
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"allows_by_rule\": {{");
         let allows = self.allows_by_rule();
@@ -121,11 +162,12 @@ impl Report {
             let _ = writeln!(
                 s,
                 "    {{\"rule\": {}, \"level\": {}, \"file\": {}, \"line\": {}, \
-                 \"message\": {}{reason}}}{comma}",
+                 \"fingerprint\": {}, \"message\": {}{reason}}}{comma}",
                 json_str(&d.rule),
                 json_str(d.level.as_str()),
                 json_str(&d.file),
                 d.line,
+                json_str(&d.fingerprint),
                 json_str(&d.message),
             );
         }
@@ -152,6 +194,22 @@ impl Report {
                 "    {{\"file\": {}, \"function\": {}, \"harness\": {harness}}}{comma}",
                 json_str(file),
                 json_str(func),
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"exactness\": [");
+        for (i, (file, func, proof)) in self.exactness.iter().enumerate() {
+            let comma = if i + 1 < self.exactness.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "    {{\"file\": {}, \"function\": {}, \"proof\": {}}}{comma}",
+                json_str(file),
+                json_str(func),
+                json_str(proof),
             );
         }
         let _ = writeln!(s, "  ]");
@@ -193,11 +251,16 @@ impl Report {
         }
         let _ = writeln!(
             out,
-            "mosaic-lint: {} violation(s), {} allowed, {} index note(s) across {} file(s)",
+            "mosaic-lint: {} violation(s), {} allowed, {} index note(s) across {} file(s); \
+             {} fn(s), {} call edge(s), {} fallible entry point(s), {} reachable fn(s)",
             self.deny_count(),
             self.allowed_count(),
             self.index_notes.values().sum::<u64>(),
             self.files,
+            self.symbols.functions,
+            self.symbols.call_edges,
+            self.symbols.entry_points,
+            self.symbols.reachable_fns,
         );
         out
     }
@@ -210,6 +273,23 @@ fn digits(mut n: u32) -> usize {
         d += 1;
     }
     d
+}
+
+/// FNV-1a 64-bit: the workspace-standard dependency-free hash (matches
+/// the spirit of `DetRng::label_hash`), used for fingerprints, file
+/// content hashes, and the cache's config digest.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fixed-width lowercase hex for a 64-bit hash.
+pub fn hex16(h: u64) -> String {
+    format!("{h:016x}")
 }
 
 /// JSON string literal with escaping.
@@ -237,24 +317,25 @@ pub fn json_str(s: &str) -> String {
 mod tests {
     use super::*;
 
+    fn diag(rule: &str, level: Level, file: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule: rule.into(),
+            level,
+            file: file.into(),
+            line,
+            message: message.into(),
+            reason: None,
+            fingerprint: String::new(),
+        }
+    }
+
     fn sample() -> Report {
         let mut r = Report {
             diagnostics: vec![
+                diag("R1", Level::Deny, "b.rs", 3, "HashMap"),
                 Diagnostic {
-                    rule: "R1".into(),
-                    level: Level::Deny,
-                    file: "b.rs".into(),
-                    line: 3,
-                    message: "HashMap".into(),
-                    reason: None,
-                },
-                Diagnostic {
-                    rule: "R3".into(),
-                    level: Level::Allowed,
-                    file: "a.rs".into(),
-                    line: 9,
-                    message: "panic!".into(),
                     reason: Some("wrapper".into()),
+                    ..diag("R3", Level::Allowed, "a.rs", 9, "panic!")
                 },
             ],
             files: 2,
@@ -277,8 +358,9 @@ mod tests {
     #[test]
     fn json_is_parseable_shape_and_escaped() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": \"mosaic-lint-report/v1\""));
+        assert!(json.contains("\"schema\": \"mosaic-lint-report/v2\""));
         assert!(json.contains("\"deny\": 1"));
+        assert!(json.contains("\"fingerprint\": \""));
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 
@@ -286,5 +368,40 @@ mod tests {
     fn table_has_summary_line() {
         let t = sample().to_table();
         assert!(t.contains("1 violation(s), 1 allowed, 4 index note(s) across 2 file(s)"));
+    }
+
+    #[test]
+    fn fingerprints_are_line_insensitive_and_duplicate_stable() {
+        let mut a = Report {
+            diagnostics: vec![diag("R1", Level::Deny, "x.rs", 10, "HashMap bad")],
+            ..Report::default()
+        };
+        a.finish();
+        // The same finding after unrelated code shifted it 50 lines down.
+        let mut b = Report {
+            diagnostics: vec![diag("R1", Level::Deny, "x.rs", 60, "HashMap bad")],
+            ..Report::default()
+        };
+        b.finish();
+        assert_eq!(a.diagnostics[0].fingerprint, b.diagnostics[0].fingerprint);
+
+        // Two identical findings in one file get distinct ordinals.
+        let mut c = Report {
+            diagnostics: vec![
+                diag("R1", Level::Deny, "x.rs", 10, "HashMap bad"),
+                diag("R1", Level::Deny, "x.rs", 20, "HashMap bad"),
+            ],
+            ..Report::default()
+        };
+        c.finish();
+        assert_ne!(c.diagnostics[0].fingerprint, c.diagnostics[1].fingerprint);
+        assert_eq!(c.diagnostics[0].fingerprint, a.diagnostics[0].fingerprint);
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        // Pinned value: the FNV-1a 64 test vector for "a".
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(hex16(fnv64(b"a")), "af63dc4c8601ec8c");
     }
 }

@@ -1,5 +1,6 @@
-//! The rule catalogue. Each rule is a token-pattern check over the
-//! non-test code of the crates in its scope:
+//! The rule catalogue. R1–R4 are token-pattern checks over the non-test
+//! code of the crates in their scope; R5–R7 are interprocedural (see
+//! `symbols`/`callgraph`) and configured here:
 //!
 //! * **R1 — deterministic iteration**: no `HashMap`/`HashSet`. Their
 //!   iteration order is seeded per process, so any use near a figure
@@ -12,13 +13,12 @@
 //!   wall time flows through `telemetry::Stopwatch`/`stage` (reported as
 //!   advisory timings, never values) and randomness through counter-based
 //!   `DetRng` streams.
-//! * **R3 — panic-freedom**: no `unwrap`/`expect`/`panic!` (and the
-//!   `unreachable!`/`todo!`/`unimplemented!` family) in the non-test
-//!   library code of the crates exporting the `Result`-based API. The
-//!   documented panicking wrappers over `try_*` carry allow annotations.
-//!   As an advisory census, index expressions without a `// bound:` note
-//!   are counted per file (never failing — slice indexing against
-//!   just-checked lengths is idiomatic in the decoders).
+//! * **R3 — scoped panic-freedom**: no `unwrap`/`expect`/`panic!` (and
+//!   the `unreachable!`/`todo!`/`unimplemented!` family) in an explicit
+//!   file-list scope. Superseded in the default catalogue by R7's
+//!   call-graph reachability (its default scope is empty); retained for
+//!   scoped configs and fixtures. The index census (advisory `bound:`
+//!   notes) keeps its own scope in `census_crates`/`census_extra_files`.
 //! * **R4 — no-alloc kernels**: functions in the registry (the RS/BCH
 //!   scratch decoders, the batched slicer, `corrupt_symbols`) must not
 //!   call `Vec::new`/`vec!`/`to_vec`/`collect`/`format!`/`to_string`/
@@ -26,10 +26,20 @@
 //!   cross-checked against the counting-allocator harness
 //!   (`crates/fec/tests/alloc_free.rs`) in both directions, so the
 //!   static list and the runtime proof cannot drift apart.
+//! * **R5 — seed-stream discipline**: every `DetRng` derivation site
+//!   must use a unique literal label; raw `DetRng::stream` calls and
+//!   `DetRng` values captured by parallel task closures are denied
+//!   (implemented in `symbols`/`callgraph`).
+//! * **R6 — exact parallel reductions**: accumulation inside a parallel
+//!   fold must be listed in the `exactness` registry, whose entries are
+//!   cross-checked against integer-rollup proof tests.
+//! * **R7 — panic reachability**: panic sites reachable from `pub`
+//!   `try_*` entry points are denied wherever they live.
 
-use crate::lexer::{Tok, Token};
+use crate::lexer::Tok;
 use crate::report::{Diagnostic, Level};
-use crate::scan::FileScan;
+use crate::scan::{Allow, BadAllow, FileScan};
+use crate::symbols::LocalFinding;
 
 /// Which crates a rule applies to. Crate identity is the directory name
 /// under `crates/` (`"fec"`, `"sim"`, ...); the workspace root package
@@ -41,7 +51,7 @@ pub enum CrateSet {
 }
 
 impl CrateSet {
-    fn contains(&self, name: &str) -> bool {
+    pub fn contains(&self, name: &str) -> bool {
         match self {
             CrateSet::All => true,
             CrateSet::Named(list) => list.contains(&name),
@@ -63,7 +73,19 @@ pub struct RegistryFn {
     pub harness: Option<&'static str>,
 }
 
-/// Engine configuration: rule scopes plus the no-alloc registry.
+/// One entry of the R6 exactness registry: a function whose parallel-fold
+/// accumulator is exact-integer, with the integer-rollup test proving the
+/// reduction is thread/batch invariant. Cross-checked both ways: the
+/// function must really accumulate inside a parallel fold (no stale
+/// grandfathering) and the proof file must exist and mention it.
+#[derive(Debug, Clone)]
+pub struct ExactFold {
+    pub file: &'static str,
+    pub func: &'static str,
+    pub proof: &'static str,
+}
+
+/// Engine configuration: rule scopes plus the registries.
 #[derive(Debug, Clone)]
 pub struct Config {
     pub r1_crates: CrateSet,
@@ -71,12 +93,75 @@ pub struct Config {
     /// Path suffixes exempt from R2 (the telemetry timer module).
     pub r2_exempt_files: Vec<&'static str>,
     pub r3_crates: CrateSet,
-    /// Path suffixes *added* to the R3 scope beyond `r3_crates` — the
-    /// fault-injection and sweep modules of `sim` carry the panic-freedom
-    /// contract even though `sim` as a whole does not.
+    /// Path suffixes *added* to the R3 scope beyond `r3_crates`.
     pub r3_extra_files: Vec<&'static str>,
+    /// Scope of the advisory index census (formerly tied to R3).
+    pub census_crates: CrateSet,
+    pub census_extra_files: Vec<&'static str>,
     pub registry: Vec<RegistryFn>,
+    pub r5_crates: CrateSet,
+    /// Path suffixes exempt from R5 — the module *defining* the stream
+    /// primitives derives streams by construction.
+    pub r5_exempt_files: Vec<&'static str>,
+    pub r6_crates: CrateSet,
+    pub exactness: Vec<ExactFold>,
+    /// Crates whose `pub try_*` functions seed R7 reachability.
+    pub r7_crates: CrateSet,
+    /// Method names never linked by bare `.name(` calls in the call
+    /// graph: std prelude/trait homonyms (`.sum()` is Iterator::sum, not
+    /// `TrialPlan::sum`). Qualified `Type::name(` calls always link.
+    pub method_call_skip: Vec<&'static str>,
 }
+
+impl Config {
+    /// Everything off: the base for fixture configs that enable one rule.
+    pub fn empty() -> Config {
+        Config {
+            r1_crates: CrateSet::Named(vec![]),
+            r2_crates: CrateSet::Named(vec![]),
+            r2_exempt_files: vec![],
+            r3_crates: CrateSet::Named(vec![]),
+            r3_extra_files: vec![],
+            census_crates: CrateSet::Named(vec![]),
+            census_extra_files: vec![],
+            registry: vec![],
+            r5_crates: CrateSet::Named(vec![]),
+            r5_exempt_files: vec![],
+            r6_crates: CrateSet::Named(vec![]),
+            exactness: vec![],
+            r7_crates: CrateSet::Named(vec![]),
+            method_call_skip: vec![],
+        }
+    }
+}
+
+/// Method names with std prelude/trait homonyms: linking every workspace
+/// function of these names from a bare `.name(` call would wire iterator
+/// pipelines into the call graph and drown R7 in false paths. Qualified
+/// and free calls are unaffected.
+pub const METHOD_CALL_SKIP: &[&str] = &[
+    "clone",
+    "cmp",
+    "collect",
+    "count",
+    "filter",
+    "find",
+    "fold",
+    "get",
+    "insert",
+    "into_iter",
+    "iter",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "push",
+    "read",
+    "run",
+    "sum",
+    "write",
+];
 
 /// The production rule catalogue for this workspace.
 pub fn default_config() -> Config {
@@ -87,12 +172,13 @@ pub fn default_config() -> Config {
         r1_crates: CrateSet::All,
         r2_crates: CrateSet::All,
         r2_exempt_files: vec!["crates/sim/src/telemetry.rs"],
-        r3_crates: CrateSet::Named(vec!["core", "link", "fec", "units"]),
-        // The panic-tolerant pipeline must itself be panic-free: a panic
-        // inside the catcher or the fault generator would defeat the
-        // whole resilience story. Documented panicking wrappers carry
-        // allow annotations.
-        r3_extra_files: vec![
+        // R3's file-list scope is superseded by R7 reachability: panic
+        // sites are judged by whether a fallible API can reach them, not
+        // by which file they sit in. The census keeps the old scope.
+        r3_crates: CrateSet::Named(vec![]),
+        r3_extra_files: vec![],
+        census_crates: CrateSet::Named(vec!["core", "link", "fec", "units"]),
+        census_extra_files: vec![
             "crates/sim/src/sweep/mod.rs",
             "crates/sim/src/sweep/engine.rs",
             "crates/sim/src/sweep/resilience.rs",
@@ -225,7 +311,37 @@ pub fn default_config() -> Config {
                 harness: Some("crates/netsim/tests/alloc_free.rs"),
             },
         ],
+        r5_crates: CrateSet::All,
+        // rng.rs *defines* stream/substream/substream_indexed — the
+        // implementations call each other and `stream` by construction.
+        r5_exempt_files: vec!["crates/sim/src/rng.rs"],
+        r6_crates: CrateSet::All,
+        exactness: exactness_registry(),
+        r7_crates: CrateSet::All,
+        method_call_skip: METHOD_CALL_SKIP.to_vec(),
     }
+}
+
+/// The R6 exactness registry: the sanctioned accumulating parallel
+/// folds, every one with an exact-integer accumulator and an
+/// integer-rollup proof test.
+fn exactness_registry() -> Vec<ExactFold> {
+    vec![
+        // TrialPlan::sum — u64 accumulator, per-chunk partials summed in
+        // task-id order.
+        ExactFold {
+            file: "crates/sim/src/sweep/scheduler.rs",
+            func: "sum",
+            proof: "crates/sim/tests/parallel_determinism.rs",
+        },
+        // The coded-channel Monte-Carlo fold — u64 error/iteration
+        // counters merged per worker.
+        ExactFold {
+            file: "crates/sim/src/montecarlo.rs",
+            func: "run_rs_channel_with",
+            proof: "crates/sim/tests/parallel_determinism.rs",
+        },
+    ]
 }
 
 /// Calls banned inside registry functions: each is a token pattern plus
@@ -242,27 +358,20 @@ const R4_BANNED: &[(&[&str], &str)] = &[
     (&["vec", "!"], "vec!"),
 ];
 
-/// Panicking constructs R3 denies.
-const R3_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Panicking constructs R3/R7 deny.
+pub const R3_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Raw finding before allow-matching.
-struct Finding {
-    rule: &'static str,
-    line: u32,
-    message: String,
-}
-
-/// Check one file. Returns the diagnostics plus the R3 index-census
-/// count for the file.
-pub fn check_file(
+/// The file-local findings of R1–R4 plus the index census count.
+/// Allow-resolution happens later, after the global passes have added
+/// their findings for this file.
+pub fn local_findings(
     cfg: &Config,
     crate_name: &str,
     rel_path: &str,
-    src: &str,
-) -> (Vec<Diagnostic>, u64) {
-    let scan = FileScan::of(src);
+    scan: &FileScan,
+) -> (Vec<LocalFinding>, u64) {
     let toks = &scan.tokens;
-    let mut findings: Vec<Finding> = Vec::new();
+    let mut findings: Vec<LocalFinding> = Vec::new();
     let mut index_notes = 0u64;
 
     let ident = |i: usize| -> Option<&str> {
@@ -275,6 +384,7 @@ pub fn check_file(
 
     let r2_exempt = cfg.r2_exempt_files.iter().any(|s| rel_path.ends_with(s));
     let r3_extra = cfg.r3_extra_files.iter().any(|s| rel_path.ends_with(s));
+    let census_extra = cfg.census_extra_files.iter().any(|s| rel_path.ends_with(s));
 
     for i in 0..toks.len() {
         if scan.is_test_code(i) {
@@ -285,8 +395,8 @@ pub fn check_file(
         // R1: nondeterministic-order collections.
         if cfg.r1_crates.contains(crate_name) {
             if let Some(name @ ("HashMap" | "HashSet")) = ident(i) {
-                findings.push(Finding {
-                    rule: "R1",
+                findings.push(LocalFinding {
+                    rule: "R1".into(),
                     line,
                     message: format!(
                         "{name} has nondeterministic iteration order; use BTree{} or a sorted drain",
@@ -304,8 +414,8 @@ pub fn check_file(
                 } else {
                     "time through mosaic_sim::telemetry (Stopwatch/stage) instead"
                 };
-                findings.push(Finding {
-                    rule: "R2",
+                findings.push(LocalFinding {
+                    rule: "R2".into(),
                     line,
                     message: format!("{name} outside mosaic_sim::telemetry; {fix}"),
                 });
@@ -315,8 +425,8 @@ pub fn check_file(
                 && sym(i + 2, ':')
                 && ident(i + 3) == Some("random")
             {
-                findings.push(Finding {
-                    rule: "R2",
+                findings.push(LocalFinding {
+                    rule: "R2".into(),
                     line,
                     message:
                         "rand::random draws from ambient entropy; derive a DetRng stream instead"
@@ -325,13 +435,13 @@ pub fn check_file(
             }
         }
 
-        // R3: panic-freedom in the Result-based API crates, plus the
-        // explicitly-listed extra files (the panic-tolerant pipeline).
+        // R3: scoped panic-freedom (superseded by R7 in the default
+        // catalogue; active only under explicit scopes).
         if cfg.r3_crates.contains(crate_name) || r3_extra {
             if sym(i, '.') && sym(i + 2, '(') {
                 if let Some(name @ ("unwrap" | "expect")) = ident(i + 1) {
-                    findings.push(Finding {
-                        rule: "R3",
+                    findings.push(LocalFinding {
+                        rule: "R3".into(),
                         line: toks[i + 1].line,
                         message: format!(
                             "{name}() in library code; return Result (try_*) or annotate the invariant"
@@ -342,8 +452,8 @@ pub fn check_file(
             if sym(i + 1, '!') {
                 if let Some(name) = ident(i) {
                     if R3_MACROS.contains(&name) {
-                        findings.push(Finding {
-                            rule: "R3",
+                        findings.push(LocalFinding {
+                            rule: "R3".into(),
                             line,
                             message: format!(
                                 "{name}! in library code; return Result or annotate the invariant"
@@ -352,24 +462,25 @@ pub fn check_file(
                     }
                 }
             }
-            // Index census (advisory): `expr[...]` where the index is not
-            // a literal and no `bound:` note is present on this or the
-            // previous line.
-            if sym(i, '[') {
-                let after_value = matches!(
-                    toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
-                    Some(Tok::Ident(_)) | Some(Tok::Sym(')')) | Some(Tok::Sym(']'))
-                ) && i > 0
-                    && ident(i - 1).is_none_or(|s| !is_keyword(s));
-                let literal_index =
-                    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Num)) && sym(i + 2, ']');
-                let noted = scan
-                    .bound_note_lines
-                    .iter()
-                    .any(|&l| l == line || l + 1 == line);
-                if after_value && !literal_index && !noted {
-                    index_notes += 1;
-                }
+        }
+
+        // Index census (advisory): `expr[...]` where the index is not
+        // a literal and no `bound:` note is present on this or the
+        // previous line.
+        if (cfg.census_crates.contains(crate_name) || census_extra) && sym(i, '[') {
+            let after_value = matches!(
+                toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                Some(Tok::Ident(_)) | Some(Tok::Sym(')')) | Some(Tok::Sym(']'))
+            ) && i > 0
+                && ident(i - 1).is_none_or(|s| !is_keyword(s));
+            let literal_index =
+                matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Num)) && sym(i + 2, ']');
+            let noted = scan
+                .bound_note_lines
+                .iter()
+                .any(|&l| l == line || l + 1 == line);
+            if after_value && !literal_index && !noted {
+                index_notes += 1;
             }
         }
     }
@@ -377,8 +488,8 @@ pub fn check_file(
     // R4: no-alloc registry functions defined in this file.
     for entry in cfg.registry.iter().filter(|e| rel_path.ends_with(e.file)) {
         match scan.fn_body(entry.func) {
-            None => findings.push(Finding {
-                rule: "R4",
+            None => findings.push(LocalFinding {
+                rule: "R4".into(),
                 line: 1,
                 message: format!(
                     "registry function `{}` not found in non-test code; update the \
@@ -390,8 +501,8 @@ pub fn check_file(
                 for i in a..b {
                     for (pat, name) in R4_BANNED {
                         if match_pattern(toks, i, pat) {
-                            findings.push(Finding {
-                                rule: "R4",
+                            findings.push(LocalFinding {
+                                rule: "R4".into(),
                                 line: toks[i].line,
                                 message: format!(
                                     "{name} inside no-alloc kernel `{}`; use the scratch buffers",
@@ -405,37 +516,43 @@ pub fn check_file(
         }
     }
 
-    (resolve_allows(&scan, rel_path, findings), index_notes)
+    (findings, index_notes)
 }
 
 /// Match findings against allow annotations: an allow on the finding's
 /// line or the line above suppresses it (level `Allowed`). Unused and
 /// malformed allows are violations of the meta-rule `lint-allow`.
-fn resolve_allows(scan: &FileScan, rel_path: &str, findings: Vec<Finding>) -> Vec<Diagnostic> {
-    let mut used = vec![false; scan.allows.len()];
+/// Called once per file after local and global findings are merged.
+pub fn resolve_allows(
+    allows: &[Allow],
+    bad_allows: &[BadAllow],
+    rel_path: &str,
+    findings: Vec<LocalFinding>,
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; allows.len()];
     let mut out: Vec<Diagnostic> = Vec::new();
     for f in findings {
-        let hit = scan
-            .allows
+        let hit = allows
             .iter()
             .position(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line));
         let (level, reason) = match hit {
             Some(k) => {
                 used[k] = true;
-                (Level::Allowed, Some(scan.allows[k].reason.clone()))
+                (Level::Allowed, Some(allows[k].reason.clone()))
             }
             None => (Level::Deny, None),
         };
         out.push(Diagnostic {
-            rule: f.rule.to_string(),
+            rule: f.rule,
             level,
             file: rel_path.to_string(),
             line: f.line,
             message: f.message,
             reason,
+            fingerprint: String::new(),
         });
     }
-    for (k, a) in scan.allows.iter().enumerate() {
+    for (k, a) in allows.iter().enumerate() {
         if !used[k] {
             out.push(Diagnostic {
                 rule: "lint-allow".into(),
@@ -447,10 +564,11 @@ fn resolve_allows(scan: &FileScan, rel_path: &str, findings: Vec<Finding>) -> Ve
                     a.rule
                 ),
                 reason: None,
+                fingerprint: String::new(),
             });
         }
     }
-    for b in &scan.bad_allows {
+    for b in bad_allows {
         out.push(Diagnostic {
             rule: "lint-allow".into(),
             level: Level::Deny,
@@ -458,19 +576,36 @@ fn resolve_allows(scan: &FileScan, rel_path: &str, findings: Vec<Finding>) -> Ve
             line: b.line,
             message: b.message.clone(),
             reason: None,
+            fingerprint: String::new(),
         });
     }
     out
 }
 
-fn match_pattern(toks: &[Token], at: usize, pat: &[&str]) -> bool {
+/// Back-compat single-file check used by unit tests: local findings only,
+/// resolved against the file's allows.
+pub fn check_file(
+    cfg: &Config,
+    crate_name: &str,
+    rel_path: &str,
+    src: &str,
+) -> (Vec<Diagnostic>, u64) {
+    let scan = FileScan::of(src);
+    let (findings, index_notes) = local_findings(cfg, crate_name, rel_path, &scan);
+    (
+        resolve_allows(&scan.allows, &scan.bad_allows, rel_path, findings),
+        index_notes,
+    )
+}
+
+fn match_pattern(toks: &[crate::lexer::Token], at: usize, pat: &[&str]) -> bool {
     pat.iter()
         .enumerate()
         .all(|(k, want)| match toks.get(at + k) {
-            Some(Token {
+            Some(crate::lexer::Token {
                 tok: Tok::Ident(s), ..
             }) => s == want,
-            Some(Token {
+            Some(crate::lexer::Token {
                 tok: Tok::Sym(c), ..
             }) => want.len() == 1 && want.starts_with(*c),
             _ => false,
@@ -504,14 +639,13 @@ mod tests {
     use super::*;
 
     fn cfg_all() -> Config {
-        Config {
-            r1_crates: CrateSet::All,
-            r2_crates: CrateSet::All,
-            r2_exempt_files: vec!["telemetry.rs"],
-            r3_crates: CrateSet::All,
-            r3_extra_files: vec![],
-            registry: vec![],
-        }
+        let mut c = Config::empty();
+        c.r1_crates = CrateSet::All;
+        c.r2_crates = CrateSet::All;
+        c.r2_exempt_files = vec!["telemetry.rs"];
+        c.r3_crates = CrateSet::All;
+        c.census_crates = CrateSet::All;
+        c
     }
 
     fn denies(src: &str) -> Vec<(String, u32)> {
@@ -623,5 +757,18 @@ mod tests {
         let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f() -> [u8; 2] { [0, 0] }";
         let (_, notes) = check_file(&cfg_all(), "fec", "x.rs", src);
         assert_eq!(notes, 0);
+    }
+
+    #[test]
+    fn default_catalogue_wires_r5_to_r7() {
+        let cfg = default_config();
+        assert!(cfg.r5_crates.contains("netsim"));
+        assert!(cfg.r7_crates.contains("core"));
+        assert!(!cfg.exactness.is_empty());
+        assert!(cfg.method_call_skip.contains(&"sum"));
+        // R3 is superseded: its default scope is empty.
+        assert!(!cfg.r3_crates.contains("core"));
+        // ...but the census kept the old scope.
+        assert!(cfg.census_crates.contains("core"));
     }
 }

@@ -1,0 +1,32 @@
+//! Lexer edge-case fixture (passing): banned names inside raw strings,
+//! nested block comments, and macro bodies must never become idents.
+
+/// Raw string: nothing in here is code.
+pub fn docs() -> &'static str {
+    r#"HashMap, Instant::now(), thread_rng() and panic!() are just text"#
+}
+
+/// Hash-count raw string with an embedded `"#` sequence.
+pub fn nested_quote() -> &'static str {
+    r##"still text: "# HashMap "# unwrap()"##
+}
+
+/* Nested /* block /* comments */ close */ properly: HashMap::new() here
+   is commentary, as is Instant::now(). */
+pub fn after_comments() -> u32 {
+    1
+}
+
+/// `::path(` call forms inside macro bodies still lex as tokens — the
+/// path below must not be mistaken for a banned call.
+pub fn in_macros() -> usize {
+    let n = core::cmp::max(1usize, core::mem::size_of::<u8>());
+    assert!(n >= 1, "size_of::<u8>() is {}", n);
+    n
+}
+
+/// A char literal quote must not open a string that swallows the rest
+/// of the file.
+pub fn quotes() -> (char, &'static str) {
+    ('"', "plain")
+}

@@ -1,0 +1,29 @@
+//! R6 failing fixture: float accumulation inside parallel folds without
+//! a registry entry, in both the Exec and the TrialPlan spelling.
+
+/// Unregistered float accumulation in a commutative fold: the merge
+/// order changes the rounding, so totals drift across thread counts.
+pub fn biased(exec: &Exec, n: usize) -> f64 {
+    exec.fold_tasks_commutative(
+        n,
+        || (),
+        || 0.0f64,
+        |i, _state, acc| {
+            *acc += i as f64;
+        },
+        |a, b| *a += b,
+    )
+}
+
+/// Same defect through the TrialPlan fold.
+pub fn plan_biased(exec: &Exec) -> f64 {
+    TrialPlan::new().trials(8).fold(
+        exec,
+        || (),
+        || 0.0f64,
+        |_ctx, _state, acc| {
+            *acc += 0.5;
+        },
+        |a, b| *a += b,
+    )
+}

@@ -1,0 +1,19 @@
+//! R7 failing fixture: panics buried two calls deep behind a fallible
+//! entry point. The file-local scan would need every helper listed in
+//! `r3_extra_files`; reachability finds them wherever they live.
+
+pub fn try_run(x: u8) -> Result<u8, String> {
+    Ok(step(x))
+}
+
+fn step(x: u8) -> u8 {
+    let doubled: Option<u8> = x.checked_mul(2);
+    inner(doubled.unwrap())
+}
+
+fn inner(x: u8) -> u8 {
+    if x > 250 {
+        panic!("overflow");
+    }
+    x + 1
+}

@@ -6,7 +6,7 @@
 //! diff.
 
 use mosaic_lint::report::Report;
-use mosaic_lint::rules::{Config, CrateSet, RegistryFn};
+use mosaic_lint::rules::{Config, CrateSet, ExactFold, RegistryFn};
 use std::path::{Path, PathBuf};
 
 fn fixture_dir(name: &str) -> PathBuf {
@@ -15,67 +15,74 @@ fn fixture_dir(name: &str) -> PathBuf {
         .join(name)
 }
 
-/// Run the engine over one fixture; paths in the report are relative to
-/// the fixture root (`src/lib.rs`), so goldens are machine-independent.
+/// Run the full engine — global passes included — over one fixture;
+/// paths in the report are relative to the fixture root (`src/lib.rs`),
+/// so goldens are machine-independent.
 fn lint_fixture(name: &str, cfg: &Config) -> Report {
     let root = fixture_dir(name);
-    let mut report = Report::default();
-    mosaic_lint::lint_src_dir(cfg, "fixture", &root, &root.join("src"), &mut report)
-        .expect("fixture readable");
-    report.finish();
-    report
-}
-
-fn rule_off() -> CrateSet {
-    CrateSet::Named(vec![])
+    mosaic_lint::lint_src_dir(cfg, "fixture", &root, &root.join("src")).expect("fixture readable")
 }
 
 fn only_r1() -> Config {
-    Config {
-        r1_crates: CrateSet::All,
-        r2_crates: rule_off(),
-        r2_exempt_files: vec![],
-        r3_crates: rule_off(),
-        r3_extra_files: vec![],
-        registry: vec![],
-    }
+    let mut cfg = Config::empty();
+    cfg.r1_crates = CrateSet::All;
+    cfg
 }
 
 fn only_r2() -> Config {
-    Config {
-        r1_crates: rule_off(),
-        r2_crates: CrateSet::All,
-        r2_exempt_files: vec![],
-        r3_crates: rule_off(),
-        r3_extra_files: vec![],
-        registry: vec![],
-    }
+    let mut cfg = Config::empty();
+    cfg.r2_crates = CrateSet::All;
+    cfg
 }
 
 fn only_r3() -> Config {
-    Config {
-        r1_crates: rule_off(),
-        r2_crates: rule_off(),
-        r2_exempt_files: vec![],
-        r3_crates: CrateSet::All,
-        r3_extra_files: vec![],
-        registry: vec![],
-    }
+    let mut cfg = Config::empty();
+    cfg.r3_crates = CrateSet::All;
+    cfg
 }
 
 fn only_r4() -> Config {
-    Config {
-        r1_crates: rule_off(),
-        r2_crates: rule_off(),
-        r2_exempt_files: vec![],
-        r3_crates: rule_off(),
-        r3_extra_files: vec![],
-        registry: vec![RegistryFn {
-            file: "src/lib.rs",
-            func: "kernel",
-            harness: None,
-        }],
-    }
+    let mut cfg = Config::empty();
+    cfg.registry = vec![RegistryFn {
+        file: "src/lib.rs",
+        func: "kernel",
+        harness: None,
+    }];
+    cfg
+}
+
+fn only_r5() -> Config {
+    let mut cfg = Config::empty();
+    cfg.r5_crates = CrateSet::All;
+    cfg
+}
+
+fn only_r6() -> Config {
+    let mut cfg = Config::empty();
+    cfg.r6_crates = CrateSet::All;
+    cfg.exactness = vec![ExactFold {
+        file: "src/lib.rs",
+        func: "rollup",
+        proof: "proof.rs",
+    }];
+    cfg
+}
+
+fn only_r7() -> Config {
+    let mut cfg = Config::empty();
+    cfg.r7_crates = CrateSet::All;
+    cfg.method_call_skip = mosaic_lint::rules::METHOD_CALL_SKIP.to_vec();
+    cfg
+}
+
+/// R1 + R2 + R3 everywhere: the lexer fixtures prove tricky token
+/// streams neither hide real violations nor invent false ones.
+fn lexer_rules() -> Config {
+    let mut cfg = Config::empty();
+    cfg.r1_crates = CrateSet::All;
+    cfg.r2_crates = CrateSet::All;
+    cfg.r3_crates = CrateSet::All;
+    cfg
 }
 
 /// Compare a violating fixture's report against its pinned golden.
@@ -176,6 +183,114 @@ fn r4_renamed_kernel_is_a_violation() {
     let r = lint_fixture("r4_pass", &cfg);
     assert_eq!(r.deny_count(), 1);
     assert!(r.diagnostics[0].message.contains("not found"));
+}
+
+#[test]
+fn r5_pass_is_clean_with_one_allowed_forwarder() {
+    let r = lint_fixture("r5_pass", &only_r5());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+    assert_eq!(r.allowed_count(), 1, "the annotated label forwarder");
+    assert_eq!(r.allows_by_rule().get("R5"), Some(&1));
+}
+
+#[test]
+fn r5_fail_pins_diagnostics() {
+    let r = lint_fixture("r5_fail", &only_r5());
+    assert_eq!(
+        r.deny_count(),
+        5,
+        "2 dup sites, non-literal, raw stream, capture: {}",
+        r.to_table()
+    );
+    assert!(r.diagnostics.iter().all(|d| d.rule == "R5"));
+    assert!(r.diagnostics.iter().any(|d| d
+        .message
+        .contains("duplicate DetRng::substream label \"dup\"")));
+    assert!(r
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("captured by a closure")));
+    assert_matches_golden("r5_fail", &r);
+}
+
+#[test]
+fn r6_pass_is_clean_and_records_the_registered_fold() {
+    let r = lint_fixture("r6_pass", &only_r6());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+    assert_eq!(r.allowed_count(), 0);
+}
+
+#[test]
+fn r6_fail_pins_diagnostics() {
+    let mut cfg = only_r6();
+    // The fixture has no `rollup`, so the registry entry is stale and the
+    // hygiene checks fire alongside the float-accumulation findings.
+    cfg.exactness = vec![ExactFold {
+        file: "src/lib.rs",
+        func: "rollup",
+        proof: "missing_proof.rs",
+    }];
+    let r = lint_fixture("r6_fail", &cfg);
+    assert!(r.diagnostics.iter().all(|d| d.rule == "R6"));
+    assert!(
+        r.diagnostics
+            .iter()
+            .any(|d| d.message.contains("inside parallel fold")),
+        "{}",
+        r.to_table()
+    );
+    assert!(r
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("no parallel-fold accumulation site")));
+    assert!(r
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("missing or never mentions")));
+    assert_matches_golden("r6_fail", &r);
+}
+
+#[test]
+fn r7_pass_accepts_the_unreachable_panicking_wrapper() {
+    let r = lint_fixture("r7_pass", &only_r7());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+    assert_eq!(r.allowed_count(), 0, "no annotations needed under R7");
+    assert_eq!(r.symbols.entry_points, 1, "try_new");
+}
+
+#[test]
+fn r7_fail_pins_diagnostics() {
+    let r = lint_fixture("r7_fail", &only_r7());
+    assert_eq!(
+        r.deny_count(),
+        2,
+        "unwrap in step, panic! in inner: {}",
+        r.to_table()
+    );
+    assert!(r.diagnostics.iter().all(|d| d.rule == "R7"));
+    assert!(r.diagnostics.iter().all(|d| d
+        .message
+        .contains("reachable from fallible entry `try_run`")));
+    assert_matches_golden("r7_fail", &r);
+}
+
+#[test]
+fn lexer_pass_has_no_false_positives() {
+    let r = lint_fixture("lexer_pass", &lexer_rules());
+    assert_eq!(r.deny_count(), 0, "unexpected: {}", r.to_table());
+    assert_eq!(r.allowed_count(), 0);
+}
+
+#[test]
+fn lexer_fail_still_sees_violations_after_tricky_tokens() {
+    let r = lint_fixture("lexer_fail", &lexer_rules());
+    assert_eq!(
+        r.deny_count(),
+        3,
+        "2x HashMap after raw string, unwrap after nested comment: {}",
+        r.to_table()
+    );
+    assert_matches_golden("lexer_fail", &r);
 }
 
 #[test]

@@ -231,6 +231,7 @@ pub fn simulate_link_with(exec: &Exec, cfg: &LinkSimConfig) -> LinkSimReport {
         .map(|c| ChannelState {
             injector: BitErrorInjector::new(
                 cfg.per_channel_ber[c],
+                // lint: allow(R5) reason=per-channel label family chan-{c}; unique by construction over the channel index
                 DetRng::substream(cfg.seed, &format!("chan-{c}")),
             ),
             monitor: LaneHealth::new(cfg.monitor_window_bits, 8),

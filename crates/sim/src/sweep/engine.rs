@@ -114,7 +114,6 @@ impl Exec {
     {
         match self.try_run_tasks(n, f) {
             Ok(v) => v,
-            // lint: allow(R3) reason=documented panicking wrapper over try_run_tasks
             Err(e) => panic!("{e}"),
         }
     }
@@ -328,7 +327,6 @@ impl Exec {
     {
         match self.try_fold_tasks_commutative(n, make_state, make_acc, f, merge) {
             Ok(v) => v,
-            // lint: allow(R3) reason=documented panicking wrapper over try_fold_tasks_commutative
             Err(e) => panic!("{e}"),
         }
     }

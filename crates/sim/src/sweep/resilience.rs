@@ -64,8 +64,10 @@ where
             let mut last_msg: Option<String> = None;
             for attempt in 0..=retry_budget {
                 let mut rng = if attempt == 0 {
+                    // lint: allow(R5) reason=forwards the caller's plan label; collision checking happens at the literal call sites
                     DetRng::substream_indexed(seed, label, i)
                 } else {
+                    // lint: allow(R5) reason=retry stream derived from the caller's label; #retry{n} suffix cannot collide with a literal label
                     DetRng::substream_indexed(seed, &format!("{label}#retry{attempt}"), i)
                 };
                 match catch_unwind(AssertUnwindSafe(|| f(i, attempt, &mut rng))) {

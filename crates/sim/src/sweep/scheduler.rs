@@ -78,8 +78,10 @@ impl TrialCtx<'_> {
     /// draw from the fresh `"{label}#retry{attempt}"` substream.
     pub fn rng(&self) -> DetRng {
         if self.attempt == 0 {
+            // lint: allow(R5) reason=forwards the plan's label; collision checking happens at the literal call sites
             DetRng::substream_indexed(self.seed, self.label, self.trial)
         } else {
+            // lint: allow(R5) reason=retry stream derived from the plan label; #retry{n} suffix cannot collide with a literal label
             DetRng::substream_indexed(
                 self.seed,
                 &format!("{}#retry{}", self.label, self.attempt),
@@ -93,6 +95,7 @@ impl TrialCtx<'_> {
     /// `"rs-noise"`): `(seed, family, trial)`, exactly the historic
     /// direct `substream_indexed` derivation.
     pub fn stream(&self, family: &str) -> DetRng {
+        // lint: allow(R5) reason=forwards the caller's family label; collision checking happens at the literal call sites
         DetRng::substream_indexed(self.seed, family, self.trial)
     }
 }
@@ -235,7 +238,6 @@ impl<'a> TrialPlan<'a> {
                 f(&mut self.ctx(i as u64), scratch)
             }) {
                 Ok(v) => v,
-                // lint: allow(R3) reason=documented panicking wrapper over try_run_tasks_with
                 Err(e) => panic!("{e}"),
             }
         })

@@ -13,9 +13,9 @@
 //! 4. Everything above is thread-count invariant, as are fault-campaign
 //!    generation and replay.
 
-// The deprecated Exec entry points stay covered until they are removed:
-// the chaos gate must hold for the wrappers AND for TrialPlan.
-#![allow(deprecated)]
+// The deprecated `par_trials_resilient` wrapper keeps exactly one
+// explicit compat test (`trial_plan_resilient_matches_wrapper_...`)
+// until it is removed; everything else runs on TrialPlan.
 
 use mosaic_sim::campaign::{run_campaign, CampaignRunConfig};
 use mosaic_sim::faults::{CampaignConfig, FaultCampaign};
@@ -33,19 +33,30 @@ fn trial_value(i: u64) -> u64 {
 #[test]
 fn injected_panic_sweep_matches_clean_run() {
     let exec = Exec::with_threads(4);
-    let clean = exec.par_trials_resilient(32, 99, "chaos-clean", 2, |i, _a, _rng| trial_value(i));
+    let clean = TrialPlan::new()
+        .trials(32)
+        .seed(99)
+        .label("chaos-clean")
+        .retry_budget(2)
+        .run_resilient(&exec, |ctx| trial_value(ctx.trial()));
     assert_eq!(clean.stats.panics, 0);
     assert_eq!(clean.stats.retries, 0);
     assert_eq!(clean.stats.failed_trials, 0);
     assert!(clean.failures.is_empty());
 
     // Trials 3 and 20 panic on their first attempt, succeed on retry.
-    let faulty = exec.par_trials_resilient(32, 99, "chaos-faulty", 2, |i, attempt, _rng| {
-        if (i == 3 || i == 20) && attempt == 0 {
-            panic!("injected fault in trial {i}");
-        }
-        trial_value(i)
-    });
+    let faulty = TrialPlan::new()
+        .trials(32)
+        .seed(99)
+        .label("chaos-faulty")
+        .retry_budget(2)
+        .run_resilient(&exec, |ctx| {
+            let i = ctx.trial();
+            if (i == 3 || i == 20) && ctx.attempt() == 0 {
+                panic!("injected fault in trial {i}");
+            }
+            trial_value(i)
+        });
     assert_eq!(
         faulty.values, clean.values,
         "retried values must match the clean run"
@@ -60,12 +71,17 @@ fn injected_panic_sweep_matches_clean_run() {
 fn budget_exhaustion_yields_none_without_poisoning_neighbors() {
     let exec = Exec::with_threads(3);
     // Trial 5 panics on every attempt; budget 1 → two attempts, both fail.
-    let run = exec.par_trials_resilient(12, 7, "chaos-exhaust", 1, |i, _a, _rng| {
-        if i == 5 {
-            panic!("permanently broken trial");
-        }
-        trial_value(i)
-    });
+    let run = TrialPlan::new()
+        .trials(12)
+        .seed(7)
+        .label("chaos-exhaust")
+        .retry_budget(1)
+        .run_resilient(&exec, |ctx| {
+            if ctx.trial() == 5 {
+                panic!("permanently broken trial");
+            }
+            trial_value(ctx.trial())
+        });
     for (i, v) in run.values.iter().enumerate() {
         if i == 5 {
             assert!(v.is_none(), "exhausted trial must yield None");
@@ -168,17 +184,25 @@ proptest! {
         mask: u64,
         hard_mask: u64,
     ) {
-        let work = move |i: u64, attempt: u32, _rng: &mut mosaic_sim::rng::DetRng| {
-            if (hard_mask >> (i % 64)) & 1 == 1 {
-                panic!("hard fault {i}");
-            }
-            if attempt == 0 && (mask >> (i % 64)) & 1 == 1 {
-                panic!("soft fault {i}");
-            }
-            trial_value(i)
+        let run_at = |threads: usize| {
+            TrialPlan::new()
+                .trials(n)
+                .seed(seed)
+                .label("chaos-prop")
+                .retry_budget(2)
+                .run_resilient(&Exec::with_threads(threads), |ctx| {
+                    let i = ctx.trial();
+                    if (hard_mask >> (i % 64)) & 1 == 1 {
+                        panic!("hard fault {i}");
+                    }
+                    if ctx.attempt() == 0 && (mask >> (i % 64)) & 1 == 1 {
+                        panic!("soft fault {i}");
+                    }
+                    trial_value(i)
+                })
         };
-        let seq = Exec::with_threads(1).par_trials_resilient(n, seed, "chaos-prop", 2, work);
-        let par = Exec::with_threads(8).par_trials_resilient(n, seed, "chaos-prop", 2, work);
+        let seq = run_at(1);
+        let par = run_at(8);
         prop_assert_eq!(&seq.values, &par.values);
         prop_assert_eq!(&seq.failures, &par.failures);
         prop_assert_eq!(seq.stats.panics, par.stats.panics);
@@ -186,10 +210,12 @@ proptest! {
         prop_assert_eq!(seq.stats.failed_trials, par.stats.failed_trials);
     }
 
-    /// TrialPlan::run_resilient is bit-identical to the deprecated
-    /// par_trials_resilient for any injected panic pattern, and thread
-    /// invariant: the resilience contract carries over to the new API.
+    /// The explicit compat test for the deprecated wrapper:
+    /// TrialPlan::run_resilient is bit-identical to par_trials_resilient
+    /// for any injected panic pattern, and thread invariant — so the
+    /// wrapper inherits every chaos gate above transitively.
     #[test]
+    #[allow(deprecated)]
     fn trial_plan_resilient_matches_wrapper_and_is_thread_invariant(
         seed: u64,
         n in 1u64..48,

@@ -6,15 +6,17 @@
 //! 1. *Stream independence* — distinct task ids derive streams that do
 //!    not collide (no shared prefix, no overlap among early draws), so
 //!    splitting a seed across tasks never silently correlates trials.
-//! 2. *Schedule invariance* — `par_trials` / `run_tasks` return exactly
-//!    the sequential results at every thread count and chunk size.
+//! 2. *Schedule invariance* — `TrialPlan` runs (and the integer-fold
+//!    Monte-Carlo kernel built on them) return exactly the sequential
+//!    results at every thread count and chunk size.
+//!
+//! The deprecated `Exec::par_trials` wrapper keeps exactly one explicit
+//! compat test (`trial_plan_matches_deprecated_par_trials`) until it is
+//! removed; everything else runs on `TrialPlan`.
 
 // HashSet here is set-equality of raw u64 draws; iteration order is
 // never observed, so the determinism ban does not apply.
 #![allow(clippy::disallowed_types)]
-// The deprecated Exec entry points stay covered until they are removed:
-// the gate must hold for the wrappers AND for TrialPlan.
-#![allow(deprecated)]
 
 use mosaic_sim::rng::DetRng;
 use mosaic_sim::sweep::{chunk_count, chunk_len, Exec, TrialPlan};
@@ -63,28 +65,6 @@ proptest! {
         prop_assert_eq!(direct, replay);
     }
 
-    /// par_trials is bit-identical to the sequential fallback at every
-    /// thread count, for arbitrary trial counts and per-trial draw
-    /// volumes.
-    #[test]
-    fn par_trials_equals_sequential(
-        seed: u64,
-        n in 0u64..200,
-        draws in 1usize..32,
-        threads in 2usize..17,
-    ) {
-        let work = |i: u64, rng: &mut DetRng| -> (u64, u64) {
-            let mut acc = 0u64;
-            for _ in 0..draws {
-                acc = acc.wrapping_add(rng.next_u64());
-            }
-            (i, acc)
-        };
-        let seq = Exec::with_threads(1).par_trials(n, seed, "prop", work);
-        let par = Exec::with_threads(threads).par_trials(n, seed, "prop", work);
-        prop_assert_eq!(seq, par);
-    }
-
     /// Chunked accumulation (the BER-counter pattern): splitting `total`
     /// trials into any fixed chunk size and summing per-chunk counters in
     /// chunk order gives the same total at every thread count — and every
@@ -96,23 +76,32 @@ proptest! {
         chunk in 1u64..512,
         threads in 2usize..9,
     ) {
-        let count_chunk = |c: u64, rng: &mut DetRng| -> (u64, u64) {
-            let len = chunk_len(c, total, chunk);
-            let hits = (0..len).filter(|_| rng.chance(0.5)).count() as u64;
-            (len, hits)
+        let run_at = |t: usize| {
+            TrialPlan::new()
+                .trials(chunk_count(total, chunk))
+                .seed(seed)
+                .label("count")
+                .run(&Exec::with_threads(t), |ctx| {
+                    let len = chunk_len(ctx.trial(), total, chunk);
+                    let mut rng = ctx.rng();
+                    let hits = (0..len).filter(|_| rng.chance(0.5)).count() as u64;
+                    (len, hits)
+                })
         };
-        let chunks = chunk_count(total, chunk);
-        let seq = Exec::with_threads(1).par_trials(chunks, seed, "count", count_chunk);
-        let par = Exec::with_threads(threads).par_trials(chunks, seed, "count", count_chunk);
+        let seq = run_at(1);
+        let par = run_at(threads);
         prop_assert_eq!(&seq, &par);
         let trials: u64 = seq.iter().map(|(len, _)| len).sum();
         prop_assert_eq!(trials, total, "chunking must cover every trial exactly once");
     }
 
-    /// run_tasks returns results in task order regardless of scheduling.
+    /// TrialPlan::run returns results in trial order regardless of
+    /// scheduling.
     #[test]
-    fn run_tasks_order_is_stable(n in 0usize..300, threads in 2usize..9) {
-        let out = Exec::with_threads(threads).run_tasks(n, |i| i);
+    fn trial_plan_order_is_stable(n in 0u64..300, threads in 2usize..9) {
+        let out = TrialPlan::new()
+            .trials(n)
+            .run(&Exec::with_threads(threads), |ctx| ctx.trial());
         prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
     }
 
@@ -142,19 +131,30 @@ proptest! {
         prop_assert_eq!(run_at(1), run_at(threads));
     }
 
-    /// TrialPlan::run draws the exact streams the deprecated par_trials
-    /// drew: migrating a call site never changes its numbers.
+    /// The explicit compat test for the deprecated wrapper: TrialPlan::run
+    /// draws the exact streams `par_trials` drew at every thread count and
+    /// draw volume, so migrating a call site never changes its numbers —
+    /// and the wrapper inherits every TrialPlan gate above transitively.
     #[test]
+    #[allow(deprecated)]
     fn trial_plan_matches_deprecated_par_trials(
         seed: u64,
         n in 0u64..128,
+        draws in 1usize..16,
         threads in 1usize..9,
     ) {
         let exec = Exec::with_threads(threads);
-        let old = exec.par_trials(n, seed, "compat", |_i, rng| rng.next_u64());
+        let work = |rng: &mut DetRng| {
+            let mut acc = 0u64;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        };
+        let old = exec.par_trials(n, seed, "compat", |_i, rng| work(rng));
         let new = TrialPlan::new().trials(n).seed(seed).label("compat").run(
             &exec,
-            |ctx| ctx.rng().next_u64(),
+            |ctx| work(&mut ctx.rng()),
         );
         prop_assert_eq!(old, new);
     }
@@ -173,5 +173,27 @@ proptest! {
         let par = TrialPlan::new().trials(n).seed(seed).label("plan-sum")
             .sum(&Exec::with_threads(threads), stat);
         prop_assert_eq!(seq, par);
+    }
+}
+
+/// Integer-rollup proof for the R6 exactness registry: the coded-channel
+/// fold `run_rs_channel_with` merges per-worker `u64` counters only, so
+/// every counter of `CodedRun` is bit-identical at every thread count.
+/// `mosaic_lint` cross-checks that this test names the registered fold —
+/// removing it (or the mention) is an R6 violation.
+#[test]
+fn run_rs_channel_with_counters_are_thread_invariant() {
+    use mosaic_fec::rs::ReedSolomon;
+    use mosaic_sim::montecarlo::run_rs_channel_with;
+
+    let rs = ReedSolomon::new(8, 31, 23);
+    let baseline = run_rs_channel_with(&Exec::with_threads(1), &rs, 2e-2, 400, 11);
+    assert!(baseline.codewords == 400 && baseline.bits > 0);
+    for threads in [2, 4, 8] {
+        let run = run_rs_channel_with(&Exec::with_threads(threads), &rs, 2e-2, 400, 11);
+        assert_eq!(
+            run, baseline,
+            "threads={threads}: exact integer fold must be schedule-invariant"
+        );
     }
 }
