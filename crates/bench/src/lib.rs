@@ -24,6 +24,7 @@ pub mod fig15_wearout;
 pub mod fig16_color_mux;
 pub mod fig17_fault_campaign;
 pub mod fig18_hyperfleet;
+pub mod fig19_traffic_resilience;
 pub mod fig1_energy_vs_lane_rate;
 pub mod fig2_power_comparison;
 pub mod fig3_reach_vs_rate;
@@ -101,6 +102,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "F18",
             "Hyperscale fleet at 1M+ links (event-sourced)",
             fig18_hyperfleet::run,
+        ),
+        (
+            "F19",
+            "Live-traffic resilience (packet workloads under faults)",
+            fig19_traffic_resilience::run,
         ),
         ("T2", "Datacenter fleet study", tab2_datacenter::run),
         ("T3", "5-year total cost of ownership", tab3_cost::run),

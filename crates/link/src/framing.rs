@@ -68,40 +68,56 @@ impl Frame {
     /// Serialize: `magic | seq | len | payload | crc32`.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::OVERHEAD + self.payload.len());
-        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-        out.extend_from_slice(&self.seq.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        let crc = crc32(&out);
-        out.extend_from_slice(&crc.to_le_bytes());
+        frame_into(self.seq, &self.payload, &mut out);
         out
     }
 
     /// Parse a frame from exactly one serialized buffer.
     pub fn from_bytes(buf: &[u8]) -> Result<Frame, FrameError> {
-        if buf.len() < Self::OVERHEAD {
-            return Err(FrameError::Truncated);
-        }
-        let magic = u16::from_le_bytes([buf[0], buf[1]]);
-        if magic != FRAME_MAGIC {
-            return Err(FrameError::BadMagic);
-        }
-        let seq = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]);
-        let len = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]) as usize;
-        if buf.len() != Self::OVERHEAD + len {
-            return Err(FrameError::BadLength);
-        }
-        let body = &buf[..10 + len];
-        let crc_rx =
-            u32::from_le_bytes([buf[10 + len], buf[11 + len], buf[12 + len], buf[13 + len]]);
-        if crc32(body) != crc_rx {
-            return Err(FrameError::BadCrc);
-        }
+        let (seq, payload) = parse_frame(buf)?;
         Ok(Frame {
             seq,
-            payload: buf[10..10 + len].to_vec(),
+            payload: payload.to_vec(),
         })
     }
+}
+
+/// Append one serialized frame (`magic | seq | len | payload | crc32`) to
+/// `out` without constructing a [`Frame`]. The CRC covers only this
+/// frame's bytes, so frames may be packed back to back in one buffer.
+/// Allocation-free once `out` has capacity (lint R4).
+pub fn frame_into(seq: u32, payload: &[u8], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Parse exactly one serialized frame, borrowing the payload from `buf`
+/// instead of copying it. Allocation-free counterpart of
+/// [`Frame::from_bytes`] (lint R4).
+pub fn parse_frame(buf: &[u8]) -> Result<(u32, &[u8]), FrameError> {
+    if buf.len() < Frame::OVERHEAD {
+        return Err(FrameError::Truncated);
+    }
+    let magic = u16::from_le_bytes([buf[0], buf[1]]);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let seq = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]);
+    let len = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]) as usize;
+    if buf.len() != Frame::OVERHEAD + len {
+        return Err(FrameError::BadLength);
+    }
+    let body = &buf[..10 + len];
+    let crc_rx = u32::from_le_bytes([buf[10 + len], buf[11 + len], buf[12 + len], buf[13 + len]]);
+    if crc32(body) != crc_rx {
+        return Err(FrameError::BadCrc);
+    }
+    Ok((seq, &buf[10..10 + len]))
 }
 
 #[cfg(test)]
@@ -161,7 +177,33 @@ mod tests {
         assert_eq!(Frame::from_bytes(&bytes[..5]), Err(FrameError::Truncated));
     }
 
+    #[test]
+    fn frame_into_packs_back_to_back() {
+        let mut buf = Vec::new();
+        frame_into(3, b"abc", &mut buf);
+        let first_len = buf.len();
+        frame_into(4, b"defgh", &mut buf);
+        let (seq_a, pay_a) = parse_frame(&buf[..first_len]).unwrap();
+        let (seq_b, pay_b) = parse_frame(&buf[first_len..]).unwrap();
+        assert_eq!((seq_a, pay_a), (3, &b"abc"[..]));
+        assert_eq!((seq_b, pay_b), (4, &b"defgh"[..]));
+    }
+
     proptest! {
+        #[test]
+        fn frame_into_matches_to_bytes(
+            seq: u32,
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let f = Frame { seq, payload };
+            let mut buf = Vec::new();
+            frame_into(f.seq, &f.payload, &mut buf);
+            prop_assert_eq!(&buf, &f.to_bytes());
+            let (pseq, ppay) = parse_frame(&buf).unwrap();
+            prop_assert_eq!(pseq, f.seq);
+            prop_assert_eq!(ppay, f.payload.as_slice());
+        }
+
         #[test]
         fn roundtrip_random(seq: u32, payload in proptest::collection::vec(any::<u8>(), 0..512)) {
             let f = Frame { seq, payload };

@@ -15,10 +15,10 @@
 //! lost and shows up as dropped frames — exactly the behaviour the F11
 //! resilience experiment measures.
 
-use crate::framing::{Frame, FrameError};
+use crate::framing::{frame_into, parse_frame, Frame, FrameError};
 use crate::lanes::{FailureKind, LaneMap, NoSpares};
 use crate::scrambler::Scrambler;
-use crate::striping::{Deskewer, Distributor, LaneWord, StripeConfig};
+use crate::striping::{DeskewError, DeskewScratch, Deskewer, Distributor, LaneWord, StripeConfig};
 
 /// Idle word transmitted on spare/unassigned channels.
 const IDLE_WORD: u64 = 0x1E1E_1E1E_1E1E_1E1E;
@@ -47,6 +47,68 @@ pub struct RxReport {
     /// True if deskew failed entirely this epoch (e.g. a channel died
     /// mid-epoch); the epoch's data is lost.
     pub deskew_failed: bool,
+}
+
+/// Reusable transmit-side working buffers for [`Gearbox::transmit_into`].
+/// One per gearbox; capacities grow to the epoch's working set and then
+/// stay, so the steady-state epoch loop allocates nothing (lint R4).
+#[derive(Debug, Clone, Default)]
+pub struct TxScratch {
+    bytes: Vec<u8>,
+    words: Vec<u64>,
+    logical: Vec<Vec<LaneWord>>,
+}
+
+/// Reusable receive-side working buffers for [`Gearbox::receive_into`].
+#[derive(Debug, Clone, Default)]
+pub struct RxScratch {
+    lanes: Vec<Vec<LaneWord>>,
+    deskew: DeskewScratch,
+    words: Vec<u64>,
+}
+
+/// One recovered frame inside an [`RxBatch`]: the sequence number plus
+/// the payload's position in the batch's descrambled byte stream. Borrow
+/// the bytes via [`RxBatch::payload`] — no per-frame allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSlot {
+    /// Sender-assigned sequence number.
+    pub seq: u32,
+    /// Payload start offset into [`RxBatch::bytes`].
+    pub start: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Allocation-free counterpart of [`RxReport`]: frames are descriptors
+/// into the reused `bytes` buffer instead of owned vectors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RxBatch {
+    /// The epoch's descrambled byte stream (valid until the next call).
+    pub bytes: Vec<u8>,
+    /// Frames recovered intact (CRC-verified), in arrival order.
+    pub frames: Vec<FrameSlot>,
+    /// Byte positions that failed CRC or framing — corruption *detected*.
+    pub corrupt_frames: usize,
+    /// Total payload bytes delivered.
+    pub payload_bytes: usize,
+    /// Set when deskew failed entirely this epoch; carries the offending
+    /// lane and observed skew for fault attribution.
+    pub deskew_error: Option<DeskewError>,
+}
+
+impl RxBatch {
+    /// Payload bytes of recovered frame `i`.
+    pub fn payload(&self, i: usize) -> &[u8] {
+        let s = self.frames[i];
+        &self.bytes[s.start..s.start + s.len]
+    }
+
+    /// True if deskew failed entirely this epoch (mirror of
+    /// [`RxReport::deskew_failed`]).
+    pub fn deskew_failed(&self) -> bool {
+        self.deskew_error.is_some()
+    }
 }
 
 impl Gearbox {
@@ -106,50 +168,66 @@ impl Gearbox {
     /// stream per *physical* channel: assigned channels carry stripes,
     /// spares carry idles, retired channels carry nothing.
     pub fn transmit(&mut self, payloads: &[&[u8]]) -> Vec<Vec<LaneWord>> {
+        let mut scratch = TxScratch::default();
+        let mut channels = Vec::with_capacity(self.physical);
+        self.transmit_into(payloads, &mut scratch, &mut channels);
+        channels
+    }
+
+    /// [`Gearbox::transmit`] into caller-owned buffers: `channels` is
+    /// resized to the physical channel count and each stream refilled in
+    /// place. With a warm `scratch` the epoch loop allocates nothing
+    /// (lint R4: registered in the no-alloc registry with a
+    /// counting-allocator harness).
+    pub fn transmit_into(
+        &mut self,
+        payloads: &[&[u8]],
+        scratch: &mut TxScratch,
+        channels: &mut Vec<Vec<LaneWord>>,
+    ) {
         // Frames → byte stream.
-        let mut bytes = Vec::new();
+        scratch.bytes.clear();
         for p in payloads {
-            let f = Frame {
-                seq: self.next_tx_seq,
-                payload: p.to_vec(),
-            };
+            frame_into(self.next_tx_seq, p, &mut scratch.bytes);
             self.next_tx_seq = self.next_tx_seq.wrapping_add(1);
-            bytes.extend_from_slice(&f.to_bytes());
         }
         // Bytes → words (zero-padded tail).
-        let mut words = Vec::with_capacity(bytes.len().div_ceil(8));
-        for chunk in bytes.chunks(8) {
+        scratch.words.clear();
+        for chunk in scratch.bytes.chunks(8) {
             let mut w = [0u8; 8];
             w[..chunk.len()].copy_from_slice(chunk);
-            words.push(u64::from_le_bytes(w));
+            scratch.words.push(u64::from_le_bytes(w));
         }
         // Pad to a whole marker block *before* scrambling, so the TX and
         // RX scrambler states advance by exactly the same word count.
         let block = self.cfg.block_payload();
-        while words.len() % block != 0 || words.is_empty() {
-            words.push(0);
+        while !scratch.words.len().is_multiple_of(block) || scratch.words.is_empty() {
+            scratch.words.push(0);
         }
-        // Scramble.
-        let scrambled: Vec<u64> = words
-            .iter()
-            .map(|&w| self.tx_scrambler.scramble_word(w))
-            .collect();
+        // Scramble in place.
+        for w in scratch.words.iter_mut() {
+            *w = self.tx_scrambler.scramble_word(*w);
+        }
         // Stripe over logical lanes.
-        let logical_streams = self.dist.stripe(&scrambled, 0);
+        self.dist
+            .stripe_into(&scratch.words, 0, &mut scratch.logical);
         // Map to physical channels.
-        let stream_len = logical_streams[0].len();
-        let mut channels = vec![Vec::new(); self.physical];
-        for (logical, stream) in logical_streams.into_iter().enumerate() {
-            channels[self.map.physical_for(logical)] = stream;
+        let stream_len = scratch.logical[0].len();
+        channels.truncate(self.physical);
+        channels.resize_with(self.physical, Default::default);
+        for stream in channels.iter_mut() {
+            stream.clear();
+        }
+        for (logical, stream) in scratch.logical.iter().enumerate() {
+            channels[self.map.physical_for(logical)].extend_from_slice(stream);
         }
         // Spares idle at the same epoch length so the medium stays lit.
         for (ch, stream) in channels.iter_mut().enumerate() {
             let retired = self.map.retired().iter().any(|&(p, _)| p == ch);
             if stream.is_empty() && !retired {
-                *stream = vec![LaneWord::Data(IDLE_WORD); stream_len];
+                stream.resize(stream_len, LaneWord::Data(IDLE_WORD));
             }
         }
-        channels
     }
 
     /// Receive one epoch of physical channel streams.
@@ -159,6 +237,35 @@ impl Gearbox {
     /// malformed: the number of streams does not match the gearbox's
     /// physical channel count.
     pub fn receive(&mut self, channels: &[Vec<LaneWord>]) -> mosaic_units::Result<RxReport> {
+        let mut scratch = RxScratch::default();
+        let mut batch = RxBatch::default();
+        self.receive_into(channels, &mut scratch, &mut batch)?;
+        let frames = batch
+            .frames
+            .iter()
+            .map(|s| Frame {
+                seq: s.seq,
+                payload: batch.bytes[s.start..s.start + s.len].to_vec(),
+            })
+            .collect();
+        Ok(RxReport {
+            frames,
+            corrupt_frames: batch.corrupt_frames,
+            payload_bytes: batch.payload_bytes,
+            deskew_failed: batch.deskew_error.is_some(),
+        })
+    }
+
+    /// [`Gearbox::receive`] into caller-owned buffers: recovered frames
+    /// are descriptors into `batch.bytes` instead of owned vectors. With
+    /// warm buffers the epoch loop allocates nothing (lint R4: registered
+    /// in the no-alloc registry with a counting-allocator harness).
+    pub fn receive_into(
+        &mut self,
+        channels: &[Vec<LaneWord>],
+        scratch: &mut RxScratch,
+        batch: &mut RxBatch,
+    ) -> mosaic_units::Result<()> {
         if channels.len() != self.physical {
             return Err(mosaic_units::MosaicError::LengthMismatch {
                 what: "channel streams",
@@ -166,34 +273,34 @@ impl Gearbox {
                 got: channels.len(),
             });
         }
+        batch.bytes.clear();
+        batch.frames.clear();
+        batch.corrupt_frames = 0;
+        batch.payload_bytes = 0;
+        batch.deskew_error = None;
         // Gather the assigned channels in logical order.
-        let lanes: Vec<Vec<LaneWord>> = (0..self.cfg.lanes)
-            .map(|l| channels[self.map.physical_for(l)].clone())
-            .collect();
-        let words = match Deskewer::new(self.cfg).reassemble(&lanes) {
-            Ok(w) => w,
-            Err(_) => {
-                return Ok(RxReport {
-                    frames: vec![],
-                    corrupt_frames: 0,
-                    payload_bytes: 0,
-                    deskew_failed: true,
-                })
-            }
-        };
-        // Descramble and flatten to bytes.
-        let mut bytes = Vec::with_capacity(words.len() * 8);
-        for w in words {
-            bytes.extend_from_slice(&self.rx_scrambler.descramble_word(w).to_le_bytes());
+        scratch.lanes.truncate(self.cfg.lanes);
+        scratch.lanes.resize_with(self.cfg.lanes, Default::default);
+        for (l, lane) in scratch.lanes.iter_mut().enumerate() {
+            lane.clear();
+            lane.extend_from_slice(&channels[self.map.physical_for(l)]);
         }
-        let (frames, corrupt) = scan_frames(&bytes);
-        let payload_bytes = frames.iter().map(|f| f.payload.len()).sum();
-        Ok(RxReport {
-            frames,
-            corrupt_frames: corrupt,
-            payload_bytes,
-            deskew_failed: false,
-        })
+        let deskewer = Deskewer::new(self.cfg);
+        if let Err(e) =
+            deskewer.reassemble_into(&scratch.lanes, &mut scratch.deskew, &mut scratch.words)
+        {
+            batch.deskew_error = Some(e);
+            return Ok(());
+        }
+        // Descramble and flatten to bytes.
+        for &w in scratch.words.iter() {
+            batch
+                .bytes
+                .extend_from_slice(&self.rx_scrambler.descramble_word(w).to_le_bytes());
+        }
+        batch.corrupt_frames = scan_frames_into(&batch.bytes, &mut batch.frames);
+        batch.payload_bytes = batch.frames.iter().map(|s| s.len).sum();
+        Ok(())
     }
 }
 
@@ -201,7 +308,24 @@ impl Gearbox {
 /// any corruption. Returns intact frames and the count of detected-corrupt
 /// frame candidates.
 pub fn scan_frames(bytes: &[u8]) -> (Vec<Frame>, usize) {
-    let mut frames = Vec::new();
+    let mut slots = Vec::new();
+    let corrupt = scan_frames_into(bytes, &mut slots);
+    let frames = slots
+        .iter()
+        .map(|s| Frame {
+            seq: s.seq,
+            payload: bytes[s.start..s.start + s.len].to_vec(),
+        })
+        .collect();
+    (frames, corrupt)
+}
+
+/// [`scan_frames`] into a caller-owned slot buffer: `frames` is cleared
+/// and refilled with descriptors into `bytes`. Returns the count of
+/// detected-corrupt frame candidates. Allocation-free once `frames` is
+/// warm (lint R4).
+pub fn scan_frames_into(bytes: &[u8], frames: &mut Vec<FrameSlot>) -> usize {
+    frames.clear();
     let mut corrupt = 0usize;
     let magic = crate::framing::FRAME_MAGIC.to_le_bytes();
     let mut pos = 0usize;
@@ -223,9 +347,13 @@ pub fn scan_frames(bytes: &[u8]) -> (Vec<Frame>, usize) {
             pos += 2;
             continue;
         }
-        match Frame::from_bytes(&bytes[pos..pos + total]) {
-            Ok(f) => {
-                frames.push(f);
+        match parse_frame(&bytes[pos..pos + total]) {
+            Ok((seq, payload)) => {
+                frames.push(FrameSlot {
+                    seq,
+                    start: pos + 10,
+                    len: payload.len(),
+                });
                 pos += total;
             }
             Err(FrameError::BadCrc) => {
@@ -237,7 +365,7 @@ pub fn scan_frames(bytes: &[u8]) -> (Vec<Frame>, usize) {
             }
         }
     }
-    (frames, corrupt)
+    corrupt
 }
 
 #[cfg(test)]
@@ -360,6 +488,71 @@ mod tests {
         // Wrong number of channel streams is malformed input, not a
         // measured deskew failure.
         assert!(rx.receive(&[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn into_pair_matches_allocating_path() {
+        // Same seeds, same traffic: the scratch-reuse pair must produce
+        // byte-identical channel streams and recover identical frames.
+        let mut tx_a = Gearbox::new(4, 6, 8);
+        let mut rx_a = Gearbox::new(4, 6, 8);
+        let mut tx_b = Gearbox::new(4, 6, 8);
+        let mut rx_b = Gearbox::new(4, 6, 8);
+        let mut scratch_tx = TxScratch::default();
+        let mut scratch_rx = RxScratch::default();
+        let mut channels_b = Vec::new();
+        let mut batch = RxBatch::default();
+        for epoch in 0..4 {
+            let data = payloads(6 + epoch, 90);
+            let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+            let channels_a = tx_a.transmit(&refs);
+            tx_b.transmit_into(&refs, &mut scratch_tx, &mut channels_b);
+            assert_eq!(channels_a, channels_b);
+            let report = rx_a.receive(&channels_a).unwrap();
+            rx_b.receive_into(&channels_b, &mut scratch_rx, &mut batch)
+                .unwrap();
+            assert_eq!(report.frames.len(), batch.frames.len());
+            assert_eq!(report.corrupt_frames, batch.corrupt_frames);
+            assert_eq!(report.payload_bytes, batch.payload_bytes);
+            assert_eq!(report.deskew_failed, batch.deskew_failed());
+            for (i, f) in report.frames.iter().enumerate() {
+                assert_eq!(f.seq, batch.frames[i].seq);
+                assert_eq!(f.payload.as_slice(), batch.payload(i));
+            }
+        }
+        // Mid-test failover keeps the pair in lockstep too.
+        for g in [&mut tx_a, &mut rx_a, &mut tx_b, &mut rx_b] {
+            g.fail_channel(2, FailureKind::Dead).unwrap();
+        }
+        let data = payloads(5, 64);
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let channels_a = tx_a.transmit(&refs);
+        tx_b.transmit_into(&refs, &mut scratch_tx, &mut channels_b);
+        assert_eq!(channels_a, channels_b);
+        let report = rx_a.receive(&channels_a).unwrap();
+        rx_b.receive_into(&channels_b, &mut scratch_rx, &mut batch)
+            .unwrap();
+        assert_eq!(report.frames.len(), 5);
+        assert_eq!(batch.frames.len(), 5);
+    }
+
+    #[test]
+    fn receive_into_reports_deskew_error_detail() {
+        let mut tx = Gearbox::new(4, 4, 8);
+        let mut rx = Gearbox::new(4, 4, 8);
+        let data = payloads(5, 50);
+        let refs: Vec<&[u8]> = data.iter().map(|p| p.as_slice()).collect();
+        let mut channels = tx.transmit(&refs);
+        channels[3] = vec![LaneWord::Data(0); channels[3].len()];
+        let mut scratch = RxScratch::default();
+        let mut batch = RxBatch::default();
+        rx.receive_into(&channels, &mut scratch, &mut batch)
+            .unwrap();
+        assert!(batch.deskew_failed());
+        // The dark channel is attributed: logical lane 3 maps to physical
+        // channel 3 under the identity assignment.
+        assert_eq!(batch.deskew_error, Some(DeskewError::NoMarker { lane: 3 }));
+        assert!(batch.frames.is_empty());
     }
 
     #[test]

@@ -34,9 +34,12 @@ pub mod scrambler;
 pub mod striping;
 
 pub use degrade::{Cause, CtlState, DegradeConfig, DegradeController, EpochSummary, Transition};
-pub use gearbox::{Gearbox, RxReport};
+pub use framing::{frame_into, parse_frame, Frame, FrameError};
+pub use gearbox::{
+    scan_frames, scan_frames_into, FrameSlot, Gearbox, RxBatch, RxReport, RxScratch, TxScratch,
+};
 pub use lanes::{FailureKind, LaneHealth, LaneMap, NoSpares};
-pub use striping::{DeskewError, Deskewer, Distributor, LaneWord, StripeConfig};
+pub use striping::{DeskewError, DeskewScratch, Deskewer, Distributor, LaneWord, StripeConfig};
 
 /// The workspace error type, re-exported for link-layer callers.
 pub use mosaic_units::{MosaicError, Result};

@@ -89,9 +89,24 @@ impl Distributor {
     /// begins with an alignment marker on every lane and continues the
     /// sequence numbering from previous calls.
     pub fn stripe(&mut self, payload: &[u64], pad: u64) -> Vec<Vec<LaneWord>> {
+        let blocks = payload.len().div_ceil(self.cfg.block_payload()).max(1);
+        let mut lanes = vec![Vec::with_capacity(blocks * (self.cfg.am_period + 1)); self.cfg.lanes];
+        self.stripe_into(payload, pad, &mut lanes);
+        lanes
+    }
+
+    /// [`Distributor::stripe`] into caller-owned per-lane buffers:
+    /// `lanes` is resized to the lane count and each stream is cleared
+    /// and refilled, reusing its capacity. Allocation-free once the
+    /// buffers are warm (lint R4).
+    pub fn stripe_into(&mut self, payload: &[u64], pad: u64, lanes: &mut Vec<Vec<LaneWord>>) {
         let block = self.cfg.block_payload();
         let blocks = payload.len().div_ceil(block).max(1);
-        let mut lanes = vec![Vec::with_capacity(blocks * (self.cfg.am_period + 1)); self.cfg.lanes];
+        lanes.truncate(self.cfg.lanes);
+        lanes.resize_with(self.cfg.lanes, Default::default);
+        for lane in lanes.iter_mut() {
+            lane.clear();
+        }
         let mut idx = 0usize;
         for _ in 0..blocks {
             for lane in lanes.iter_mut() {
@@ -104,11 +119,13 @@ impl Distributor {
                 idx += 1;
             }
         }
-        lanes
     }
 }
 
-/// Deskew/reassembly errors.
+/// Deskew/reassembly errors. Every variant names the offending lane and
+/// the position/skew observed when the failure was detected, so callers
+/// (and the degrade controller's logs) can attribute the fault to a
+/// physical channel instead of guessing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeskewError {
     /// A lane stream contained no alignment marker at all.
@@ -118,23 +135,45 @@ pub enum DeskewError {
     },
     /// No common marker sequence number could be found across all lanes
     /// (skew exceeds the buffered streams).
-    NoCommonMarker,
+    NoCommonMarker {
+        /// Index of the lane whose buffered stream ran out first.
+        lane: usize,
+        /// Word offset the alignment search had reached on that lane when
+        /// it ran off the end — the observed (unresolvable) skew.
+        skew: usize,
+    },
     /// A marker appeared where data was expected or vice versa.
     Misaligned {
         /// Index of the offending lane.
         lane: usize,
+        /// Word offset within the lane stream where the mismatch sat.
+        position: usize,
     },
     /// Wrong number of lane streams supplied.
-    LaneCount,
+    LaneCount {
+        /// Configured lane count.
+        expected: usize,
+        /// Number of streams actually supplied.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for DeskewError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeskewError::NoMarker { lane } => write!(f, "lane {lane} carried no marker"),
-            DeskewError::NoCommonMarker => write!(f, "no common marker across lanes"),
-            DeskewError::Misaligned { lane } => write!(f, "lane {lane} misaligned"),
-            DeskewError::LaneCount => write!(f, "wrong number of lane streams"),
+            DeskewError::NoCommonMarker { lane, skew } => {
+                write!(f, "no common marker: lane {lane} exhausted at word {skew}")
+            }
+            DeskewError::Misaligned { lane, position } => {
+                write!(f, "lane {lane} misaligned at word {position}")
+            }
+            DeskewError::LaneCount { expected, got } => {
+                write!(
+                    f,
+                    "wrong number of lane streams: expected {expected}, got {got}"
+                )
+            }
         }
     }
 }
@@ -143,8 +182,35 @@ impl std::error::Error for DeskewError {}
 
 impl From<DeskewError> for mosaic_units::MosaicError {
     fn from(e: DeskewError) -> Self {
-        mosaic_units::MosaicError::infeasible(format!("deskew failed: {e}"))
+        match e {
+            DeskewError::LaneCount { expected, got } => mosaic_units::MosaicError::LengthMismatch {
+                what: "lane streams",
+                expected,
+                got,
+            },
+            DeskewError::NoMarker { lane } => mosaic_units::MosaicError::infeasible(format!(
+                "deskew failed on lane {lane}: no alignment marker in buffered stream"
+            )),
+            DeskewError::NoCommonMarker { lane, skew } => {
+                mosaic_units::MosaicError::infeasible(format!(
+                    "deskew failed on lane {lane}: skew of {skew} words exceeds the buffered stream"
+                ))
+            }
+            DeskewError::Misaligned { lane, position } => mosaic_units::MosaicError::infeasible(
+                format!("deskew failed on lane {lane}: marker/data mismatch at word {position}"),
+            ),
+        }
     }
+}
+
+/// Reusable working state for [`Deskewer::reassemble_into`]: per-lane
+/// first-marker sequence numbers and read cursors. One scratch serves any
+/// lane count — buffers are cleared and regrown (capacity retained) per
+/// call, so the steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct DeskewScratch {
+    first_seq: Vec<u32>,
+    pos: Vec<usize>,
 }
 
 /// The receive-side deskewer.
@@ -163,12 +229,34 @@ impl Deskewer {
     /// arbitrary leading skew. Returns the payload words of every block
     /// that is complete on all lanes.
     pub fn reassemble(&self, lanes: &[Vec<LaneWord>]) -> Result<Vec<u64>, DeskewError> {
+        let mut scratch = DeskewScratch::default();
+        let mut out = Vec::with_capacity(self.cfg.block_payload());
+        self.reassemble_into(lanes, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Deskewer::reassemble`] into a caller-owned output buffer using
+    /// caller-owned scratch. `out` is cleared first; on success it holds
+    /// the payload words of every complete block. Allocation-free once
+    /// the buffers are warm (lint R4).
+    pub fn reassemble_into(
+        &self,
+        lanes: &[Vec<LaneWord>],
+        scratch: &mut DeskewScratch,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DeskewError> {
+        out.clear();
         if lanes.len() != self.cfg.lanes {
-            return Err(DeskewError::LaneCount);
+            return Err(DeskewError::LaneCount {
+                expected: self.cfg.lanes,
+                got: lanes.len(),
+            });
         }
         // Find the first marker on each lane.
-        let mut first_seq = Vec::with_capacity(lanes.len());
-        let mut pos = Vec::with_capacity(lanes.len());
+        let first_seq = &mut scratch.first_seq;
+        let pos = &mut scratch.pos;
+        first_seq.clear();
+        pos.clear();
         for (i, lane) in lanes.iter().enumerate() {
             let p = lane
                 .iter()
@@ -176,7 +264,10 @@ impl Deskewer {
                 .ok_or(DeskewError::NoMarker { lane: i })?;
             let LaneWord::Marker(seq) = lane[p] else {
                 // `position` just matched a marker here.
-                return Err(DeskewError::Misaligned { lane: i });
+                return Err(DeskewError::Misaligned {
+                    lane: i,
+                    position: p,
+                });
             };
             first_seq.push(seq);
             pos.push(p);
@@ -184,30 +275,35 @@ impl Deskewer {
         // Align every lane to the largest first-marker sequence number.
         let Some(&target) = first_seq.iter().max() else {
             // Zero configured lanes: nothing to reassemble.
-            return Ok(Vec::new());
+            return Ok(());
         };
         for (i, lane) in lanes.iter().enumerate() {
             while {
                 let LaneWord::Marker(seq) = lane[pos[i]] else {
-                    return Err(DeskewError::Misaligned { lane: i });
+                    return Err(DeskewError::Misaligned {
+                        lane: i,
+                        position: pos[i],
+                    });
                 };
                 seq != target
             } {
                 // Skip this whole block: marker + am_period words.
                 pos[i] += 1 + self.cfg.am_period;
                 if pos[i] >= lane.len() {
-                    return Err(DeskewError::NoCommonMarker);
+                    return Err(DeskewError::NoCommonMarker {
+                        lane: i,
+                        skew: pos[i],
+                    });
                 }
             }
         }
 
         // Read blocks while all lanes have a complete block buffered.
-        let mut out = Vec::new();
         let mut expected = target;
         loop {
             let complete = lanes
                 .iter()
-                .zip(&pos)
+                .zip(pos.iter())
                 .all(|(lane, &p)| p + self.cfg.am_period < lane.len());
             if !complete {
                 break;
@@ -216,7 +312,12 @@ impl Deskewer {
             for (i, lane) in lanes.iter().enumerate() {
                 match lane[pos[i]] {
                     LaneWord::Marker(seq) if seq == expected => {}
-                    _ => return Err(DeskewError::Misaligned { lane: i }),
+                    _ => {
+                        return Err(DeskewError::Misaligned {
+                            lane: i,
+                            position: pos[i],
+                        })
+                    }
                 }
             }
             // Round-robin data: word j of the block came from lane
@@ -227,7 +328,10 @@ impl Deskewer {
                 match lanes[lane][pos[lane] + 1 + depth] {
                     LaneWord::Data(w) => out.push(w),
                     LaneWord::Marker(_) => {
-                        return Err(DeskewError::Misaligned { lane });
+                        return Err(DeskewError::Misaligned {
+                            lane,
+                            position: pos[lane] + 1 + depth,
+                        });
                     }
                 }
             }
@@ -236,7 +340,7 @@ impl Deskewer {
             }
             expected = expected.wrapping_add(1);
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -331,8 +435,115 @@ mod tests {
         let streams = vec![vec![], vec![]];
         assert_eq!(
             Deskewer::new(cfg).reassemble(&streams),
-            Err(DeskewError::LaneCount)
+            Err(DeskewError::LaneCount {
+                expected: 3,
+                got: 2
+            })
         );
+    }
+
+    #[test]
+    fn lane_count_converts_to_length_mismatch() {
+        let e: mosaic_units::MosaicError = DeskewError::LaneCount {
+            expected: 3,
+            got: 2,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            mosaic_units::MosaicError::LengthMismatch {
+                what: "lane streams",
+                expected: 3,
+                got: 2,
+            }
+        ));
+    }
+
+    #[test]
+    fn excess_skew_reports_lane_and_skew() {
+        let cfg = StripeConfig::new(2, 2);
+        let mut dist = Distributor::new(cfg);
+        let streams = dist.stripe(&[1, 2, 3, 4], 0);
+        // Skew ≥ the stream length still recovers: apply_skew prepends
+        // junk but the whole stream stays buffered, so alignment walks
+        // past the junk and reads every block.
+        let skewed = vec![
+            streams[0].clone(),
+            apply_skew(&streams[1], streams[1].len() + 4, 0xBAD),
+        ];
+        assert_eq!(Deskewer::new(cfg).reassemble(&skewed), Ok(vec![1, 2, 3, 4]));
+        // Unresolvable skew: lane 0 lacks the common marker entirely —
+        // short stream on lane 0, later-epoch stream on lane 1.
+        let s1 = dist.stripe(&[5, 6, 7, 8], 0);
+        let truncated = vec![streams[0].clone(), s1[1].clone()];
+        let err = Deskewer::new(cfg).reassemble(&truncated).unwrap_err();
+        match err {
+            DeskewError::NoCommonMarker { lane, skew } => {
+                assert_eq!(lane, 0);
+                assert!(skew >= streams[0].len(), "skew {skew} should be past end");
+            }
+            other => panic!("expected NoCommonMarker, got {other:?}"),
+        }
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("lane 0"),
+            "message should name the lane: {msg}"
+        );
+    }
+
+    #[test]
+    fn misaligned_reports_position() {
+        let cfg = StripeConfig::new(2, 2);
+        let mut dist = Distributor::new(cfg);
+        let mut streams = dist.stripe(&[1, 2, 3, 4], 0);
+        streams[0][2] = LaneWord::Marker(99);
+        match Deskewer::new(cfg).reassemble(&streams) {
+            Err(DeskewError::Misaligned { lane, position }) => {
+                assert_eq!(lane, 0);
+                assert_eq!(position, 2);
+            }
+            other => panic!("expected Misaligned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stripe_into_matches_stripe_and_reuses_buffers() {
+        let cfg = StripeConfig::new(3, 4);
+        let payload: Vec<u64> = (0..40).collect();
+        let mut a = Distributor::new(cfg);
+        let mut b = Distributor::new(cfg);
+        let fresh = a.stripe(&payload, 7);
+        let mut reused: Vec<Vec<LaneWord>> = Vec::new();
+        b.stripe_into(&payload, 7, &mut reused);
+        assert_eq!(fresh, reused);
+        // Second call with different payload still matches, with the
+        // buffers recycled in place.
+        let payload2: Vec<u64> = (100..140).collect();
+        let fresh2 = a.stripe(&payload2, 9);
+        b.stripe_into(&payload2, 9, &mut reused);
+        assert_eq!(fresh2, reused);
+    }
+
+    #[test]
+    fn reassemble_into_matches_reassemble() {
+        let cfg = StripeConfig::new(4, 8);
+        let payload: Vec<u64> = (0..4 * 8 * 3).map(|i| i as u64 * 3).collect();
+        let mut dist = Distributor::new(cfg);
+        let streams = dist.stripe(&payload, 0);
+        let skewed: Vec<Vec<LaneWord>> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| apply_skew(s, i * 3, 0xDEAD))
+            .collect();
+        let d = Deskewer::new(cfg);
+        let direct = d.reassemble(&skewed).unwrap();
+        let mut scratch = DeskewScratch::default();
+        let mut out = Vec::new();
+        d.reassemble_into(&skewed, &mut scratch, &mut out).unwrap();
+        assert_eq!(direct, out);
+        // Reuse the same scratch/out for a second, clean pass.
+        d.reassemble_into(&streams, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, payload);
     }
 
     #[test]

@@ -310,6 +310,28 @@ pub fn default_config() -> Config {
                 func: "replay_fault_window",
                 harness: Some("crates/netsim/tests/alloc_free.rs"),
             },
+            // The gearbox scratch-reuse pair: every traffic epoch pushes a
+            // frame batch through these, so a per-frame allocation would
+            // show up once per epoch per run across the whole F19 sweep.
+            RegistryFn {
+                file: "crates/link/src/gearbox.rs",
+                func: "transmit_into",
+                harness: Some("crates/link/tests/alloc_free.rs"),
+            },
+            RegistryFn {
+                file: "crates/link/src/gearbox.rs",
+                func: "receive_into",
+                harness: Some("crates/link/tests/alloc_free.rs"),
+            },
+            // The traffic harness epoch step: emit, corrupt, deskew, match,
+            // and requeue without allocating — cold reconfiguration paths
+            // (gearbox rebuild on width reduction, controller transition
+            // log growth) live in helper functions outside this body.
+            RegistryFn {
+                file: "crates/traffic/src/harness.rs",
+                func: "step",
+                harness: Some("crates/traffic/tests/alloc_free.rs"),
+            },
         ],
         r5_crates: CrateSet::All,
         // rng.rs *defines* stream/substream/substream_indexed — the
@@ -340,6 +362,20 @@ fn exactness_registry() -> Vec<ExactFold> {
             file: "crates/sim/src/montecarlo.rs",
             func: "run_rs_channel_with",
             proof: "crates/sim/tests/parallel_determinism.rs",
+        },
+        // The event-sourced fleet fold — FleetRollup::merge is
+        // commutative over exact-integer counters, batch by batch.
+        ExactFold {
+            file: "crates/netsim/src/hyperfleet.rs",
+            func: "simulate_with",
+            proof: "crates/netsim/tests/hyperfleet.rs",
+        },
+        // The traffic sweep fold — TrafficRollup::merge over per-run
+        // harness rollups, thread- and resume-invariant.
+        ExactFold {
+            file: "crates/traffic/src/sweep.rs",
+            func: "run_point_with",
+            proof: "crates/traffic/tests/parallel_determinism.rs",
         },
     ]
 }

@@ -613,12 +613,15 @@ fn match_paren(toks: &[Token], p: usize) -> Option<usize> {
     None
 }
 
-/// R6: accumulation (`+=`, `-=`, `*=`, `.sum()`, `.product()`) inside a
-/// parallel fold must be covered by the exactness registry — the static
-/// promise that the accumulator is exact-integer, cross-checked against
-/// the integer-rollup tests. Floating-point accumulation in a parallel
-/// fold reassociates across thread counts and silently breaks
-/// bit-identical results.
+/// R6: accumulation (`+=`, `-=`, `*=`, `.sum()`, `.product()`, or a
+/// rollup `.merge()`) inside a parallel fold must be covered by the
+/// exactness registry — the static promise that the accumulator is
+/// exact-integer, cross-checked against the integer-rollup tests.
+/// Floating-point accumulation in a parallel fold reassociates across
+/// thread counts and silently breaks bit-identical results; a `merge`
+/// call is the struct-shaped version of `+=` and gets the same
+/// treatment, so rollup folds (hyperfleet, traffic) cannot gain a float
+/// field without a registered commutativity proof.
 fn check_parallel_folds(
     cfg: &Config,
     rel_path: &str,
@@ -647,7 +650,7 @@ fn check_parallel_folds(
                         acc_lines.push((toks[j].line, "`*=`"));
                     }
                 } else if sym_at(toks, j, '.') {
-                    if let Some(m @ ("sum" | "product")) = ident_at(toks, j + 1) {
+                    if let Some(m @ ("sum" | "product" | "merge")) = ident_at(toks, j + 1) {
                         // `.sum()` / `.sum::<T>()`.
                         let mut k = j + 2;
                         if sym_at(toks, k, ':') && sym_at(toks, k + 1, ':') {
@@ -660,10 +663,10 @@ fn check_parallel_folds(
                             }
                         }
                         if sym_at(toks, k, '(') {
-                            let what: &'static str = if m == "sum" {
-                                "`.sum()`"
-                            } else {
-                                "`.product()`"
+                            let what: &'static str = match m {
+                                "sum" => "`.sum()`",
+                                "product" => "`.product()`",
+                                _ => "`.merge()`",
                             };
                             acc_lines.push((toks[j + 1].line, what));
                         }
@@ -833,6 +836,29 @@ mod tests {
         let r6: Vec<_> = f.local.iter().filter(|l| l.rule == "R6").collect();
         assert_eq!(r6.len(), 2, "{:?}", f.local);
         assert_eq!(f.fold_acc_fns, vec!["bad".to_string()]);
+    }
+
+    #[test]
+    fn merge_in_fold_is_accumulation_and_registration_clears_it() {
+        let src = "fn point(exec: &Exec) -> Rollup {\n\
+                   TrialPlan::new().trials(8).seed(1).label(\"x\")\n\
+                   .fold(exec, || (), Rollup::default, |c, _s, acc| { acc.merge(&one(c.trial())); },\n\
+                   |total, other| total.merge(&other))\n}";
+        let f = facts(src);
+        let r6: Vec<_> = f.local.iter().filter(|l| l.rule == "R6").collect();
+        assert_eq!(r6.len(), 2, "{:?}", f.local);
+        assert!(r6.iter().all(|l| l.message.contains("`.merge()`")));
+        assert_eq!(f.fold_acc_fns, vec!["point".to_string()]);
+
+        let mut cfg = sym_cfg();
+        cfg.exactness = vec![crate::rules::ExactFold {
+            file: "x.rs",
+            func: "point",
+            proof: "tests/rollup.rs",
+        }];
+        let f = extract(&cfg, "sim", "crates/sim/src/x.rs", src);
+        assert!(f.local.iter().all(|l| l.rule != "R6"), "{:?}", f.local);
+        assert_eq!(f.fold_acc_fns, vec!["point".to_string()]);
     }
 
     #[test]

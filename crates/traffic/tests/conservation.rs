@@ -1,0 +1,87 @@
+//! The frame-conservation law under arbitrary fault campaigns: no
+//! combination of fault rate, duration, permanence, policy, or seed may
+//! ever make `delivered + expired + exhausted + in-flight ≠ offered` —
+//! at *any* epoch boundary, not just at the end. This is the CI
+//! `traffic-gate` proptest: every frame is accounted for, never silently
+//! dropped, and the harness never panics on a hostile campaign.
+
+use mosaic_traffic::{LinkHarness, Policy, TrafficConfig, WorkloadConfig, WorkloadKind};
+use proptest::prelude::*;
+
+fn policy_from(idx: u8) -> Policy {
+    match idx % 3 {
+        0 => Policy::Static,
+        1 => Policy::Controller,
+        _ => Policy::ControllerHitless,
+    }
+}
+
+fn kind_from(idx: u8) -> WorkloadKind {
+    match idx % 6 {
+        0 => WorkloadKind::Incast,
+        1 => WorkloadKind::AllReduceRing,
+        2 => WorkloadKind::AllReduceButterfly,
+        3 => WorkloadKind::MulticastFanout,
+        4 => WorkloadKind::PoissonBackground,
+        _ => WorkloadKind::Mixed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn books_balance_under_arbitrary_campaigns(
+        seed in 0u64..1_000_000,
+        policy_idx in 0u8..3,
+        kind_idx in 0u8..6,
+        rate in 0.0f64..40.0,
+        permanent in 0.0f64..1.0,
+        duration in 1usize..64,
+        budget in 0u32..5,
+        replay in 0u64..4,
+        deadline in 4u64..20,
+    ) {
+        let cfg = TrafficConfig {
+            epochs: 72,
+            retransmit_budget: budget,
+            replay_window: replay,
+            faults_per_kilo_epoch: rate,
+            max_fault_duration: duration,
+            permanent_fraction: permanent,
+            policy: policy_from(policy_idx),
+            workload: WorkloadConfig {
+                kind: kind_from(kind_idx),
+                deadline_epochs: deadline,
+                ..WorkloadConfig::default()
+            },
+            ..TrafficConfig::default()
+        };
+        let mut h = LinkHarness::try_new(cfg, seed).unwrap();
+        // The law must hold at every epoch boundary, mid-campaign
+        // included — offered frames are either delivered, explicitly
+        // expired, explicitly budget-exhausted, or still queued.
+        for _ in 0..96 {
+            h.step();
+            prop_assert!(
+                h.conservation_holds(),
+                "epoch {}: offered {} != delivered {} + expired {} + \
+                 exhausted {} + in-flight {}",
+                h.epoch(),
+                h.rollup().offered,
+                h.rollup().delivered,
+                h.rollup().expired,
+                h.rollup().exhausted,
+                h.in_flight(),
+            );
+        }
+        let r = h.run_to_completion();
+        prop_assert!(r.balanced(), "final books unbalanced: {r:?}");
+        prop_assert_eq!(h.in_flight(), 0);
+        prop_assert_eq!(
+            r.resolved(), r.offered,
+            "latency histogram mass must equal offered frames"
+        );
+        prop_assert!(r.offered > 0, "workload offered nothing");
+    }
+}
